@@ -1,0 +1,193 @@
+package hdcirc
+
+import (
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/core"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/hashring"
+	"hdcirc/internal/markov"
+	"hdcirc/internal/model"
+	"hdcirc/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Hypervector arithmetic
+// ---------------------------------------------------------------------------
+
+// Vector is a binary hypervector in {0,1}^d. See the methods on
+// bitvec.Vector: Xor (binding), Distance/Similarity, RotateBits
+// (permutation), Bit/SetBit/FlipBit and friends.
+type Vector = bitvec.Vector
+
+// Accumulator is the integer-counter form of bundling used for training.
+type Accumulator = bitvec.Accumulator
+
+// TieBreak selects how bundling majorities resolve ties.
+type TieBreak = bitvec.TieBreak
+
+// Tie-break strategies for Majority and Accumulator.Threshold.
+const (
+	TieZero   = bitvec.TieZero
+	TieOne    = bitvec.TieOne
+	TieRandom = bitvec.TieRandom
+)
+
+// NewVector returns the all-zeros hypervector of dimension d.
+func NewVector(d int) *Vector { return bitvec.New(d) }
+
+// NewAccumulator returns an empty bundling accumulator of dimension d.
+func NewAccumulator(d int) *Accumulator { return bitvec.NewAccumulator(d) }
+
+// RandomVector draws a uniform hypervector from the stream.
+func RandomVector(d int, stream *Stream) *Vector { return bitvec.Random(d, stream) }
+
+// Majority bundles the operands element-wise; see bitvec.Majority.
+func Majority(vs []*Vector, tie TieBreak, stream *Stream) *Vector {
+	return bitvec.Majority(vs, tie, stream)
+}
+
+// ---------------------------------------------------------------------------
+// Randomness
+// ---------------------------------------------------------------------------
+
+// Stream is a deterministic random stream (xoshiro256** seeded through
+// splitmix64).
+type Stream = rng.Stream
+
+// NewStream returns a Stream for the given seed.
+func NewStream(seed uint64) *Stream { return rng.New(seed) }
+
+// SubStream derives an independent named stream from a root seed; equal
+// (seed, label) pairs always produce identical streams.
+func SubStream(seed uint64, label string) *Stream { return rng.Sub(seed, label) }
+
+// ---------------------------------------------------------------------------
+// Basis-hypervector sets
+// ---------------------------------------------------------------------------
+
+// Basis is an ordered basis-hypervector set.
+type Basis = core.Set
+
+// Kind identifies a basis-hypervector family.
+type Kind = core.Kind
+
+// Basis families.
+const (
+	// Random is the uncorrelated set for symbolic data.
+	Random = core.KindRandom
+	// LevelLegacy is the pre-existing fixed-flip level construction.
+	LevelLegacy = core.KindLevelLegacy
+	// Level is the paper's Algorithm 1 interpolation construction.
+	Level = core.KindLevel
+	// Circular is the paper's two-phase circular construction.
+	Circular = core.KindCircular
+	// Scatter is the Markov-calibrated scatter-code construction.
+	Scatter = core.KindScatter
+)
+
+// NewBasis generates a basis set of the given family with m vectors of
+// dimension d. r is the correlation-relaxation hyperparameter of the
+// paper's Section 5.2 (used by Level and Circular; pass 0 for the plain
+// constructions, it is ignored by the other families).
+func NewBasis(kind Kind, m, d int, r float64, stream *Stream) *Basis {
+	return core.Config{Kind: kind, M: m, D: d, R: r}.Build(stream)
+}
+
+// SimilarityMatrix returns the pairwise similarity matrix of a basis set
+// (the paper's Figures 3 and 6).
+func SimilarityMatrix(b *Basis) [][]float64 { return core.SimilarityMatrix(b) }
+
+// LevelExpectedDistance returns E[δ(L_i, L_j)] = |j−i|/(2(m−1)) for an
+// Algorithm-1 level set (Proposition 4.1).
+func LevelExpectedDistance(m, i, j int) float64 { return core.LevelExpectedDistance(m, i, j) }
+
+// CircularExpectedDistance returns the arc-proportional expected distance
+// profile of a circular set.
+func CircularExpectedDistance(m, i, j int) float64 { return core.CircularExpectedDistance(m, i, j) }
+
+// ExpectedFlips returns the expected number of single-bit flips until a
+// random walk in {0,1}^d first reaches Hamming distance k — the Section 4.2
+// Markov-chain calibration used by scatter codes.
+func ExpectedFlips(d, k int) (float64, error) { return markov.ExpectedFlipsRecurrence(d, k) }
+
+// ---------------------------------------------------------------------------
+// Encoders
+// ---------------------------------------------------------------------------
+
+// ScalarEncoder quantizes a real interval onto a basis set (invertible).
+type ScalarEncoder = embed.ScalarEncoder
+
+// CircularEncoder quantizes a periodic value onto a basis set, wrapping at
+// the period (invertible).
+type CircularEncoder = embed.CircularEncoder
+
+// ItemMemory lazily maps symbols to random-hypervectors.
+type ItemMemory = embed.ItemMemory
+
+// RecordEncoder encodes numeric records as ⊕ᵢ Kᵢ ⊗ Vᵢ.
+type RecordEncoder = embed.RecordEncoder
+
+// SequenceEncoder encodes ordered sequences with position permutations.
+type SequenceEncoder = embed.SequenceEncoder
+
+// NGramEncoder encodes sequences as bundles of bound n-grams.
+type NGramEncoder = embed.NGramEncoder
+
+// FieldEncoder is any scalar-to-hypervector encoder (ScalarEncoder and
+// CircularEncoder both satisfy it).
+type FieldEncoder = embed.FieldEncoder
+
+// NewScalarEncoder wraps a basis set as an encoder of [lo, hi].
+func NewScalarEncoder(b *Basis, lo, hi float64) *ScalarEncoder {
+	return embed.NewScalarEncoder(b, lo, hi)
+}
+
+// NewCircularEncoder wraps a basis set as an encoder of a periodic value.
+func NewCircularEncoder(b *Basis, period float64) *CircularEncoder {
+	return embed.NewCircularEncoder(b, period)
+}
+
+// NewItemMemory returns an empty symbol memory over dimension d.
+func NewItemMemory(d int, seed uint64) *ItemMemory { return embed.NewItemMemory(d, seed) }
+
+// NewRecordEncoder returns a record encoder with nFields random keys.
+func NewRecordEncoder(d, nFields int, seed uint64) *RecordEncoder {
+	return embed.NewRecordEncoder(d, nFields, seed)
+}
+
+// NewSequenceEncoder returns a position-permuting sequence encoder.
+func NewSequenceEncoder(d int, seed uint64) *SequenceEncoder {
+	return embed.NewSequenceEncoder(d, seed)
+}
+
+// NewNGramEncoder returns an n-gram sequence encoder.
+func NewNGramEncoder(d, n int, seed uint64) *NGramEncoder {
+	return embed.NewNGramEncoder(d, n, seed)
+}
+
+// ---------------------------------------------------------------------------
+// Learning
+// ---------------------------------------------------------------------------
+
+// Classifier is the HDC centroid classification model (Section 2.2).
+type Classifier = model.Classifier
+
+// Regressor is the single-hypervector regression model (Section 2.3).
+type Regressor = model.Regressor
+
+// NewClassifier creates a classifier over k classes and dimension d.
+func NewClassifier(k, d int, seed uint64) *Classifier { return model.NewClassifier(k, d, seed) }
+
+// NewRegressor creates a regressor over dimension d.
+func NewRegressor(d int, seed uint64) *Regressor { return model.NewRegressor(d, seed) }
+
+// ---------------------------------------------------------------------------
+// Applications
+// ---------------------------------------------------------------------------
+
+// HashRing is a consistent-hashing ring over circular-hypervector
+// positions (Hyperdimensional Hashing, Heddes et al. DAC 2022).
+type HashRing = hashring.Ring
+
+// NewHashRing creates a hash ring with m positions of dimension d.
+func NewHashRing(m, d int, seed uint64) *HashRing { return hashring.New(m, d, seed) }

@@ -1,0 +1,18 @@
+package hdcirc
+
+import "hdcirc/internal/sdm"
+
+// SDM is Kanerva's Sparse Distributed Memory — the associative cleanup
+// memory underlying HDC's quasi-orthogonality theory (the paper's reference
+// [18]). Write hypervectors in; read denoised hypervectors back, optionally
+// iterating to a fixed point.
+type SDM = sdm.Memory
+
+// SDMConfig parameterizes a sparse distributed memory.
+type SDMConfig = sdm.Config
+
+// NewSDM creates a sparse distributed memory.
+func NewSDM(cfg SDMConfig) *SDM { return sdm.New(cfg) }
+
+// DefaultSDMConfig returns a textbook operating point for dimension d.
+func DefaultSDMConfig(d int) SDMConfig { return sdm.DefaultConfig(d) }

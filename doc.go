@@ -1,0 +1,38 @@
+// Package hdcirc is a Go implementation of basis-hypervectors for
+// Hyperdimensional Computing (HDC), reproducing "An Extension to
+// Basis-Hypervectors for Learning from Circular Data in Hyperdimensional
+// Computing" (Nunes, Heddes, Givargis, Nicolau — DAC 2023,
+// arXiv:2205.07920).
+//
+// The package exposes four layers:
+//
+//   - Hypervector arithmetic: binary vectors in {0,1}^d with binding (XOR),
+//     bundling (majority / integer accumulators) and permutation (cyclic
+//     shift). See Vector, Accumulator, Majority.
+//   - Basis-hypervector sets: Random, LevelLegacy, Level (the paper's
+//     Algorithm 1), Circular (the paper's main contribution) and Scatter
+//     generators, all parameterized by the r correlation-relaxation
+//     hyperparameter where applicable. See NewBasis and the Kind constants.
+//   - Encoders: scalar (level), circular (angle), symbol item memories,
+//     record (⊕ Kᵢ ⊗ Vᵢ), sequence and n-gram encoders. See NewScalarEncoder,
+//     NewCircularEncoder, NewItemMemory, NewRecordEncoder.
+//   - Learning: the standard HDC centroid classifier (with optional online
+//     refinement) and the bind-and-memorize regressor with invertible label
+//     decoding. See NewClassifier, NewRegressor.
+//
+// A minimal classification session:
+//
+//	stream := hdcirc.NewStream(42)
+//	basis := hdcirc.NewBasis(hdcirc.Circular, 24, 10000, 0.1, stream)
+//	enc := hdcirc.NewCircularEncoder(basis, 2*math.Pi)
+//	clf := hdcirc.NewClassifier(numClasses, 10000, 42)
+//	for _, s := range train {
+//		clf.Add(s.Label, enc.Encode(s.Angle))
+//	}
+//	class, _ := clf.Predict(enc.Encode(query))
+//
+// Everything is deterministic given the seeds, uses only the standard
+// library, and has no global state. The experiment harness that regenerates
+// the paper's tables and figures lives in cmd/hdcrepro; runnable
+// walk-throughs live under examples/.
+package hdcirc

@@ -1,0 +1,65 @@
+package hdcirc_test
+
+import (
+	"fmt"
+	"math"
+
+	"hdcirc"
+)
+
+// ExampleNewBasis demonstrates the distance structure of the three main
+// basis families.
+func ExampleNewBasis() {
+	stream := hdcirc.NewStream(7)
+	m, d := 8, 100000 // large d keeps the sampled distances close to expectation
+
+	level := hdcirc.NewBasis(hdcirc.Level, m, d, 0, stream)
+	circular := hdcirc.NewBasis(hdcirc.Circular, m, d, 0, stream)
+
+	fmt.Printf("level:    δ(L0,L1)=%.2f δ(L0,L7)=%.2f\n",
+		level.At(0).Distance(level.At(1)), level.At(0).Distance(level.At(7)))
+	fmt.Printf("circular: δ(C0,C1)=%.2f δ(C0,C4)=%.2f δ(C0,C7)=%.2f\n",
+		circular.At(0).Distance(circular.At(1)),
+		circular.At(0).Distance(circular.At(4)),
+		circular.At(0).Distance(circular.At(7)))
+	// Output:
+	// level:    δ(L0,L1)=0.07 δ(L0,L7)=0.50
+	// circular: δ(C0,C1)=0.12 δ(C0,C4)=0.50 δ(C0,C7)=0.12
+}
+
+// ExampleClassifier shows the full classification loop on angular data.
+func ExampleClassifier() {
+	const d = 10000
+	stream := hdcirc.NewStream(42)
+	enc := hdcirc.NewCircularEncoder(hdcirc.NewBasis(hdcirc.Circular, 32, d, 0, stream), 2*math.Pi)
+
+	clf := hdcirc.NewClassifier(2, d, 1)
+	// Class 0 near angle 0 (wrapping!), class 1 near π.
+	for _, a := range []float64{6.1, 6.2, 0.1, 0.2} {
+		clf.Add(0, enc.Encode(a))
+	}
+	for _, a := range []float64{3.0, 3.1, 3.2, 3.3} {
+		clf.Add(1, enc.Encode(a))
+	}
+	class, _ := clf.Predict(enc.Encode(0.05)) // near the seam
+	fmt.Println("0.05 rad →", class)
+	class, _ = clf.Predict(enc.Encode(3.2))
+	fmt.Println("3.20 rad →", class)
+	// Output:
+	// 0.05 rad → 0
+	// 3.20 rad → 1
+}
+
+// ExampleRegressor shows invertible label encoding for regression.
+func ExampleRegressor() {
+	const d = 10000
+	stream := hdcirc.NewStream(3)
+	x := hdcirc.NewCircularEncoder(hdcirc.NewBasis(hdcirc.Circular, 16, d, 0, stream), 360)
+	y := hdcirc.NewScalarEncoder(hdcirc.NewBasis(hdcirc.Level, 32, d, 0, stream), 0, 31)
+
+	reg := hdcirc.NewRegressor(d, 4)
+	reg.Add(x.Encode(90), y.Encode(20))
+	fmt.Println(reg.Predict(x.Encode(90), y))
+	// Output:
+	// 20
+}

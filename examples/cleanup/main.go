@@ -1,0 +1,53 @@
+// Cleanup: Sparse Distributed Memory (Kanerva 1988) as an HDC cleanup
+// stage — store the basis-hypervectors of a circular encoder in an SDM and
+// recover clean vectors from heavily corrupted cues by iterative recall.
+//
+//	go run ./examples/cleanup
+package main
+
+import (
+	"fmt"
+
+	"hdcirc"
+)
+
+func main() {
+	const d = 1024
+	stream := hdcirc.NewStream(42)
+
+	// A random basis gives crisp, well-separated attractors. (Storing a
+	// correlated set — level or circular — works too, but neighboring
+	// vectors blur each other's basins; try changing the kind.)
+	basis := hdcirc.NewBasis(hdcirc.Random, 16, d, 0, stream)
+
+	cfg := hdcirc.DefaultSDMConfig(d)
+	mem := hdcirc.NewSDM(cfg)
+	fmt.Printf("SDM: %d hard locations, activation radius %d of %d bits\n\n",
+		mem.Locations(), mem.Radius(), d)
+
+	// Auto-associative store: every basis vector is written at itself.
+	for i := 0; i < basis.Len(); i++ {
+		mem.Write(basis.At(i), basis.At(i))
+	}
+
+	noise := hdcirc.NewStream(7)
+	fmt.Println("recall under increasing cue corruption (item C5):")
+	item := basis.At(5)
+	for _, frac := range []float64{0.05, 0.15, 0.25, 0.35} {
+		cue := item.Clone()
+		flips := int(frac * float64(d))
+		for i := 0; i < flips; i++ {
+			cue.FlipBit(noise.Intn(d))
+		}
+		got, iters, ok := mem.ReadIterative(cue, 10)
+		if !ok {
+			fmt.Printf("  %4.0f%% noise: no hard locations activated\n", 100*frac)
+			continue
+		}
+		fmt.Printf("  %4.0f%% noise: cue δ=%.3f → recalled δ=%.3f in %d iteration(s)\n",
+			100*frac, cue.Distance(item), got.Distance(item), iters)
+	}
+
+	fmt.Println("\nbeyond the critical distance the memory falls toward other attractors —")
+	fmt.Println("inside it, recall converges to the stored vector in a couple of reads.")
+}

@@ -1,0 +1,288 @@
+// Package bitvec implements dense binary hypervectors packed into 64-bit
+// words, together with the three HDC operations the paper relies on:
+// binding (element-wise XOR), bundling (element-wise majority) and
+// permutation (cyclic shift). All operations are dimension-independent and
+// allocation-conscious; the hot paths (XOR, popcount) compile to straight
+// word loops.
+//
+// A Vector is a point in H = {0,1}^d. The zero value is not usable; create
+// vectors with New, NewFromBits or Random.
+package bitvec
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a binary hypervector of a fixed dimension d, packed
+// little-endian into 64-bit words: bit i of the vector is bit (i%64) of
+// word i/64. Bits beyond d in the final word are always zero; every
+// operation maintains that invariant so popcount-based distances stay exact.
+type Vector struct {
+	d     int
+	words []uint64
+}
+
+// wordsFor returns the number of 64-bit words needed for d bits.
+func wordsFor(d int) int { return (d + 63) / 64 }
+
+// New returns the all-zeros vector of dimension d. It panics if d <= 0;
+// a zero- or negative-dimensional hyperspace is a programming error, not a
+// runtime condition.
+func New(d int) *Vector {
+	if d <= 0 {
+		panic(fmt.Sprintf("bitvec: dimension must be positive, got %d", d))
+	}
+	return &Vector{d: d, words: make([]uint64, wordsFor(d))}
+}
+
+// NewFromBits builds a vector from an explicit bit slice, mostly useful in
+// tests and examples. Values other than 0 are treated as 1.
+func NewFromBits(bitsIn []int) *Vector {
+	v := New(len(bitsIn))
+	for i, b := range bitsIn {
+		if b != 0 {
+			v.setBit(i)
+		}
+	}
+	return v
+}
+
+// NewFromWords builds a vector of dimension d that adopts (does not copy)
+// the given backing words. It returns an error if the slice length does not
+// match the dimension or if tail bits beyond d are set.
+func NewFromWords(d int, words []uint64) (*Vector, error) {
+	if d <= 0 {
+		return nil, errors.New("bitvec: dimension must be positive")
+	}
+	if len(words) != wordsFor(d) {
+		return nil, fmt.Errorf("bitvec: got %d words, need %d for d=%d", len(words), wordsFor(d), d)
+	}
+	v := &Vector{d: d, words: words}
+	if tail := v.tailMask(); tail != ^uint64(0) && words[len(words)-1]&^tail != 0 {
+		return nil, errors.New("bitvec: tail bits beyond dimension are set")
+	}
+	return v, nil
+}
+
+// tailMask returns the mask of valid bits in the final word.
+func (v *Vector) tailMask() uint64 {
+	r := v.d % 64
+	if r == 0 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(r)) - 1
+}
+
+// clearTail zeroes the invalid bits of the final word.
+func (v *Vector) clearTail() { v.words[len(v.words)-1] &= v.tailMask() }
+
+// Dim returns the dimension d of the hyperspace the vector lives in.
+func (v *Vector) Dim() int { return v.d }
+
+// Words exposes the packed backing words (not a copy). Callers must not set
+// bits beyond the dimension.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := New(v.d)
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with the contents of src. Dimensions must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	v.mustMatch(src)
+	copy(v.words, src.words)
+}
+
+// Bit returns bit i as 0 or 1. It panics when i is out of range.
+func (v *Vector) Bit(i int) int {
+	v.check(i)
+	return int(v.words[i>>6]>>(uint(i)&63)) & 1
+}
+
+// SetBit sets bit i to b (0 or 1; nonzero means 1).
+func (v *Vector) SetBit(i int, b int) {
+	v.check(i)
+	if b != 0 {
+		v.setBit(i)
+	} else {
+		v.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// FlipBit inverts bit i.
+func (v *Vector) FlipBit(i int) {
+	v.check(i)
+	v.words[i>>6] ^= 1 << (uint(i) & 63)
+}
+
+func (v *Vector) setBit(i int) { v.words[i>>6] |= 1 << (uint(i) & 63) }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.d {
+		panic(fmt.Sprintf("bitvec: bit index %d out of range [0,%d)", i, v.d))
+	}
+}
+
+func (v *Vector) mustMatch(o *Vector) {
+	if v.d != o.d {
+		panic(fmt.Sprintf("bitvec: dimension mismatch %d vs %d", v.d, o.d))
+	}
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether v and o are identical vectors of the same dimension.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.d != o.d {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Xor returns the binding v ⊗ o as a new vector. Binding associates
+// information: the result is dissimilar to both operands, is commutative,
+// distributes over bundling, and is its own inverse (a ⊗ (a ⊗ b) = b).
+func (v *Vector) Xor(o *Vector) *Vector {
+	v.mustMatch(o)
+	r := New(v.d)
+	for i := range v.words {
+		r.words[i] = v.words[i] ^ o.words[i]
+	}
+	return r
+}
+
+// XorInto stores v ⊗ o into dst (which may alias v or o) and returns dst.
+func (v *Vector) XorInto(o, dst *Vector) *Vector {
+	v.mustMatch(o)
+	v.mustMatch(dst)
+	for i := range v.words {
+		dst.words[i] = v.words[i] ^ o.words[i]
+	}
+	return dst
+}
+
+// XorInPlace sets v = v ⊗ o and returns v.
+func (v *Vector) XorInPlace(o *Vector) *Vector { return v.XorInto(o, v) }
+
+// Not returns the complement of v as a new vector.
+func (v *Vector) Not() *Vector {
+	r := New(v.d)
+	for i := range v.words {
+		r.words[i] = ^v.words[i]
+	}
+	r.clearTail()
+	return r
+}
+
+// HammingDistance returns the number of differing bits between v and o.
+func (v *Vector) HammingDistance(o *Vector) int {
+	v.mustMatch(o)
+	n := 0
+	for i := range v.words {
+		n += bits.OnesCount64(v.words[i] ^ o.words[i])
+	}
+	return n
+}
+
+// Distance returns the normalized Hamming distance δ ∈ [0,1], the metric
+// the paper uses throughout.
+func (v *Vector) Distance(o *Vector) float64 {
+	return float64(v.HammingDistance(o)) / float64(v.d)
+}
+
+// Similarity returns 1 − δ(v, o).
+func (v *Vector) Similarity(o *Vector) float64 { return 1 - v.Distance(o) }
+
+// RotateBits returns the cyclic-shift permutation Π^k(v) as a new vector:
+// output bit (i+k) mod d equals input bit i. Negative k rotates the other
+// way; k is reduced modulo d.
+func (v *Vector) RotateBits(k int) *Vector {
+	r := New(v.d)
+	k %= v.d
+	if k < 0 {
+		k += v.d
+	}
+	if k == 0 {
+		copy(r.words, v.words)
+		return r
+	}
+	// General case: place each input word into the output at bit offset k.
+	// Simpler and still O(words): read each output bit span from the input.
+	// We go word-by-word on the output, gathering from the two source words
+	// that contribute to it in the un-wrapped bit stream, then fix the wrap
+	// using explicit bit extraction for the (at most 64+tail) wrapped bits.
+	// For clarity and guaranteed correctness with non-multiple-of-64
+	// dimensions we use the straightforward bit loop; rotation is never on a
+	// hot path (it is used once per symbol in sequence encodings).
+	for i := 0; i < v.d; i++ {
+		if v.words[i>>6]>>(uint(i)&63)&1 == 1 {
+			j := i + k
+			if j >= v.d {
+				j -= v.d
+			}
+			r.setBit(j)
+		}
+	}
+	return r
+}
+
+// RotateWords returns a permutation that cyclically rotates whole 64-bit
+// words by k word positions. It is not the exact bit-rotation Π but is a
+// valid fixed permutation of coordinates when d is a multiple of 64, and is
+// roughly 64× faster; sequence encoders use it on hot paths. It panics when
+// d is not a multiple of 64.
+func (v *Vector) RotateWords(k int) *Vector {
+	if v.d%64 != 0 {
+		panic("bitvec: RotateWords requires d to be a multiple of 64")
+	}
+	n := len(v.words)
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	r := New(v.d)
+	copy(r.words[k:], v.words[:n-k])
+	copy(r.words[:k], v.words[n-k:])
+	return r
+}
+
+// String renders the vector as a 0/1 string, least-significant bit first,
+// truncated with an ellipsis beyond 64 bits; meant for debugging.
+func (v *Vector) String() string {
+	var b strings.Builder
+	n := v.d
+	truncated := false
+	if n > 64 {
+		n = 64
+		truncated = true
+	}
+	for i := 0; i < n; i++ {
+		if v.Bit(i) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	if truncated {
+		fmt.Fprintf(&b, "… (d=%d)", v.d)
+	}
+	return b.String()
+}

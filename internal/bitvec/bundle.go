@@ -1,0 +1,186 @@
+package bitvec
+
+import "fmt"
+
+// Source is the minimal random source bitvec needs; internal/rng.Stream
+// satisfies it. Keeping the interface here avoids a dependency cycle and
+// lets tests plug in counters or constants.
+type Source interface {
+	Uint64() uint64
+}
+
+// Random returns a hypervector whose bits are i.i.d. uniform — the paper's
+// random-hypervector. Each call consumes ⌈d/64⌉ values from src.
+func Random(d int, src Source) *Vector {
+	v := New(d)
+	for i := range v.words {
+		v.words[i] = src.Uint64()
+	}
+	v.clearTail()
+	return v
+}
+
+// TieBreak selects what Majority does with dimensions where exactly half of
+// an even number of operands are set.
+type TieBreak int
+
+const (
+	// TieZero resolves ties to 0.
+	TieZero TieBreak = iota
+	// TieOne resolves ties to 1.
+	TieOne
+	// TieRandom resolves each tied dimension with an independent fair coin
+	// from the source passed to the bundling call.
+	TieRandom
+)
+
+func (t TieBreak) String() string {
+	switch t {
+	case TieZero:
+		return "TieZero"
+	case TieOne:
+		return "TieOne"
+	case TieRandom:
+		return "TieRandom"
+	default:
+		return fmt.Sprintf("TieBreak(%d)", int(t))
+	}
+}
+
+// Majority bundles the operands with the element-wise majority rule and
+// returns the result: output bit i is 1 when more than half of the operands
+// have bit i set. Ties (possible only for an even operand count) are
+// resolved per tie; src may be nil unless tie == TieRandom. It panics on an
+// empty operand list or mismatched dimensions.
+func Majority(vs []*Vector, tie TieBreak, src Source) *Vector {
+	if len(vs) == 0 {
+		panic("bitvec: Majority of zero vectors")
+	}
+	acc := NewAccumulator(vs[0].Dim())
+	for _, v := range vs {
+		acc.Add(v)
+	}
+	return acc.Threshold(tie, src)
+}
+
+// Accumulator is the integer counter form of bundling. HDC training bundles
+// thousands of hypervectors into a class prototype; doing that with pairwise
+// majorities loses information, so models accumulate per-dimension counts
+// and threshold once (or re-threshold after online updates). Counts are
+// int32 per dimension: ±2 billion updates per dimension is far beyond any
+// training set this library targets.
+type Accumulator struct {
+	d      int
+	counts []int32
+	n      int // number of (signed unit) additions, used for the majority threshold
+}
+
+// NewAccumulator returns an empty accumulator for dimension d.
+func NewAccumulator(d int) *Accumulator {
+	if d <= 0 {
+		panic(fmt.Sprintf("bitvec: dimension must be positive, got %d", d))
+	}
+	return &Accumulator{d: d, counts: make([]int32, d)}
+}
+
+// Dim returns the accumulator dimension.
+func (a *Accumulator) Dim() int { return a.d }
+
+// N returns how many vectors have been added (minus weight on Sub).
+func (a *Accumulator) N() int { return a.n }
+
+// Add accumulates v with weight +1: each set bit contributes +1, each clear
+// bit −1. This is the bipolar view of binary bundling and makes Add/Sub
+// exact inverses, which the online classifier refinement relies on.
+func (a *Accumulator) Add(v *Vector) { a.addWeighted(v, 1) }
+
+// Sub removes one previously added copy of v (weight −1).
+func (a *Accumulator) Sub(v *Vector) { a.addWeighted(v, -1) }
+
+// AddWeighted accumulates v with an arbitrary integer weight.
+func (a *Accumulator) AddWeighted(v *Vector, w int) { a.addWeighted(v, int32(w)) }
+
+func (a *Accumulator) addWeighted(v *Vector, w int32) {
+	if v.Dim() != a.d {
+		panic(fmt.Sprintf("bitvec: dimension mismatch %d vs %d", v.Dim(), a.d))
+	}
+	for i := 0; i < a.d; i++ {
+		if v.words[i>>6]>>(uint(i)&63)&1 == 1 {
+			a.counts[i] += w
+		} else {
+			a.counts[i] -= w
+		}
+	}
+	a.n += int(w)
+}
+
+// Counts exposes the per-dimension bipolar counters (not a copy).
+func (a *Accumulator) Counts() []int32 { return a.counts }
+
+// Reset clears the accumulator for reuse.
+func (a *Accumulator) Reset() {
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+	a.n = 0
+}
+
+// ThresholdTieVector collapses the accumulator into a binary hypervector,
+// resolving tied dimensions (count exactly zero) to the corresponding bit
+// of tv. Using a fixed random tie vector makes thresholding deterministic
+// and independent of call order, which in turn makes encoders safe to use
+// from concurrent goroutines — the property the experiment harness's
+// parallel encoding relies on.
+func (a *Accumulator) ThresholdTieVector(tv *Vector) *Vector {
+	if tv.Dim() != a.d {
+		panic(fmt.Sprintf("bitvec: tie vector dimension %d, accumulator %d", tv.Dim(), a.d))
+	}
+	v := New(a.d)
+	for i, c := range a.counts {
+		switch {
+		case c > 0:
+			v.setBit(i)
+		case c == 0:
+			if tv.Bit(i) == 1 {
+				v.setBit(i)
+			}
+		}
+	}
+	return v
+}
+
+// Threshold collapses the accumulator into a binary hypervector: bit i is 1
+// when the bipolar count is positive, 0 when negative, and resolved by tie
+// when exactly zero. src may be nil unless tie == TieRandom.
+func (a *Accumulator) Threshold(tie TieBreak, src Source) *Vector {
+	if tie == TieRandom && src == nil {
+		panic("bitvec: TieRandom requires a random source")
+	}
+	v := New(a.d)
+	var coin uint64
+	coinLeft := 0
+	for i, c := range a.counts {
+		switch {
+		case c > 0:
+			v.setBit(i)
+		case c < 0:
+			// leave 0
+		default:
+			switch tie {
+			case TieOne:
+				v.setBit(i)
+			case TieRandom:
+				if coinLeft == 0 {
+					coin = src.Uint64()
+					coinLeft = 64
+				}
+				if coin&1 == 1 {
+					v.setBit(i)
+				}
+				coin >>= 1
+				coinLeft--
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,77 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRotateMatchesRotateBitsAllShifts(t *testing.T) {
+	src := newTestSource(71)
+	for _, d := range []int{64, 128, 192, 1024} {
+		v := Random(d, src)
+		for k := -d - 3; k <= d+3; k++ {
+			if !v.Rotate(k).Equal(v.RotateBits(k)) {
+				t.Fatalf("d=%d k=%d: fast path diverges from bit loop", d, k)
+			}
+		}
+	}
+}
+
+func TestRotateFallbackNonMultiple(t *testing.T) {
+	src := newTestSource(72)
+	for _, d := range []int{1, 63, 65, 100, 1000} {
+		v := Random(d, src)
+		for _, k := range []int{0, 1, 17, d - 1, -4} {
+			if !v.Rotate(k).Equal(v.RotateBits(k)) {
+				t.Fatalf("d=%d k=%d: fallback diverges", d, k)
+			}
+		}
+	}
+}
+
+func TestRotateZeroIsClone(t *testing.T) {
+	src := newTestSource(73)
+	v := Random(256, src)
+	r := v.Rotate(0)
+	if !r.Equal(v) {
+		t.Fatal("rotate by 0 changed vector")
+	}
+	r.FlipBit(0)
+	if v.Bit(0) == r.Bit(0) {
+		t.Fatal("rotate by 0 shares storage")
+	}
+}
+
+func TestRotateComposition(t *testing.T) {
+	src := newTestSource(74)
+	v := Random(640, src)
+	if !v.Rotate(13).Rotate(29).Equal(v.Rotate(42)) {
+		t.Error("rotations do not compose additively")
+	}
+	if !v.Rotate(640).Equal(v) {
+		t.Error("full rotation is not identity")
+	}
+}
+
+func TestQuickRotateRoundTrip(t *testing.T) {
+	f := func(seed uint16, kRaw int16) bool {
+		d := 320
+		v := Random(d, newTestSource(int64(seed)))
+		k := int(kRaw)
+		return v.Rotate(k).Rotate(-k).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRotatePreservesPopcount(t *testing.T) {
+	f := func(seed uint16, kRaw uint8) bool {
+		d := 192
+		v := Random(d, newTestSource(int64(seed)))
+		return v.Rotate(int(kRaw)).OnesCount() == v.OnesCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package bitvec
+
+// Binary serialization. HDC models are deployed to embedded targets where a
+// trained basis set or classifier is burned into flash; the wire format
+// here is the minimal little-endian framing those loaders want:
+//
+//	magic "HVEC" | uint32 version | uint64 dimension | words…
+//
+// Only encoding/binary-style manual packing is used (stdlib, no reflection).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	vectorMagic   = "HVEC"
+	vectorVersion = 1
+)
+
+// WriteTo serializes the vector to w in the HVEC framing. It implements
+// io.WriterTo.
+func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	header := make([]byte, 4+4+8)
+	copy(header, vectorMagic)
+	binary.LittleEndian.PutUint32(header[4:], vectorVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(v.d))
+	k, err := w.Write(header)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf := make([]byte, 8*len(v.words))
+	for i, word := range v.words {
+		binary.LittleEndian.PutUint64(buf[8*i:], word)
+	}
+	k, err = w.Write(buf)
+	n += int64(k)
+	return n, err
+}
+
+// ReadVector deserializes a vector written by WriteTo.
+func ReadVector(r io.Reader) (*Vector, error) {
+	header := make([]byte, 4+4+8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("bitvec: reading header: %w", err)
+	}
+	if string(header[:4]) != vectorMagic {
+		return nil, errors.New("bitvec: bad magic (not a hypervector stream)")
+	}
+	if ver := binary.LittleEndian.Uint32(header[4:]); ver != vectorVersion {
+		return nil, fmt.Errorf("bitvec: unsupported version %d", ver)
+	}
+	d64 := binary.LittleEndian.Uint64(header[8:])
+	if d64 == 0 || d64 > 1<<32 {
+		return nil, fmt.Errorf("bitvec: implausible dimension %d", d64)
+	}
+	d := int(d64)
+	v := New(d)
+	buf := make([]byte, 8*len(v.words))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("bitvec: reading words: %w", err)
+	}
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	if tail := v.tailMask(); v.words[len(v.words)-1]&^tail != 0 {
+		return nil, errors.New("bitvec: corrupt stream: tail bits set beyond dimension")
+	}
+	return v, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (v *Vector) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 16+8*len(v.words))
+	w := &appendWriter{buf: buf}
+	if _, err := v.WriteTo(w); err != nil {
+		return nil, err
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	got, err := ReadVector(&sliceReader{data: data})
+	if err != nil {
+		return err
+	}
+	*v = *got
+	return nil
+}
+
+// appendWriter is an io.Writer over an append-grown buffer.
+type appendWriter struct{ buf []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+// sliceReader is a minimal io.Reader over a byte slice (avoids importing
+// bytes for one call site).
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,117 @@
+package bitvec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestVectorSerializeRoundTrip(t *testing.T) {
+	src := newTestSource(81)
+	for _, d := range []int{1, 63, 64, 65, 1000, 10000} {
+		v := Random(d, src)
+		var buf bytes.Buffer
+		n, err := v.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("d=%d: WriteTo reported %d bytes, wrote %d", d, n, buf.Len())
+		}
+		got, err := ReadVector(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("d=%d: round trip mismatch", d)
+		}
+	}
+}
+
+func TestVectorMarshalBinaryRoundTrip(t *testing.T) {
+	src := newTestSource(82)
+	v := Random(777, src)
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Vector
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Error("MarshalBinary round trip mismatch")
+	}
+}
+
+func TestReadVectorRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x01\x00\x00\x00\x40\x00\x00\x00\x00\x00\x00\x00"),
+		"truncated": func() []byte {
+			var buf bytes.Buffer
+			v := Random(128, newTestSource(83))
+			if _, err := v.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()[:20]
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ReadVector(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: garbage accepted", name)
+		}
+	}
+}
+
+func TestReadVectorRejectsBadVersionAndDimension(t *testing.T) {
+	var buf bytes.Buffer
+	v := Random(64, newTestSource(84))
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	badVer := append([]byte{}, data...)
+	badVer[4] = 99
+	if _, err := ReadVector(bytes.NewReader(badVer)); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	badDim := append([]byte{}, data...)
+	for i := 8; i < 16; i++ {
+		badDim[i] = 0
+	}
+	if _, err := ReadVector(bytes.NewReader(badDim)); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+func TestReadVectorRejectsTailBits(t *testing.T) {
+	var buf bytes.Buffer
+	v := Random(65, newTestSource(85)) // one tail word with 63 invalid bits
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] |= 0x80 // set the highest (invalid) bit of the tail word
+	if _, err := ReadVector(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt tail accepted")
+	}
+}
+
+func TestSliceReaderSemantics(t *testing.T) {
+	r := &sliceReader{data: []byte{1, 2, 3}}
+	p := make([]byte, 2)
+	n, err := r.Read(p)
+	if n != 2 || err != nil {
+		t.Fatalf("first read: %d, %v", n, err)
+	}
+	n, err = r.Read(p)
+	if n != 1 || err != nil {
+		t.Fatalf("second read: %d, %v", n, err)
+	}
+	if _, err := r.Read(p); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/markov"
+	"hdcirc/internal/rng"
+)
+
+// tol returns a k-sigma tolerance for a normalized Hamming distance
+// estimate in dimension d around probability p.
+func tol(d int, p, k float64) float64 {
+	return k * math.Sqrt(p*(1-p)/float64(d))
+}
+
+func TestRandomSetQuasiOrthogonal(t *testing.T) {
+	r := rng.New(1)
+	s := RandomSet(8, 10000, r)
+	if s.Kind() != KindRandom || s.Len() != 8 || s.Dim() != 10000 {
+		t.Fatalf("metadata wrong: %v %d %d", s.Kind(), s.Len(), s.Dim())
+	}
+	for i := 0; i < s.Len(); i++ {
+		for j := i + 1; j < s.Len(); j++ {
+			d := s.At(i).Distance(s.At(j))
+			if math.Abs(d-0.5) > tol(10000, 0.5, 6) {
+				t.Errorf("pair (%d,%d) distance %v not ≈ 0.5", i, j, d)
+			}
+		}
+	}
+}
+
+func TestLevelLegacyExactDistances(t *testing.T) {
+	r := rng.New(2)
+	m, d := 11, 10000
+	s := LevelLegacySet(m, d, r)
+	quota := (d / 2) / (m - 1)
+	_ = quota
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			got := s.At(i).HammingDistance(s.At(j))
+			want := (d/2)*j/(m-1) - (d/2)*i/(m-1)
+			if got != want {
+				t.Errorf("legacy δ(L%d,L%d) = %d bits, want exactly %d", i, j, got, want)
+			}
+		}
+	}
+	// Endpoints exactly orthogonal (d/2 differing bits).
+	if got := s.At(0).HammingDistance(s.At(m - 1)); got != d/2 {
+		t.Errorf("endpoints differ in %d bits, want %d", got, d/2)
+	}
+}
+
+func TestLevelLegacyDeterministicPairsStochasticSets(t *testing.T) {
+	// Two draws share the distance structure but not the vectors.
+	s1 := LevelLegacySet(5, 2048, rng.New(3))
+	s2 := LevelLegacySet(5, 2048, rng.New(4))
+	if s1.At(0).Equal(s2.At(0)) {
+		t.Error("different seeds produced identical base vector")
+	}
+	if s1.At(0).HammingDistance(s1.At(4)) != s2.At(0).HammingDistance(s2.At(4)) {
+		t.Error("legacy sets should have identical (deterministic) pair distances")
+	}
+}
+
+func TestLevelSetExpectedDistances(t *testing.T) {
+	// Proposition 4.1: E[δ(L_i, L_j)] = (j−i)/(2(m−1)).
+	r := rng.New(5)
+	m, d := 10, 10000
+	s := LevelSet(m, d, r)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			got := s.At(i).Distance(s.At(j))
+			want := LevelExpectedDistance(m, i, j)
+			if math.Abs(got-want) > tol(d, math.Max(want, 0.01), 6) {
+				t.Errorf("δ(L%d,L%d) = %v, want ≈ %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestLevelSetEndpointsQuasiOrthogonal(t *testing.T) {
+	r := rng.New(6)
+	s := LevelSet(33, 10000, r)
+	d := s.At(0).Distance(s.At(32))
+	if math.Abs(d-0.5) > tol(10000, 0.5, 6) {
+		t.Errorf("endpoint distance %v not ≈ 0.5", d)
+	}
+}
+
+func TestLevelSetDistancesAreStochastic(t *testing.T) {
+	// Unlike the legacy method, Algorithm 1 distances vary across draws —
+	// that is the whole point (higher information content). With d=10000
+	// the binomial spread makes exact collisions essentially impossible.
+	a := LevelSet(10, 10000, rng.New(7))
+	b := LevelSet(10, 10000, rng.New(8))
+	same := 0
+	pairs := 0
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			pairs++
+			if a.At(i).HammingDistance(a.At(j)) == b.At(i).HammingDistance(b.At(j)) {
+				same++
+			}
+		}
+	}
+	if same > pairs/3 {
+		t.Errorf("%d/%d pair distances identical across independent draws; expected stochastic", same, pairs)
+	}
+}
+
+func TestLevelSetMonotoneFromEndpoint(t *testing.T) {
+	r := rng.New(9)
+	m := 16
+	s := LevelSet(m, 10000, r)
+	prev := -1.0
+	for j := 1; j < m; j++ {
+		d := s.At(0).Distance(s.At(j))
+		if d <= prev {
+			t.Fatalf("distance from L0 not increasing at j=%d: %v <= %v", j, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLevelSetSmallM(t *testing.T) {
+	r := rng.New(10)
+	if s := LevelSet(1, 1000, r); s.Len() != 1 {
+		t.Error("m=1 level set wrong size")
+	}
+	s := LevelSet(2, 10000, r)
+	d := s.At(0).Distance(s.At(1))
+	if math.Abs(d-0.5) > tol(10000, 0.5, 6) {
+		t.Errorf("m=2 distance %v not ≈ 0.5", d)
+	}
+}
+
+func TestLevelSetRExtremes(t *testing.T) {
+	// r=1 must behave like a random set: all pairs quasi-orthogonal.
+	r := rng.New(11)
+	m, d := 10, 10000
+	s := LevelSetR(m, d, 1, r)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			dd := s.At(i).Distance(s.At(j))
+			if math.Abs(dd-0.5) > tol(d, 0.5, 6) {
+				t.Errorf("r=1 pair (%d,%d) distance %v not ≈ 0.5", i, j, dd)
+			}
+		}
+	}
+}
+
+func TestLevelSetRIntermediateLocalCorrelation(t *testing.T) {
+	// For r in (0,1), adjacent levels stay correlated (δ < 0.5) while far
+	// levels decorrelate faster than the r=0 line.
+	r := rng.New(12)
+	m, d := 21, 10000
+	s := LevelSetR(m, d, 0.5, r)
+	adj := s.At(10).Distance(s.At(11))
+	if adj >= 0.4 {
+		t.Errorf("adjacent distance %v too large for r=0.5", adj)
+	}
+	far := s.At(0).Distance(s.At(m - 1))
+	if far < 0.4 {
+		t.Errorf("far distance %v should be ≈ 0.5 for r=0.5", far)
+	}
+}
+
+func TestLevelSetRSegmentBoundariesChain(t *testing.T) {
+	// Segment ends are the next segment's starts: no discontinuity larger
+	// than one transition anywhere along consecutive levels.
+	r := rng.New(13)
+	m, d := 24, 10000
+	for _, rr := range []float64{0.25, 0.5, 0.75} {
+		s := LevelSetR(m, d, rr, r)
+		n := rr + (1-rr)*float64(m-1)
+		perStep := 0.5 / n // expected distance of one transition
+		for l := 1; l < m; l++ {
+			dd := s.At(l - 1).Distance(s.At(l))
+			if dd > perStep+tol(d, perStep, 8)+0.02 {
+				t.Errorf("r=%v: consecutive distance at %d is %v, expected ≈ %v", rr, l, dd, perStep)
+			}
+		}
+	}
+}
+
+func TestLevelSetRPanicsOutsideRange(t *testing.T) {
+	for _, rr := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("r=%v did not panic", rr)
+				}
+			}()
+			LevelSetR(4, 64, rr, rng.New(1))
+		}()
+	}
+}
+
+func TestCircularSetProfile(t *testing.T) {
+	// E[δ(C_i, C_j)] = min(lag, m−lag)/m — the triangular arc profile.
+	r := rng.New(14)
+	m, d := 12, 10000
+	s := CircularSet(m, d, r)
+	if s.Len() != m {
+		t.Fatalf("size %d, want %d", s.Len(), m)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			got := s.At(i).Distance(s.At(j))
+			want := CircularExpectedDistance(m, i, j)
+			if math.Abs(got-want) > tol(d, math.Max(want, 0.01), 6) {
+				t.Errorf("δ(C%d,C%d) = %v, want ≈ %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCircularSetAntipodalQuasiOrthogonal(t *testing.T) {
+	r := rng.New(15)
+	m, d := 16, 10000
+	s := CircularSet(m, d, r)
+	for i := 0; i < m; i++ {
+		opp := (i + m/2) % m
+		dd := s.At(i).Distance(s.At(opp))
+		if math.Abs(dd-0.5) > tol(d, 0.5, 6) {
+			t.Errorf("antipodal pair (%d,%d) distance %v not ≈ 0.5", i, opp, dd)
+		}
+	}
+}
+
+func TestCircularSetWrapContinuity(t *testing.T) {
+	// The defining property missing from level sets: C_{m−1} and C_0 are
+	// close (one step), not maximally dissimilar.
+	r := rng.New(16)
+	m, d := 20, 10000
+	s := CircularSet(m, d, r)
+	wrap := s.At(m - 1).Distance(s.At(0))
+	want := 1.0 / float64(m)
+	if math.Abs(wrap-want) > tol(d, want, 8)+0.01 {
+		t.Errorf("wrap distance %v, want ≈ %v", wrap, want)
+	}
+	// Contrast: a level set of the same size has orthogonal endpoints.
+	ls := LevelSet(m, d, r)
+	if ls.At(0).Distance(ls.At(m-1)) < 0.45 {
+		t.Error("level endpoints unexpectedly correlated")
+	}
+}
+
+func TestCircularSetOddSize(t *testing.T) {
+	r := rng.New(17)
+	m, d := 9, 10000
+	s := CircularSet(m, d, r)
+	if s.Len() != m {
+		t.Fatalf("odd size: got %d", s.Len())
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			got := s.At(i).Distance(s.At(j))
+			want := CircularExpectedDistance(m, i, j)
+			if math.Abs(got-want) > tol(d, math.Max(want, 0.01), 7) {
+				t.Errorf("odd m: δ(C%d,C%d) = %v, want ≈ %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestCircularSetPhase2ConsistentWithTransitions(t *testing.T) {
+	// Phase-2 members are exact XOR walks: C_{i} ⊗ C_{i−1} must equal the
+	// corresponding phase-1 transition.
+	r := rng.New(18)
+	m, d := 12, 4096
+	s := CircularSet(m, d, r)
+	half := m / 2
+	for i := half + 1; i < m; i++ {
+		trans := s.At(i - 1).Xor(s.At(i))
+		phase1 := s.At(i - half - 1).Xor(s.At(i - half))
+		if !trans.Equal(phase1) {
+			t.Errorf("phase-2 transition %d does not replay phase-1 transition", i)
+		}
+	}
+}
+
+func TestCircularSetClosesTheLoop(t *testing.T) {
+	// Applying the final transition to C_{m−1} must return exactly C_0
+	// (the dashed arrow in the paper's Figure 5).
+	r := rng.New(19)
+	m, d := 10, 2048
+	s := CircularSet(m, d, r)
+	half := m / 2
+	last := s.At(m - 1).Xor(s.At(half - 1).Xor(s.At(half)))
+	if !last.Equal(s.At(0)) {
+		t.Error("circle does not close")
+	}
+}
+
+func TestCircularSetRExtremeRandom(t *testing.T) {
+	r := rng.New(20)
+	m, d := 10, 10000
+	s := CircularSetR(m, d, 1, r)
+	// With r=1 phase 1 is random; all pairs among phase-1 vectors are
+	// quasi-orthogonal. (Phase-2 vectors are XOR combinations and also
+	// decorrelate from each other.)
+	for i := 0; i <= m/2; i++ {
+		for j := i + 1; j <= m/2; j++ {
+			dd := s.At(i).Distance(s.At(j))
+			if math.Abs(dd-0.5) > tol(d, 0.5, 6) {
+				t.Errorf("r=1 phase-1 pair (%d,%d) distance %v not ≈ 0.5", i, j, dd)
+			}
+		}
+	}
+}
+
+func TestCircularSetSizeOne(t *testing.T) {
+	if s := CircularSet(1, 512, rng.New(21)); s.Len() != 1 {
+		t.Error("m=1 circular set wrong size")
+	}
+}
+
+func TestScatterSetMarkovDistances(t *testing.T) {
+	r := rng.New(22)
+	m, d := 9, 10000
+	s := ScatterSet(m, d, CalibrationMarkov, r)
+	for j := 1; j < m; j++ {
+		want := float64(j) / (2 * float64(m-1))
+		got := s.At(0).Distance(s.At(j))
+		// The first-hitting calibration slightly undershoots the target in
+		// expectation for large Δ (see markov docs); allow 6σ + 2% slack.
+		if math.Abs(got-want) > tol(d, want, 6)+0.02 {
+			t.Errorf("scatter δ(L0,L%d) = %v, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestScatterSetAnalyticDistances(t *testing.T) {
+	r := rng.New(23)
+	m, d := 9, 10000
+	s := ScatterSet(m, d, CalibrationAnalytic, r)
+	for j := 1; j < m; j++ {
+		want := float64(j) / (2 * float64(m-1))
+		got := s.At(0).Distance(s.At(j))
+		if math.Abs(got-want) > tol(d, want, 6)+0.01 {
+			t.Errorf("scatter δ(L0,L%d) = %v, want ≈ %v", j, got, want)
+		}
+	}
+}
+
+func TestScatterSetNonlinearIntermediatePairs(t *testing.T) {
+	// Distances between intermediate scatter levels exceed the linear
+	// profile (independent flip sets overlap): that is the documented
+	// nonlinearity versus LevelSet.
+	r := rng.New(24)
+	m, d := 9, 10000
+	s := ScatterSet(m, d, CalibrationAnalytic, r)
+	mid := (m - 1) / 2
+	gotMid := s.At(mid).Distance(s.At(m - 1))
+	linear := LevelExpectedDistance(m, mid, m-1)
+	if gotMid <= linear {
+		t.Errorf("scatter intermediate distance %v should exceed linear %v", gotMid, linear)
+	}
+}
+
+func TestExpectedDistanceHelpers(t *testing.T) {
+	if LevelExpectedDistance(10, 0, 9) != 0.5 {
+		t.Error("level endpoints expected distance != 0.5")
+	}
+	if LevelExpectedDistance(1, 0, 0) != 0 {
+		t.Error("degenerate level distance != 0")
+	}
+	if CircularExpectedDistance(12, 0, 6) != 0.5 {
+		t.Error("antipodal circular distance != 0.5")
+	}
+	if CircularExpectedDistance(12, 0, 11) != 1.0/12 {
+		t.Error("wrap circular distance wrong")
+	}
+	if CircularExpectedDistance(12, 3, 3) != 0 {
+		t.Error("self circular distance != 0")
+	}
+	if CircularExpectedDistance(1, 0, 0) != 0 {
+		t.Error("degenerate circular distance != 0")
+	}
+}
+
+func TestSimilarityMatrixProperties(t *testing.T) {
+	r := rng.New(25)
+	s := CircularSet(8, 2048, r)
+	m := SimilarityMatrix(s)
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Errorf("diagonal [%d] = %v", i, m[i][i])
+		}
+		for j := range m[i] {
+			if m[i][j] != m[j][i] {
+				t.Errorf("similarity matrix not symmetric at (%d,%d)", i, j)
+			}
+			if m[i][j] < 0 || m[i][j] > 1 {
+				t.Errorf("similarity out of range: %v", m[i][j])
+			}
+		}
+	}
+}
+
+func TestConfigBuild(t *testing.T) {
+	r := rng.New(26)
+	kinds := []Kind{KindRandom, KindLevelLegacy, KindLevel, KindCircular, KindScatter}
+	for _, k := range kinds {
+		s := Config{Kind: k, M: 6, D: 512}.Build(r)
+		if s.Kind() != k {
+			t.Errorf("Config.Build(%v) produced kind %v", k, s.Kind())
+		}
+		if s.Len() != 6 || s.Dim() != 512 {
+			t.Errorf("%v: wrong shape %d×%d", k, s.Len(), s.Dim())
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown kind did not panic")
+			}
+		}()
+		Config{Kind: Kind(99), M: 2, D: 64}.Build(r)
+	}()
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindRandom:      "random",
+		KindLevelLegacy: "level-legacy",
+		KindLevel:       "level",
+		KindCircular:    "circular",
+		KindScatter:     "scatter",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), w)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+	if CalibrationMarkov.String() != "markov" || CalibrationAnalytic.String() != "analytic" {
+		t.Error("calibration strings wrong")
+	}
+	if ScatterCalibration(9).String() == "" {
+		t.Error("unknown calibration has empty string")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	cases := []func(){
+		func() { RandomSet(0, 64, rng.New(1)) },
+		func() { RandomSet(4, 0, rng.New(1)) },
+		func() { LevelSet(-1, 64, rng.New(1)) },
+		func() { CircularSet(4, -5, rng.New(1)) },
+		func() { ScatterSet(0, 64, CalibrationMarkov, rng.New(1)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	for _, k := range []Kind{KindRandom, KindLevelLegacy, KindLevel, KindCircular, KindScatter} {
+		a := Config{Kind: k, M: 8, D: 1024}.Build(rng.New(777))
+		b := Config{Kind: k, M: 8, D: 1024}.Build(rng.New(777))
+		for i := 0; i < 8; i++ {
+			if !a.At(i).Equal(b.At(i)) {
+				t.Errorf("%v: vector %d differs across equal-seed builds", k, i)
+			}
+		}
+	}
+}
+
+func TestQuickLevelDistanceOrdering(t *testing.T) {
+	// For any triple i<j<k in a level set, δ(i,j) ≤ δ(i,k) within noise.
+	f := func(seed uint16) bool {
+		s := LevelSet(8, 4096, rng.New(uint64(seed)))
+		for i := 0; i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				for k := j + 1; k < 8; k++ {
+					if s.At(i).Distance(s.At(j)) > s.At(i).Distance(s.At(k))+0.05 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCircularSymmetricLags(t *testing.T) {
+	// Distance depends only on circular lag: δ(C_0, C_k) ≈ δ(C_j, C_{j+k}).
+	f := func(seed uint16) bool {
+		m := 12
+		s := CircularSet(m, 4096, rng.New(uint64(seed)))
+		for k := 1; k < m/2; k++ {
+			base := s.At(0).Distance(s.At(k))
+			for j := 1; j < m; j++ {
+				if math.Abs(s.At(j).Distance(s.At((j+k)%m))-base) > 0.08 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Statistical verification of Proposition 4.1 over repeated draws: the MEAN
+// distance across draws converges to Δ. This is the in-expectation claim,
+// distinct from the single-draw tolerance tests above.
+func TestProposition41MeanConvergence(t *testing.T) {
+	m, d := 6, 2048
+	const draws = 60
+	sums := make([][]float64, m)
+	for i := range sums {
+		sums[i] = make([]float64, m)
+	}
+	r := rng.New(314)
+	for n := 0; n < draws; n++ {
+		s := LevelSet(m, d, r)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				sums[i][j] += s.At(i).Distance(s.At(j))
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			mean := sums[i][j] / draws
+			want := LevelExpectedDistance(m, i, j)
+			se := math.Sqrt(want*(1-want)/float64(d)) / math.Sqrt(draws)
+			if math.Abs(mean-want) > 6*se+0.003 {
+				t.Errorf("E[δ(L%d,L%d)] = %v, want %v (±%v)", i, j, mean, want, 6*se)
+			}
+		}
+	}
+}
+
+// Information-content sanity check backing Section 4.1's argument: the
+// variance of pairwise distances across draws is zero for the legacy
+// method and positive for Algorithm 1.
+func TestLegacyVsInterpolationVariance(t *testing.T) {
+	m, d := 6, 2048
+	const draws = 30
+	var legacyVar, interpVar float64
+	r := rng.New(2718)
+	var legacyVals, interpVals []float64
+	for n := 0; n < draws; n++ {
+		lg := LevelLegacySet(m, d, r)
+		in := LevelSet(m, d, r)
+		legacyVals = append(legacyVals, lg.At(1).Distance(lg.At(3)))
+		interpVals = append(interpVals, in.At(1).Distance(in.At(3)))
+	}
+	legacyVar = variance(legacyVals)
+	interpVar = variance(interpVals)
+	if legacyVar != 0 {
+		t.Errorf("legacy pair distance variance %v, want exactly 0", legacyVar)
+	}
+	if interpVar <= 0 {
+		t.Errorf("interpolation pair distance variance %v, want > 0", interpVar)
+	}
+}
+
+func variance(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return v / float64(len(xs))
+}
+
+// Cross-check the scatter generator against the markov package's analytic
+// distance prediction.
+func TestScatterMatchesMarkovPrediction(t *testing.T) {
+	d := 10000
+	r := rng.New(1001)
+	base := bitvec.Random(d, r)
+	flips, err := markov.AnalyticFlips(d, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perform the flips and check realized distance ≈ prediction.
+	v := base.Clone()
+	for f := 0; f < int(flips); f++ {
+		v.FlipBit(r.Intn(d))
+	}
+	got := base.Distance(v)
+	want := markov.DistanceAfterFlips(d, math.Floor(flips))
+	if math.Abs(got-want) > tol(d, want, 6) {
+		t.Errorf("realized distance %v, predicted %v", got, want)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+// Basis-set serialization. A trained HDC deployment ships its basis sets to
+// the target device; the framing mirrors bitvec's:
+//
+//	magic "HSET" | uint32 version | int32 kind | float64 r |
+//	uint64 m | uint64 d | m framed hypervectors
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"hdcirc/internal/bitvec"
+)
+
+const (
+	setMagic   = "HSET"
+	setVersion = 1
+)
+
+// WriteTo serializes the set to w. It implements io.WriterTo.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	header := make([]byte, 4+4+4+8+8+8)
+	copy(header, setMagic)
+	binary.LittleEndian.PutUint32(header[4:], setVersion)
+	binary.LittleEndian.PutUint32(header[8:], uint32(s.kind))
+	binary.LittleEndian.PutUint64(header[12:], math.Float64bits(s.r))
+	binary.LittleEndian.PutUint64(header[20:], uint64(s.Len()))
+	binary.LittleEndian.PutUint64(header[28:], uint64(s.d))
+	var n int64
+	k, err := w.Write(header)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, v := range s.vecs {
+		kk, err := v.WriteTo(w)
+		n += kk
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadSet deserializes a basis set written by Set.WriteTo.
+func ReadSet(r io.Reader) (*Set, error) {
+	header := make([]byte, 4+4+4+8+8+8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("core: reading set header: %w", err)
+	}
+	if string(header[:4]) != setMagic {
+		return nil, errors.New("core: bad magic (not a basis-set stream)")
+	}
+	if ver := binary.LittleEndian.Uint32(header[4:]); ver != setVersion {
+		return nil, fmt.Errorf("core: unsupported set version %d", ver)
+	}
+	kind := Kind(binary.LittleEndian.Uint32(header[8:]))
+	rparam := math.Float64frombits(binary.LittleEndian.Uint64(header[12:]))
+	m := binary.LittleEndian.Uint64(header[20:])
+	d := binary.LittleEndian.Uint64(header[28:])
+	if m == 0 || m > 1<<24 {
+		return nil, fmt.Errorf("core: implausible set size %d", m)
+	}
+	if d == 0 || d > 1<<32 {
+		return nil, fmt.Errorf("core: implausible dimension %d", d)
+	}
+	vecs := make([]*bitvec.Vector, m)
+	for i := range vecs {
+		v, err := bitvec.ReadVector(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading vector %d: %w", i, err)
+		}
+		if v.Dim() != int(d) {
+			return nil, fmt.Errorf("core: vector %d has dimension %d, header says %d", i, v.Dim(), d)
+		}
+		vecs[i] = v
+	}
+	return &Set{kind: kind, d: int(d), r: rparam, vecs: vecs}, nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/rng"
+)
+
+// KindThermometer is the thermometer-code basis set, a further
+// linearly-correlated family from the HDC literature included for baseline
+// comparisons: level l sets the first ⌊l·d/(m−1)/2⌋ coordinates of a fixed
+// random permutation. Like the legacy level set its pairwise distances are
+// deterministic; unlike it, every vector is a prefix pattern, which makes
+// thermometer codes trivially monotone but the least expressive family.
+const KindThermometer Kind = 5
+
+// ThermometerSet generates m thermometer-code hypervectors of dimension d.
+// L_0 is a uniformly random vector; level l flips the first quota·l
+// coordinates (under a shared random permutation) relative to L_0, with the
+// total flip budget d/2 so the endpoints are exactly orthogonal — the same
+// endpoint contract as LevelLegacySet, realized with prefix structure.
+func ThermometerSet(m, d int, src *rng.Stream) *Set {
+	validate(m, d)
+	base := bitvec.Random(d, src)
+	vecs := make([]*bitvec.Vector, m)
+	vecs[0] = base
+	if m == 1 {
+		return &Set{kind: KindThermometer, d: d, vecs: vecs}
+	}
+	perm := src.Perm(d)
+	total := d / 2
+	for l := 1; l < m; l++ {
+		v := base.Clone()
+		for _, p := range perm[:total*l/(m-1)] {
+			v.FlipBit(p)
+		}
+		vecs[l] = v
+	}
+	return &Set{kind: KindThermometer, d: d, vecs: vecs}
+}
+
+// ParseKind converts a family name (as produced by Kind.String) back into a
+// Kind; it accepts any case.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "random":
+		return KindRandom, nil
+	case "level-legacy", "legacy":
+		return KindLevelLegacy, nil
+	case "level":
+		return KindLevel, nil
+	case "circular":
+		return KindCircular, nil
+	case "scatter":
+		return KindScatter, nil
+	case "thermometer":
+		return KindThermometer, nil
+	default:
+		return 0, fmt.Errorf("core: unknown basis kind %q", s)
+	}
+}
+
+// Kinds lists every basis family in declaration order.
+func Kinds() []Kind {
+	return []Kind{KindRandom, KindLevelLegacy, KindLevel, KindCircular, KindScatter, KindThermometer}
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const beijingSample = `No,year,month,day,hour,PM2.5,TEMP,station
+1,2013,3,1,0,4,-0.7,Aotizhongxin
+2,2013,3,1,1,8,-1.1,Aotizhongxin
+3,2013,3,1,2,7,NA,Aotizhongxin
+4,2014,7,15,14,10,29.3,Aotizhongxin
+`
+
+func TestLoadBeijingCSV(t *testing.T) {
+	xs, err := LoadBeijingCSV(strings.NewReader(beijingSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 3 { // the NA row is skipped
+		t.Fatalf("rows = %d, want 3", len(xs))
+	}
+	first := xs[0]
+	if first.YearIndex != 0 || first.HourOfDay != 0 || first.Temp != -0.7 {
+		t.Errorf("first row wrong: %+v", first)
+	}
+	// March 1st = day-of-year 59 (non-leap offsets).
+	if first.DayOfYear != 59 {
+		t.Errorf("March 1 day-of-year = %v, want 59", first.DayOfYear)
+	}
+	last := xs[2]
+	if last.YearIndex != 1 {
+		t.Errorf("2014 year index = %d, want 1", last.YearIndex)
+	}
+	// July 15th = 181 + 14 = 195.
+	if last.DayOfYear != 195 {
+		t.Errorf("July 15 day-of-year = %v, want 195", last.DayOfYear)
+	}
+	if last.HourOfDay != 14 || last.Temp != 29.3 {
+		t.Errorf("last row wrong: %+v", last)
+	}
+}
+
+func TestLoadBeijingCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"missing column": "No,year,month,day,hour\n1,2013,3,1,0\n",
+		"bad number":     "year,month,day,hour,TEMP\nxx,3,1,0,1.0\n",
+		"bad date":       "year,month,day,hour,TEMP\n2013,13,1,0,1.0\n",
+		"only NA":        "year,month,day,hour,TEMP\n2013,3,1,0,NA\n",
+	}
+	for name, data := range cases {
+		if _, err := LoadBeijingCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadBeijingCSVHeaderCaseInsensitive(t *testing.T) {
+	data := "YEAR,Month,DAY,Hour,Temp\n2013,3,1,5,12.5\n"
+	xs, err := LoadBeijingCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs[0].Temp != 12.5 || xs[0].HourOfDay != 5 {
+		t.Errorf("row = %+v", xs[0])
+	}
+}
+
+func TestLoadOrbitCSVRadians(t *testing.T) {
+	data := "mean_anomaly,power_w\n0.5,450.1\n3.14,380.2\n6.0,441\n"
+	xs, err := LoadOrbitCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 3 {
+		t.Fatalf("rows = %d", len(xs))
+	}
+	if xs[0].MeanAnomaly != 0.5 || xs[0].Power != 450.1 {
+		t.Errorf("first row = %+v", xs[0])
+	}
+}
+
+func TestLoadOrbitCSVDegreesHeuristic(t *testing.T) {
+	data := "Anomaly(deg),Power\n90,400\n180,350\n359,420\n"
+	xs, err := LoadOrbitCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(xs[0].MeanAnomaly-math.Pi/2) > 1e-9 {
+		t.Errorf("90° → %v rad, want π/2", xs[0].MeanAnomaly)
+	}
+	if math.Abs(xs[1].MeanAnomaly-math.Pi) > 1e-9 {
+		t.Errorf("180° → %v rad, want π", xs[1].MeanAnomaly)
+	}
+}
+
+func TestLoadOrbitCSVSkipsAndWraps(t *testing.T) {
+	data := "anomaly,power\nNA,100\n-0.5,200\n"
+	xs, err := LoadOrbitCSV(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 1 {
+		t.Fatalf("rows = %d, want 1 (NA skipped)", len(xs))
+	}
+	if xs[0].MeanAnomaly < 0 || xs[0].MeanAnomaly >= 2*math.Pi {
+		t.Errorf("negative anomaly not wrapped: %v", xs[0].MeanAnomaly)
+	}
+}
+
+func TestLoadOrbitCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"no columns": "a,b\n1,2\n",
+		"bad number": "anomaly,power\nxx,1\n",
+		"only NA":    "anomaly,power\nNA,NA\n",
+	}
+	for name, data := range cases {
+		if _, err := LoadOrbitCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// Loaded real-format data must flow through the regression pipeline types:
+// the loader output is directly consumable by SplitChronological/TempRange.
+func TestLoadedDataIntegratesWithPipelineHelpers(t *testing.T) {
+	xs, err := LoadBeijingCSV(strings.NewReader(beijingSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := TempRange(xs)
+	if lo != -1.1 || hi != 29.3 {
+		t.Errorf("range [%v,%v]", lo, hi)
+	}
+	train, test := SplitChronological(xs, 0.67)
+	if len(train) != 2 || len(test) != 1 {
+		t.Errorf("split %d/%d", len(train), len(test))
+	}
+}

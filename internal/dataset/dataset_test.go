@@ -1,0 +1,444 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"hdcirc/internal/rng"
+	"hdcirc/internal/stats"
+)
+
+func TestGenGesturesShape(t *testing.T) {
+	cfg := DefaultGestureConfig("knot-tying")
+	ds := GenGestures(cfg, 1)
+	if ds.Config.Task != "knot-tying" || ds.Config.NumGestures != 15 || ds.Config.NumFeatures != 18 {
+		t.Errorf("meta wrong: %+v", ds.Config)
+	}
+	if len(ds.Train) != 15*40 || len(ds.Test) != 15*25 {
+		t.Errorf("split sizes %d/%d", len(ds.Train), len(ds.Test))
+	}
+	for _, s := range append(append([]GestureSample{}, ds.Train...), ds.Test...) {
+		if len(s.Features) != 18 {
+			t.Fatalf("feature count %d", len(s.Features))
+		}
+		if s.Label < 0 || s.Label >= 15 {
+			t.Fatalf("label %d out of range", s.Label)
+		}
+		for _, f := range s.Features {
+			if f < 0 || f >= 2*math.Pi {
+				t.Fatalf("feature %v outside [0,2π)", f)
+			}
+		}
+	}
+}
+
+func TestGenGesturesDeterministic(t *testing.T) {
+	cfg := DefaultGestureConfig("suturing")
+	a := GenGestures(cfg, 7)
+	b := GenGestures(cfg, 7)
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("labels differ across equal-seed generations")
+		}
+		for f := range a.Train[i].Features {
+			if a.Train[i].Features[f] != b.Train[i].Features[f] {
+				t.Fatal("features differ across equal-seed generations")
+			}
+		}
+	}
+}
+
+func TestGenGesturesTaskChangesLayout(t *testing.T) {
+	a := GenGestures(DefaultGestureConfig("knot-tying"), 7)
+	b := GenGestures(DefaultGestureConfig("suturing"), 7)
+	diff := false
+	for i := range a.Train {
+		if a.Train[i].Features[0] != b.Train[i].Features[0] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different tasks produced identical data")
+	}
+}
+
+func TestGenGesturesClassesAreClustered(t *testing.T) {
+	// Per-class circular resultant must exceed the pooled resultant: class
+	// structure exists and is angular.
+	ds := GenGestures(DefaultGestureConfig("needle-passing"), 3)
+	byClass := map[int][]float64{}
+	var all []float64
+	for _, s := range ds.Train {
+		byClass[s.Label] = append(byClass[s.Label], s.Features[0])
+		all = append(all, s.Features[0])
+	}
+	pooled := stats.Circular(all).Resultant
+	tighter := 0
+	for _, angles := range byClass {
+		if stats.Circular(angles).Resultant > pooled+0.1 {
+			tighter++
+		}
+	}
+	if tighter < len(byClass)*3/4 {
+		t.Errorf("only %d/%d classes tighter than pooled sample", tighter, len(byClass))
+	}
+}
+
+func TestGenGesturesTrainTighterThanTest(t *testing.T) {
+	ds := GenGestures(DefaultGestureConfig("knot-tying"), 4)
+	resOf := func(ss []GestureSample, label int) float64 {
+		var angles []float64
+		for _, s := range ss {
+			if s.Label == label {
+				angles = append(angles, s.Features[0])
+			}
+		}
+		return stats.Circular(angles).Resultant
+	}
+	tighter := 0
+	for g := 0; g < 15; g++ {
+		if resOf(ds.Train, g) > resOf(ds.Test, g) {
+			tighter++
+		}
+	}
+	if tighter < 11 {
+		t.Errorf("train split tighter for only %d/15 gestures", tighter)
+	}
+}
+
+func TestGenGesturesWrapFraction(t *testing.T) {
+	// With WrapFraction=1 every class mean hugs the seam: the majority of
+	// samples should fall within ±0.5 rad of it at high concentration.
+	cfg := DefaultGestureConfig("wrap-everything")
+	cfg.WrapFraction = 1
+	cfg.KappaTrain = 50
+	ds := GenGestures(cfg, 5)
+	near := 0
+	for _, s := range ds.Train {
+		for _, f := range s.Features {
+			if f < 0.5 || f > 2*math.Pi-0.5 {
+				near++
+			}
+		}
+	}
+	total := len(ds.Train) * 18
+	if frac := float64(near) / float64(total); frac < 0.9 {
+		t.Errorf("only %v of features near the seam with WrapFraction=1", frac)
+	}
+}
+
+func TestGenGesturesPanics(t *testing.T) {
+	bad := []GestureConfig{
+		{NumGestures: 1, NumFeatures: 3},
+		{NumGestures: 5, NumFeatures: 0},
+		{NumGestures: 5, NumFeatures: 3, KappaTrain: -1},
+		{NumGestures: 5, NumFeatures: 3, WrapFraction: 2},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			GenGestures(cfg, 1)
+		}()
+	}
+}
+
+func TestGenTemperatureShape(t *testing.T) {
+	cfg := DefaultTempConfig()
+	xs := GenTemperature(cfg, 1)
+	wantN := 4 * 365 * 24 / 3
+	if len(xs) != wantN {
+		t.Fatalf("n = %d, want %d", len(xs), wantN)
+	}
+	for _, s := range xs {
+		if s.DayOfYear < 0 || s.DayOfYear >= 365 {
+			t.Fatalf("day %v out of range", s.DayOfYear)
+		}
+		if s.HourOfDay < 0 || s.HourOfDay >= 24 {
+			t.Fatalf("hour %v out of range", s.HourOfDay)
+		}
+		if s.YearIndex < 0 || s.YearIndex > 4 {
+			t.Fatalf("year %d out of range", s.YearIndex)
+		}
+	}
+}
+
+func TestGenTemperatureSeasonalShape(t *testing.T) {
+	cfg := DefaultTempConfig()
+	xs := GenTemperature(cfg, 2)
+	// July warmer than January, afternoon warmer than pre-dawn.
+	var julSum, julN, janSum, janN float64
+	for _, s := range xs {
+		if s.DayOfYear > 182 && s.DayOfYear < 212 {
+			julSum += s.Temp
+			julN++
+		}
+		if s.DayOfYear < 31 {
+			janSum += s.Temp
+			janN++
+		}
+	}
+	if julSum/julN < janSum/janN+15 {
+		t.Errorf("July mean %v not ≫ January mean %v", julSum/julN, janSum/janN)
+	}
+}
+
+func TestGenTemperatureCircadianCorrelation(t *testing.T) {
+	// The feature the paper builds on: circular-linear correlation between
+	// day-of-year phase and temperature must be strong.
+	xs := GenTemperature(DefaultTempConfig(), 3)
+	theta := make([]float64, len(xs))
+	temp := make([]float64, len(xs))
+	for i, s := range xs {
+		theta[i] = 2 * math.Pi * s.DayOfYear / 365
+		temp[i] = s.Temp
+	}
+	if r2 := stats.CircularLinearCorrelation(theta, temp); r2 < 0.8 {
+		t.Errorf("day-of-year/temperature R² = %v, want > 0.8", r2)
+	}
+}
+
+func TestGenTemperatureWarmingTrend(t *testing.T) {
+	cfg := DefaultTempConfig()
+	cfg.WarmingPerYr = 2 // exaggerate to dominate noise
+	xs := GenTemperature(cfg, 4)
+	firstYear, lastYear := 0.0, 0.0
+	var nf, nl float64
+	for _, s := range xs {
+		if s.YearIndex == 0 {
+			firstYear += s.Temp
+			nf++
+		}
+		if s.YearIndex == cfg.Years-1 {
+			lastYear += s.Temp
+			nl++
+		}
+	}
+	if lastYear/nl <= firstYear/nf {
+		t.Error("warming trend absent")
+	}
+}
+
+func TestGenTemperatureDeterministic(t *testing.T) {
+	a := GenTemperature(DefaultTempConfig(), 5)
+	b := GenTemperature(DefaultTempConfig(), 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("equal-seed temperature series differ")
+		}
+	}
+}
+
+func TestGenTemperaturePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("years=0 did not panic")
+			}
+		}()
+		GenTemperature(TempConfig{Years: 0, HourStep: 1}, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("hourstep=0 did not panic")
+			}
+		}()
+		GenTemperature(TempConfig{Years: 1, HourStep: 0}, 1)
+	}()
+}
+
+func TestGenOrbitPowerShape(t *testing.T) {
+	cfg := DefaultOrbitConfig()
+	xs := GenOrbitPower(cfg, 1)
+	if len(xs) != cfg.N {
+		t.Fatalf("n = %d", len(xs))
+	}
+	for _, s := range xs {
+		if s.MeanAnomaly < 0 || s.MeanAnomaly >= 2*math.Pi {
+			t.Fatalf("anomaly %v out of range", s.MeanAnomaly)
+		}
+	}
+	lo, hi := PowerRange(xs)
+	if hi-lo < cfg.EclipseDip {
+		t.Errorf("power range [%v,%v] narrower than the eclipse dip", lo, hi)
+	}
+}
+
+func TestGenOrbitPowerEclipseDip(t *testing.T) {
+	// Residuals against the harmonic-only model must show the dip near the
+	// eclipse center and nothing elsewhere.
+	cfg := DefaultOrbitConfig()
+	cfg.NoiseSD = 0.1
+	noDip := cfg
+	noDip.EclipseDip = 0
+	xs := GenOrbitPower(cfg, 2)
+	var inDip, outDip, nIn, nOut float64
+	for _, s := range xs {
+		sep := math.Abs(math.Mod(s.MeanAnomaly-cfg.EclipseAt+3*math.Pi, 2*math.Pi) - math.Pi)
+		resid := s.Power - noDip.Clean(s.MeanAnomaly)
+		if sep < cfg.EclipseWide/2 {
+			inDip += resid
+			nIn++
+		} else if sep > 3*cfg.EclipseWide {
+			outDip += resid
+			nOut++
+		}
+	}
+	if nIn == 0 || nOut == 0 {
+		t.Fatal("no samples in one of the regions")
+	}
+	if inDip/nIn > -cfg.EclipseDip/2 {
+		t.Errorf("in-dip residual %v not clearly negative", inDip/nIn)
+	}
+	if math.Abs(outDip/nOut) > 2 {
+		t.Errorf("background residual %v not ≈ 0", outDip/nOut)
+	}
+}
+
+func TestGenOrbitPowerMatchesClean(t *testing.T) {
+	cfg := DefaultOrbitConfig()
+	cfg.NoiseSD = 0
+	xs := GenOrbitPower(cfg, 9)
+	for _, s := range xs[:200] {
+		if math.Abs(s.Power-cfg.Clean(s.MeanAnomaly)) > 1e-9 {
+			t.Fatal("noise-free samples deviate from Clean()")
+		}
+	}
+}
+
+func TestGenOrbitPowerAnomalyCoverage(t *testing.T) {
+	xs := GenOrbitPower(DefaultOrbitConfig(), 3)
+	angles := make([]float64, len(xs))
+	for i, s := range xs {
+		angles[i] = s.MeanAnomaly
+	}
+	if res := stats.Circular(angles).Resultant; res > 0.05 {
+		t.Errorf("anomalies not uniform on the circle: resultant %v", res)
+	}
+}
+
+func TestGenOrbitPowerCircularCorrelation(t *testing.T) {
+	xs := GenOrbitPower(DefaultOrbitConfig(), 4)
+	theta := make([]float64, len(xs))
+	p := make([]float64, len(xs))
+	for i, s := range xs {
+		theta[i] = s.MeanAnomaly
+		p[i] = s.Power
+	}
+	// Mardia's R² captures the first-harmonic association only; the default
+	// config carries substantial second-harmonic, eclipse and noise power,
+	// so the bar is a clear nonzero association rather than a high one.
+	if r2 := stats.CircularLinearCorrelation(theta, p); r2 < 0.15 {
+		t.Errorf("anomaly/power R² = %v, want > 0.15", r2)
+	}
+	// A de-phased control must show far weaker association.
+	shuffled := make([]float64, len(theta))
+	for i := range shuffled {
+		shuffled[i] = theta[(i+len(theta)/2)%len(theta)]
+	}
+	if r2, r2s := stats.CircularLinearCorrelation(theta, p), stats.CircularLinearCorrelation(shuffled, p); r2s > r2/2 {
+		t.Errorf("shuffled control R² = %v not well below real R² = %v", r2s, r2)
+	}
+}
+
+func TestGenOrbitPowerPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("n=0 did not panic")
+			}
+		}()
+		GenOrbitPower(OrbitConfig{N: 0, EclipseWide: 1}, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("width=0 did not panic")
+			}
+		}()
+		GenOrbitPower(OrbitConfig{N: 10, EclipseWide: 0}, 1)
+	}()
+}
+
+func TestSplitChronological(t *testing.T) {
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	train, test := SplitChronological(xs, 0.7)
+	if len(train) != 7 || len(test) != 3 {
+		t.Fatalf("split %d/%d", len(train), len(test))
+	}
+	if train[0] != 0 || test[0] != 7 {
+		t.Error("chronological order not preserved")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad fraction did not panic")
+			}
+		}()
+		SplitChronological(xs, 1.0)
+	}()
+}
+
+func TestSplitRandom(t *testing.T) {
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	train, test := SplitRandom(xs, 0.7, rng.New(1))
+	if len(train) != 70 || len(test) != 30 {
+		t.Fatalf("split %d/%d", len(train), len(test))
+	}
+	seen := map[int]bool{}
+	for _, v := range append(append([]int{}, train...), test...) {
+		if seen[v] {
+			t.Fatal("duplicate element after split")
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("elements lost in split")
+	}
+	// Original slice untouched.
+	for i, v := range xs {
+		if v != i {
+			t.Fatal("SplitRandom mutated input")
+		}
+	}
+}
+
+func TestTempAndPowerRange(t *testing.T) {
+	xs := []TempSample{{Temp: 3}, {Temp: -5}, {Temp: 11}}
+	lo, hi := TempRange(xs)
+	if lo != -5 || hi != 11 {
+		t.Errorf("range [%v,%v]", lo, hi)
+	}
+	ps := []OrbitSample{{Power: 400}, {Power: 350}, {Power: 500}}
+	plo, phi := PowerRange(ps)
+	if plo != 350 || phi != 500 {
+		t.Errorf("power range [%v,%v]", plo, phi)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty range did not panic")
+			}
+		}()
+		TempRange(nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty power range did not panic")
+			}
+		}()
+		PowerRange(nil)
+	}()
+}

@@ -1,0 +1,184 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestGenEMGShape(t *testing.T) {
+	cfg := DefaultEMGConfig()
+	ds := GenEMG(cfg, 1)
+	if len(ds.Train) != cfg.NumGestures*cfg.TrainPerGesture {
+		t.Fatalf("train size %d", len(ds.Train))
+	}
+	if len(ds.Test) != cfg.NumGestures*cfg.TestPerGesture {
+		t.Fatalf("test size %d", len(ds.Test))
+	}
+	for _, s := range ds.Train {
+		if len(s.Window) != cfg.WindowLen {
+			t.Fatalf("window length %d", len(s.Window))
+		}
+		for _, step := range s.Window {
+			if len(step) != cfg.Channels {
+				t.Fatalf("channel count %d", len(step))
+			}
+			for _, v := range step {
+				if v < 0 || v > 1 {
+					t.Fatalf("amplitude %v outside [0,1]", v)
+				}
+			}
+		}
+		if s.Label < 0 || s.Label >= cfg.NumGestures {
+			t.Fatalf("label %d", s.Label)
+		}
+	}
+}
+
+func TestGenEMGDeterministic(t *testing.T) {
+	a := GenEMG(DefaultEMGConfig(), 9)
+	b := GenEMG(DefaultEMGConfig(), 9)
+	for i := range a.Train {
+		if a.Train[i].Label != b.Train[i].Label {
+			t.Fatal("labels differ")
+		}
+		for tt := range a.Train[i].Window {
+			for ch := range a.Train[i].Window[tt] {
+				if a.Train[i].Window[tt][ch] != b.Train[i].Window[tt][ch] {
+					t.Fatal("amplitudes differ across equal seeds")
+				}
+			}
+		}
+	}
+}
+
+func TestGenEMGGesturesDiffer(t *testing.T) {
+	// Per-gesture mean channel amplitudes must differ between gestures
+	// (that is the class signal).
+	ds := GenEMG(DefaultEMGConfig(), 2)
+	means := make([][]float64, ds.Config.NumGestures)
+	counts := make([]int, ds.Config.NumGestures)
+	for g := range means {
+		means[g] = make([]float64, ds.Config.Channels)
+	}
+	for _, s := range ds.Train {
+		for _, step := range s.Window {
+			for ch, v := range step {
+				means[s.Label][ch] += v
+			}
+		}
+		counts[s.Label]++
+	}
+	norm := float64(ds.Config.WindowLen)
+	distinctPairs := 0
+	for a := 0; a < len(means); a++ {
+		for b := a + 1; b < len(means); b++ {
+			var diff float64
+			for ch := range means[a] {
+				da := means[a][ch] / (norm * float64(counts[a]))
+				db := means[b][ch] / (norm * float64(counts[b]))
+				diff += (da - db) * (da - db)
+			}
+			if diff > 0.01 {
+				distinctPairs++
+			}
+		}
+	}
+	if distinctPairs < 8 { // of 10 pairs
+		t.Errorf("only %d/10 gesture pairs have distinct channel profiles", distinctPairs)
+	}
+}
+
+func TestGenEMGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad EMG config did not panic")
+		}
+	}()
+	GenEMG(EMGConfig{NumGestures: 1, Channels: 4, WindowLen: 8}, 1)
+}
+
+func TestGenTextShape(t *testing.T) {
+	cfg := DefaultTextConfig()
+	ds := GenText(cfg, 1)
+	if len(ds.Train) != cfg.NumLanguages*cfg.TrainPerLang {
+		t.Fatalf("train size %d", len(ds.Train))
+	}
+	for _, s := range append(append([]TextSample{}, ds.Train...), ds.Test...) {
+		if len(s.Text) != cfg.SentenceLen {
+			t.Fatalf("sentence length %d", len(s.Text))
+		}
+		for i := 0; i < len(s.Text); i++ {
+			if s.Text[i] < 'a' || s.Text[i] >= 'a'+byte(cfg.Alphabet) {
+				t.Fatalf("character %q outside alphabet", s.Text[i])
+			}
+		}
+		if s.Label < 0 || s.Label >= cfg.NumLanguages {
+			t.Fatalf("label %d", s.Label)
+		}
+	}
+}
+
+func TestGenTextDeterministic(t *testing.T) {
+	a := GenText(DefaultTextConfig(), 4)
+	b := GenText(DefaultTextConfig(), 4)
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("equal-seed text differs")
+		}
+	}
+}
+
+func TestGenTextLanguagesHaveDistinctBigrams(t *testing.T) {
+	cfg := DefaultTextConfig()
+	cfg.Alphabet = 6 // small alphabet → dense bigram counts
+	ds := GenText(cfg, 5)
+	bigrams := make([]map[string]int, cfg.NumLanguages)
+	for g := range bigrams {
+		bigrams[g] = map[string]int{}
+	}
+	for _, s := range ds.Train {
+		for i := 1; i < len(s.Text); i++ {
+			bigrams[s.Label][s.Text[i-1:i+1]]++
+		}
+	}
+	// Total variation distance between the first two languages' bigram
+	// distributions must be substantial.
+	total := func(m map[string]int) float64 {
+		var t float64
+		for _, c := range m {
+			t += float64(c)
+		}
+		return t
+	}
+	t0, t1 := total(bigrams[0]), total(bigrams[1])
+	var tv float64
+	seen := map[string]bool{}
+	for k := range bigrams[0] {
+		seen[k] = true
+	}
+	for k := range bigrams[1] {
+		seen[k] = true
+	}
+	for k := range seen {
+		tv += absf(float64(bigrams[0][k])/t0 - float64(bigrams[1][k])/t1)
+	}
+	tv /= 2
+	if tv < 0.15 {
+		t.Errorf("bigram TV distance %v too small — languages not distinctive", tv)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestGenTextPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad text config did not panic")
+		}
+	}()
+	GenText(TextConfig{NumLanguages: 5, Alphabet: 30, SentenceLen: 10}, 1)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hdcirc/internal/dataset"
+	"hdcirc/internal/hwcost"
+)
+
+// RunCost produces hardware cost reports for the paper's three deployments
+// (gesture classifier, Beijing regressor, Mars regressor) under the given
+// table configs and the default 45 nm energy table. It backs the efficiency
+// discussion of the paper's Sections 1 and 6.2 with first-order numbers.
+func RunCost(t1 Table1Config, t2 Table2Config) []hwcost.Report {
+	e := hwcost.Default45nm()
+	g := t1.Gesture
+	gestureTrain := g.NumGestures * g.TrainPerGesture
+	gestureTest := g.NumGestures * g.TestPerGesture
+
+	temps := dataset.GenTemperature(t2.Temp, t2.Regress.Seed)
+	tTrain, tTest := dataset.SplitChronological(temps, 0.7)
+
+	workloads := []hwcost.Workload{
+		{
+			Name: "Gesture classifier",
+			Pipeline: hwcost.PipelineConfig{
+				D: t1.Classify.D, Fields: g.NumFeatures,
+				Classes: g.NumGestures, BasisM: t1.Classify.ValueLevels,
+			},
+			Train: gestureTrain, Test: gestureTest,
+		},
+		{
+			Name: "Beijing regressor",
+			Pipeline: hwcost.PipelineConfig{
+				D: t2.Regress.D, Fields: 3,
+				LabelLevels: t2.Regress.LabelLevels,
+				BasisM:      t2.Regress.DayLevels + t2.Regress.HourLevels + t2.Regress.YearLevels,
+			},
+			Train: len(tTrain), Test: len(tTest),
+		},
+		{
+			Name: "Mars regressor",
+			Pipeline: hwcost.PipelineConfig{
+				D: t2.Regress.D, Fields: 1,
+				LabelLevels: t2.Regress.LabelLevels,
+				BasisM:      t2.Regress.AnomalyLevels,
+			},
+			Train: int(0.7 * float64(t2.Orbit.N)), Test: t2.Orbit.N - int(0.7*float64(t2.Orbit.N)),
+		},
+	}
+	out := make([]hwcost.Report, len(workloads))
+	for i, w := range workloads {
+		out[i] = hwcost.Cost(w, e)
+	}
+	return out
+}
+
+// RenderCost writes the hardware cost table.
+func RenderCost(w io.Writer, reports []hwcost.Report) {
+	fmt.Fprintln(w, "Hardware cost model — 45 nm-class energy table, word-level datapath")
+	fmt.Fprintf(w, "%-20s %14s %14s %12s\n", "Deployment", "train µJ", "infer µJ/item", "model KiB")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-20s %14.1f %14.3f %12.0f\n",
+			r.Name, r.TrainEnergyUJ, r.InferEnergyUJ, r.ModelKiB)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCostReports(t *testing.T) {
+	t1 := DefaultTable1Config()
+	t1.Classify = fastClassify()
+	t1.Gesture = fastGesture("")
+	t2 := DefaultTable2Config()
+	t2.Regress = fastRegress()
+	t2.Temp = fastTemp()
+	t2.Orbit = fastOrbit()
+	reports := RunCost(t1, t2)
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.TrainEnergyUJ <= 0 || r.InferEnergyUJ <= 0 || r.ModelKiB <= 0 {
+			t.Errorf("%s: non-positive cost fields %+v", r.Name, r)
+		}
+	}
+	// Beijing (8k training samples) must out-cost Mars (~1k) in training.
+	var beijing, mars float64
+	for _, r := range reports {
+		switch r.Name {
+		case "Beijing regressor":
+			beijing = r.TrainEnergyUJ
+		case "Mars regressor":
+			mars = r.TrainEnergyUJ
+		}
+	}
+	if beijing <= mars {
+		t.Errorf("Beijing training energy %v not above Mars %v", beijing, mars)
+	}
+}
+
+func TestRenderCost(t *testing.T) {
+	t1 := DefaultTable1Config()
+	t1.Classify = fastClassify()
+	t1.Gesture = fastGesture("")
+	t2 := DefaultTable2Config()
+	t2.Regress = fastRegress()
+	t2.Temp = fastTemp()
+	t2.Orbit = fastOrbit()
+	var b strings.Builder
+	RenderCost(&b, RunCost(t1, t2))
+	out := b.String()
+	for _, want := range []string{"Gesture classifier", "Beijing regressor", "Mars regressor", "µJ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cost render missing %q:\n%s", want, out)
+		}
+	}
+}

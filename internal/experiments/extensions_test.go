@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hdcirc/internal/core"
+	"hdcirc/internal/stats"
+)
+
+func fastEMG() EMGConfig {
+	cfg := DefaultEMGExperiment()
+	cfg.D = 4096
+	cfg.DataConfig.TrainPerGesture = 10
+	cfg.DataConfig.TestPerGesture = 8
+	return cfg
+}
+
+func fastText() TextConfig {
+	cfg := DefaultTextExperiment()
+	cfg.D = 4096
+	cfg.DataConfig.TrainPerLang = 15
+	cfg.DataConfig.TestPerLang = 10
+	return cfg
+}
+
+func TestRunEMGAccuracy(t *testing.T) {
+	res := RunEMG(fastEMG())
+	if res.Accuracy < 0.6 {
+		t.Errorf("EMG accuracy %v too low (chance = 0.2)", res.Accuracy)
+	}
+	if res.Task != "EMG" {
+		t.Errorf("task = %q", res.Task)
+	}
+	if res.Conf.Total() != 40 {
+		t.Errorf("confusion total %d", res.Conf.Total())
+	}
+}
+
+func TestRunEMGDeterministic(t *testing.T) {
+	if RunEMG(fastEMG()).Accuracy != RunEMG(fastEMG()).Accuracy {
+		t.Error("EMG runs with equal config differ")
+	}
+}
+
+func TestRunEMGLevelKindMatters(t *testing.T) {
+	// Random amplitude basis must not beat the level basis: the EMG signal
+	// is ordinal and needs linear correlation.
+	lvl := fastEMG()
+	rnd := fastEMG()
+	rnd.LevelKind = core.KindRandom
+	a, b := RunEMG(lvl), RunEMG(rnd)
+	if b.Accuracy > a.Accuracy+0.1 {
+		t.Errorf("random basis (%v) clearly beats level basis (%v) on ordinal EMG", b.Accuracy, a.Accuracy)
+	}
+}
+
+func TestRunTextAccuracy(t *testing.T) {
+	res := RunText(fastText())
+	if res.Accuracy < 0.5 {
+		t.Errorf("language-id accuracy %v too low (chance = 0.2)", res.Accuracy)
+	}
+	if res.Task != "LanguageID" {
+		t.Errorf("task = %q", res.Task)
+	}
+}
+
+func TestRunTextNGramSizeEffect(t *testing.T) {
+	// Unigram statistics are much weaker than bigram/trigram statistics
+	// for first-order Markov languages.
+	uni := fastText()
+	uni.NGram = 1
+	tri := fastText()
+	a, b := RunText(uni), RunText(tri)
+	if a.Accuracy > b.Accuracy+0.1 {
+		t.Errorf("unigrams (%v) should not clearly beat trigrams (%v)", a.Accuracy, b.Accuracy)
+	}
+}
+
+func TestRunLevelAblationShape(t *testing.T) {
+	t1 := DefaultTable1Config()
+	t1.Classify = fastClassify()
+	t1.Gesture = fastGesture("")
+	t2 := DefaultTable2Config()
+	t2.Regress = fastRegress()
+	t2.Temp = fastTemp()
+	t2.Orbit = fastOrbit()
+	rows := RunLevelAblation(t1, t2)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	regressionRows := 0
+	for _, r := range rows {
+		if r.LegacyMetric <= 0 || r.Interp1Metric <= 0 {
+			t.Errorf("%s: non-positive metrics %v/%v", r.Task, r.LegacyMetric, r.Interp1Metric)
+		}
+		if r.Regression {
+			regressionRows++
+		} else if r.LegacyMetric > 1 || r.Interp1Metric > 1 {
+			t.Errorf("%s: classification accuracy out of range", r.Task)
+		}
+	}
+	if regressionRows != 2 {
+		t.Errorf("regression rows = %d, want 2", regressionRows)
+	}
+}
+
+func TestRunDecoderAblationImproves(t *testing.T) {
+	cfg := DefaultTable2Config()
+	cfg.Regress = fastRegress()
+	cfg.Temp = fastTemp()
+	cfg.Orbit = fastOrbit()
+	rows := RunDecoderAblation(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WeightedMSE > r.NearestMSE*1.05 {
+			t.Errorf("%s: weighted decode (%v) clearly worse than nearest (%v)",
+				r.Dataset, r.WeightedMSE, r.NearestMSE)
+		}
+	}
+}
+
+func TestRunDimensionSweepMonotoneTrend(t *testing.T) {
+	base := fastClassify()
+	pts := RunDimensionSweep(base, fastGesture(""), []int{512, 2048, 8192})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Accuracy at the largest dimension must be at least that at the
+	// smallest (allowing for noise at the small end).
+	if pts[2].Accuracy+0.05 < pts[0].Accuracy {
+		t.Errorf("accuracy degrades with dimension: %v", pts)
+	}
+	for _, p := range pts {
+		if p.Accuracy < 0 || p.Accuracy > 1 {
+			t.Errorf("accuracy %v out of range", p.Accuracy)
+		}
+	}
+}
+
+func TestExtensionRenderers(t *testing.T) {
+	var b strings.Builder
+	RenderLevelAblation(&b, []LevelAblationRow{
+		{Task: "X", LegacyMetric: 0.7, Interp1Metric: 0.8},
+		{Task: "Y", LegacyMetric: 100, Interp1Metric: 90, Regression: true},
+	})
+	if !strings.Contains(b.String(), "Algorithm 1") || !strings.Contains(b.String(), "MSE") {
+		t.Error("level ablation render incomplete")
+	}
+	b.Reset()
+	RenderDecoderAblation(&b, []DecoderAblationRow{{Dataset: "Z", NearestMSE: 10, WeightedMSE: 9}})
+	if !strings.Contains(b.String(), "-10.0%") {
+		t.Errorf("decoder ablation render missing delta:\n%s", b.String())
+	}
+	b.Reset()
+	RenderDimensionSweep(&b, []DimensionPoint{{D: 1024, Accuracy: 0.5}})
+	if !strings.Contains(b.String(), "1024") {
+		t.Error("dimension sweep render incomplete")
+	}
+	b.Reset()
+	conf := stats.NewConfusion(2)
+	conf.Observe(0, 0)
+	RenderExtension(&b, ClassificationResult{Task: "EMG", Accuracy: 0.9, Conf: conf})
+	if !strings.Contains(b.String(), "EMG") {
+		t.Error("extension render incomplete")
+	}
+}

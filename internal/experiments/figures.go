@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hdcirc/internal/core"
+	"hdcirc/internal/dataset"
+	"hdcirc/internal/markov"
+	"hdcirc/internal/rng"
+	"hdcirc/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 3 — pairwise similarity heatmaps of the three basis families
+// ---------------------------------------------------------------------------
+
+// Figure3Config parameterizes the similarity-matrix comparison.
+type Figure3Config struct {
+	M    int // set cardinality shown on the heatmap axes
+	D    int
+	Seed uint64
+}
+
+// DefaultFigure3Config mirrors the paper's 10-point axes at d = 10000.
+func DefaultFigure3Config() Figure3Config {
+	return Figure3Config{M: 10, D: 10000, Seed: DefaultSeed}
+}
+
+// Figure3Result holds one similarity matrix per basis family.
+type Figure3Result struct {
+	M        int
+	D        int
+	Matrices map[core.Kind][][]float64
+}
+
+// RunFigure3 generates the three basis sets and their pairwise similarity
+// matrices.
+func RunFigure3(cfg Figure3Config) *Figure3Result {
+	res := &Figure3Result{M: cfg.M, D: cfg.D, Matrices: map[core.Kind][][]float64{}}
+	for _, kind := range Table1Basis {
+		src := rng.Sub(cfg.Seed, "figure3/"+kind.String())
+		set := core.Config{Kind: kind, M: cfg.M, D: cfg.D}.Build(src)
+		res.Matrices[kind] = core.SimilarityMatrix(set)
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Section 4.2 / Figure 4 — Markov-chain flip calibration
+// ---------------------------------------------------------------------------
+
+// MarkovPoint is one row of the flip-calibration sweep.
+type MarkovPoint struct {
+	Delta         float64 // target expected distance
+	MarkovFlips   float64 // absorption-time calibration (the paper's 𝔉)
+	AnalyticFlips float64 // closed-form with-replacement calibration
+}
+
+// RunMarkovSweep computes the flip budgets for a sweep of target distances
+// at dimension d — the quantitative content behind the paper's Figure 4
+// discussion.
+func RunMarkovSweep(d int, deltas []float64) ([]MarkovPoint, error) {
+	out := make([]MarkovPoint, 0, len(deltas))
+	for _, delta := range deltas {
+		k := int(delta * float64(d))
+		if k < 1 {
+			k = 1
+		}
+		mf, err := markov.ExpectedFlipsRecurrence(d, k)
+		if err != nil {
+			return nil, fmt.Errorf("markov sweep at Δ=%v: %w", delta, err)
+		}
+		af, err := markov.AnalyticFlips(d, delta)
+		if err != nil {
+			return nil, fmt.Errorf("analytic sweep at Δ=%v: %w", delta, err)
+		}
+		out = append(out, MarkovPoint{Delta: delta, MarkovFlips: mf, AnalyticFlips: af})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — effect of r on the circular similarity profile
+// ---------------------------------------------------------------------------
+
+// Figure6Config parameterizes the r-profile comparison.
+type Figure6Config struct {
+	M     int
+	D     int
+	RGrid []float64
+	Seed  uint64
+}
+
+// DefaultFigure6Config mirrors the paper: 10 hypervectors, r ∈ {0, 0.5, 1}.
+func DefaultFigure6Config() Figure6Config {
+	return Figure6Config{M: 10, D: 10000, RGrid: []float64{0, 0.5, 1}, Seed: DefaultSeed}
+}
+
+// Figure6Profile is the similarity of every node to the reference node
+// (index 0) for one r value.
+type Figure6Profile struct {
+	R          float64
+	Similarity []float64
+}
+
+// RunFigure6 builds circular sets across the r grid and records each
+// node's similarity to the reference node.
+func RunFigure6(cfg Figure6Config) []Figure6Profile {
+	out := make([]Figure6Profile, len(cfg.RGrid))
+	for i, r := range cfg.RGrid {
+		src := rng.Sub(cfg.Seed, fmt.Sprintf("figure6/%g", r))
+		set := core.CircularSetR(cfg.M, cfg.D, r, src)
+		sims := make([]float64, cfg.M)
+		for j := 0; j < cfg.M; j++ {
+			sims[j] = set.At(0).Similarity(set.At(j))
+		}
+		out[i] = Figure6Profile{R: r, Similarity: sims}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — normalized regression MSE bars (derived from Table 2)
+// ---------------------------------------------------------------------------
+
+// RunFigure7 runs Table 2 and normalizes each dataset's MSE against the
+// random basis, the reference of the paper's Figure 7.
+func RunFigure7(cfg Table2Config) []Table2Row {
+	return RunTable2(cfg).Normalized(core.KindRandom)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — r-hyperparameter sweep over all five datasets
+// ---------------------------------------------------------------------------
+
+// Figure8Config parameterizes the r sweep.
+type Figure8Config struct {
+	RGrid    []float64
+	Classify ClassifyConfig
+	Regress  RegressConfig
+	Gesture  dataset.GestureConfig
+	Temp     dataset.TempConfig
+	Orbit    dataset.OrbitConfig
+}
+
+// DefaultFigure8Config covers r ∈ [0,1] with the grid the paper plots.
+func DefaultFigure8Config() Figure8Config {
+	return Figure8Config{
+		RGrid:    []float64{0, 0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1},
+		Classify: DefaultClassifyConfig(),
+		Regress:  DefaultRegressConfig(),
+		Gesture:  dataset.DefaultGestureConfig(""),
+		Temp:     dataset.DefaultTempConfig(),
+		Orbit:    dataset.DefaultOrbitConfig(),
+	}
+}
+
+// Figure8Series is the normalized error curve of one dataset across the r
+// grid. Classification datasets use the normalized accuracy error
+// (1−α)/(1−ᾱ); regression datasets use MSE/refMSE; the reference ᾱ/refMSE
+// is the random-basis performance on the same dataset.
+type Figure8Series struct {
+	Dataset string
+	R       []float64
+	Error   []float64
+}
+
+// RunFigure8 sweeps the r hyperparameter of the circular basis over all
+// five evaluation datasets, normalizing each against its random-basis
+// reference. Cells run in parallel.
+func RunFigure8(cfg Figure8Config) []Figure8Series {
+	datasets := append(append([]string{}, Table2Datasets...), Tasks...)
+	nR := len(cfg.RGrid)
+
+	// Pre-generate workloads once.
+	temps := dataset.GenTemperature(cfg.Temp, cfg.Regress.Seed)
+	orbits := dataset.GenOrbitPower(cfg.Orbit, cfg.Regress.Seed)
+	gests := make(map[string]*dataset.GestureDataset, len(Tasks))
+	for _, task := range Tasks {
+		g := cfg.Gesture
+		g.Task = task
+		gests[task] = dataset.GenGestures(g, cfg.Classify.Seed)
+	}
+
+	// Raw metric for one (dataset, kind, r) cell: MSE for regression,
+	// accuracy for classification.
+	runCell := func(ds string, kind core.Kind, r float64) float64 {
+		switch ds {
+		case "Beijing":
+			rc := cfg.Regress
+			rc.R = r
+			return RunTemperatureRegression(temps, kind, rc).MSE
+		case "Mars Express":
+			rc := cfg.Regress
+			rc.R = r
+			return RunOrbitRegression(orbits, kind, rc).MSE
+		default:
+			cc := cfg.Classify
+			cc.R = r
+			return RunGestureClassification(gests[ds], kind, cc).Accuracy
+		}
+	}
+
+	type job struct {
+		ds int
+		ri int // -1 means the random reference cell
+	}
+	var jobs []job
+	for d := range datasets {
+		jobs = append(jobs, job{d, -1})
+		for ri := 0; ri < nR; ri++ {
+			jobs = append(jobs, job{d, ri})
+		}
+	}
+	raw := make(map[job]float64, len(jobs))
+	vals := make([]float64, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		if j.ri < 0 {
+			vals[i] = runCell(datasets[j.ds], core.KindRandom, 0)
+			return
+		}
+		vals[i] = runCell(datasets[j.ds], core.KindCircular, cfg.RGrid[j.ri])
+	})
+	for i, j := range jobs {
+		raw[j] = vals[i]
+	}
+
+	out := make([]Figure8Series, len(datasets))
+	for d, name := range datasets {
+		ref := raw[job{d, -1}]
+		errs := make([]float64, nR)
+		for ri := 0; ri < nR; ri++ {
+			v := raw[job{d, ri}]
+			if isRegression(name) {
+				errs[ri] = stats.NormalizedMSE(v, ref)
+			} else {
+				errs[ri] = stats.NormalizedAccuracyError(v, ref)
+			}
+		}
+		out[d] = Figure8Series{Dataset: name, R: append([]float64{}, cfg.RGrid...), Error: errs}
+	}
+	return out
+}
+
+func isRegression(dataset string) bool {
+	return dataset == "Beijing" || dataset == "Mars Express"
+}

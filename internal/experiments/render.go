@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hdcirc/internal/core"
+)
+
+// RenderTable1 writes the Table 1 reproduction in the paper's layout.
+func RenderTable1(w io.Writer, t *Table1Result) {
+	fmt.Fprintf(w, "Table 1 — classification accuracy (circular r = %g)\n", t.CircularR)
+	fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "Dataset", "Random", "Level", "Circular")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%-16s %9.1f%% %9.1f%% %9.1f%%\n",
+			row.Task,
+			100*row.Accuracy[core.KindRandom],
+			100*row.Accuracy[core.KindLevel],
+			100*row.Accuracy[core.KindCircular])
+	}
+	fmt.Fprintf(w, "circular vs random: %+.1f%% average relative accuracy\n",
+		100*t.AverageImprovement(core.KindRandom))
+}
+
+// RenderTable2 writes the Table 2 reproduction in the paper's layout.
+func RenderTable2(w io.Writer, t *Table2Result) {
+	fmt.Fprintf(w, "Table 2 — regression MSE (circular r = %g)\n", t.CircularR)
+	fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "Dataset", "Random", "Level", "Circular")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%-16s %10.1f %10.1f %10.1f\n",
+			row.Dataset,
+			row.MSE[core.KindRandom],
+			row.MSE[core.KindLevel],
+			row.MSE[core.KindCircular])
+	}
+	fmt.Fprintf(w, "circular vs level: %.1f%% average MSE reduction\n",
+		100*t.AverageReduction(core.KindLevel))
+	fmt.Fprintf(w, "circular vs random: %.1f%% average MSE reduction\n",
+		100*t.AverageReduction(core.KindRandom))
+}
+
+// heatmapGlyphs maps similarity in [0.5, 1] onto a density ramp; values
+// below 0.5 use the lightest glyph (the paper's color scale also starts at
+// 0.5).
+var heatmapGlyphs = []rune(" .:-=+*#%@")
+
+// RenderHeatmap writes an ASCII heatmap of a similarity matrix.
+func RenderHeatmap(w io.Writer, name string, m [][]float64) {
+	fmt.Fprintf(w, "%s (similarity 0.5→1 rendered ' '→'@')\n", name)
+	for _, row := range m {
+		var b strings.Builder
+		for _, v := range row {
+			t := (v - 0.5) / 0.5
+			if t < 0 {
+				t = 0
+			}
+			idx := int(t * float64(len(heatmapGlyphs)-1))
+			if idx >= len(heatmapGlyphs) {
+				idx = len(heatmapGlyphs) - 1
+			}
+			b.WriteRune(heatmapGlyphs[idx])
+			b.WriteRune(' ')
+		}
+		fmt.Fprintln(w, b.String())
+	}
+}
+
+// RenderFigure3 writes all three heatmaps of the Figure 3 reproduction.
+func RenderFigure3(w io.Writer, f *Figure3Result) {
+	fmt.Fprintf(w, "Figure 3 — pairwise similarity of basis sets (m=%d, d=%d)\n\n", f.M, f.D)
+	kinds := make([]core.Kind, 0, len(f.Matrices))
+	for k := range f.Matrices {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		RenderHeatmap(w, k.String(), f.Matrices[k])
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderMarkovSweep writes the flip-calibration table.
+func RenderMarkovSweep(w io.Writer, d int, pts []MarkovPoint) {
+	fmt.Fprintf(w, "Section 4.2 — flips for target expected distance (d=%d)\n", d)
+	fmt.Fprintf(w, "%8s %16s %16s\n", "Δ", "markov 𝔉", "analytic f")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8.3f %16.1f %16.1f\n", p.Delta, p.MarkovFlips, p.AnalyticFlips)
+	}
+}
+
+// RenderFigure6 writes the r-profile similarity curves.
+func RenderFigure6(w io.Writer, profiles []Figure6Profile) {
+	fmt.Fprintln(w, "Figure 6 — similarity to reference node vs r")
+	for _, p := range profiles {
+		fmt.Fprintf(w, "r=%-4g:", p.R)
+		for _, s := range p.Similarity {
+			fmt.Fprintf(w, " %.3f", s)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure7 writes the normalized MSE bars.
+func RenderFigure7(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Figure 7 — normalized regression MSE (random = 1.0)")
+	fmt.Fprintf(w, "%-16s %10s %10s %10s\n", "Dataset", "Random", "Level", "Circular")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-16s %10.3f %10.3f %10.3f\n",
+			row.Dataset,
+			row.MSE[core.KindRandom],
+			row.MSE[core.KindLevel],
+			row.MSE[core.KindCircular])
+	}
+}
+
+// RenderFigure8 writes the r-sweep normalized error series.
+func RenderFigure8(w io.Writer, series []Figure8Series) {
+	fmt.Fprintln(w, "Figure 8 — normalized error vs r (random basis = 1.0)")
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-16s", "r")
+	for _, r := range series[0].R {
+		fmt.Fprintf(w, " %7.2f", r)
+	}
+	fmt.Fprintln(w)
+	for _, s := range series {
+		fmt.Fprintf(w, "%-16s", s.Dataset)
+		for _, e := range s.Error {
+			fmt.Fprintf(w, " %7.3f", e)
+		}
+		fmt.Fprintln(w)
+	}
+}

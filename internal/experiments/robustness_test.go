@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func fastRobustness() RobustnessConfig {
+	cfg := DefaultRobustnessConfig()
+	cfg.Classify = fastClassify()
+	cfg.Gesture = fastGesture("Knot Tying")
+	cfg.FlipGrid = []float64{0, 0.1, 0.3}
+	return cfg
+}
+
+func TestRunRobustnessGracefulDegradation(t *testing.T) {
+	pts := RunRobustness(fastRobustness())
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	clean := pts[0].Accuracy
+	if clean < 0.6 {
+		t.Fatalf("clean accuracy %v too low to measure degradation", clean)
+	}
+	// At 10% faults the drop must be small; at 30% the model must retain
+	// most of its accuracy — the holographic-robustness claim.
+	if pts[1].Accuracy < clean-0.15 {
+		t.Errorf("10%% faults dropped accuracy %v → %v (not graceful)", clean, pts[1].Accuracy)
+	}
+	if pts[2].Accuracy < clean*0.6 {
+		t.Errorf("30%% faults collapsed accuracy %v → %v", clean, pts[2].Accuracy)
+	}
+	// Monotone non-increasing up to noise.
+	if pts[2].Accuracy > pts[0].Accuracy+0.05 {
+		t.Errorf("accuracy increased under faults: %v", pts)
+	}
+}
+
+func TestRunRobustnessDeterministic(t *testing.T) {
+	a := RunRobustness(fastRobustness())
+	b := RunRobustness(fastRobustness())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("equal-config robustness runs differ")
+		}
+	}
+}
+
+func TestRenderRobustness(t *testing.T) {
+	var b strings.Builder
+	RenderRobustness(&b, []RobustnessPoint{{FlipFraction: 0.1, Accuracy: 0.9}})
+	if !strings.Contains(b.String(), "10%") || !strings.Contains(b.String(), "90.0%") {
+		t.Errorf("robustness render incomplete:\n%s", b.String())
+	}
+}

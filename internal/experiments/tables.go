@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"hdcirc/internal/core"
+	"hdcirc/internal/dataset"
+)
+
+// Tasks are the paper's three JIGSAWS surgical tasks.
+var Tasks = []string{"Knot Tying", "Needle Passing", "Suturing"}
+
+// Table1Basis is the basis column order of the paper's Table 1.
+var Table1Basis = []core.Kind{core.KindRandom, core.KindLevel, core.KindCircular}
+
+// Table1Config parameterizes the Table 1 reproduction.
+type Table1Config struct {
+	Classify  ClassifyConfig
+	Gesture   dataset.GestureConfig // Task is overwritten per row
+	CircularR float64               // the paper uses r = 0.1 for Table 1
+}
+
+// DefaultTable1Config mirrors the paper's setup.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{
+		Classify:  DefaultClassifyConfig(),
+		Gesture:   dataset.DefaultGestureConfig(""),
+		CircularR: 0.1,
+	}
+}
+
+// Table1Row is one surgical task's accuracies per basis family.
+type Table1Row struct {
+	Task     string
+	Accuracy map[core.Kind]float64
+}
+
+// Table1Result reproduces the paper's Table 1.
+type Table1Result struct {
+	Rows      []Table1Row
+	CircularR float64
+}
+
+// RunTable1 trains and evaluates all (task × basis) cells, in parallel
+// across cells.
+func RunTable1(cfg Table1Config) *Table1Result {
+	res := &Table1Result{CircularR: cfg.CircularR}
+	res.Rows = make([]Table1Row, len(Tasks))
+	type cell struct{ task, basis int }
+	var cells []cell
+	for t := range Tasks {
+		res.Rows[t] = Table1Row{Task: Tasks[t], Accuracy: make(map[core.Kind]float64, len(Table1Basis))}
+		for b := range Table1Basis {
+			cells = append(cells, cell{t, b})
+		}
+	}
+	// Pre-generate datasets once per task (shared across basis columns).
+	data := make([]*dataset.GestureDataset, len(Tasks))
+	for t, task := range Tasks {
+		g := cfg.Gesture
+		g.Task = task
+		data[t] = dataset.GenGestures(g, cfg.Classify.Seed)
+	}
+	acc := make([]float64, len(cells))
+	parallelFor(len(cells), func(i int) {
+		c := cells[i]
+		kind := Table1Basis[c.basis]
+		cc := cfg.Classify
+		if kind == core.KindCircular {
+			cc.R = cfg.CircularR
+		} else {
+			cc.R = 0
+		}
+		acc[i] = RunGestureClassification(data[c.task], kind, cc).Accuracy
+	})
+	for i, c := range cells {
+		res.Rows[c.task].Accuracy[Table1Basis[c.basis]] = acc[i]
+	}
+	return res
+}
+
+// AverageImprovement returns the mean relative accuracy gain of circular
+// over the reference basis across rows — the paper quotes +7.2% over
+// random.
+func (t *Table1Result) AverageImprovement(ref core.Kind) float64 {
+	var sum float64
+	for _, row := range t.Rows {
+		sum += (row.Accuracy[core.KindCircular] - row.Accuracy[ref]) / row.Accuracy[ref]
+	}
+	return sum / float64(len(t.Rows))
+}
+
+// ---------------------------------------------------------------------------
+
+// Table2Config parameterizes the Table 2 reproduction.
+type Table2Config struct {
+	Regress   RegressConfig
+	Temp      dataset.TempConfig
+	Orbit     dataset.OrbitConfig
+	CircularR float64 // the paper uses r = 0.01 for Table 2
+}
+
+// DefaultTable2Config mirrors the paper's setup.
+func DefaultTable2Config() Table2Config {
+	return Table2Config{
+		Regress:   DefaultRegressConfig(),
+		Temp:      dataset.DefaultTempConfig(),
+		Orbit:     dataset.DefaultOrbitConfig(),
+		CircularR: 0.01,
+	}
+}
+
+// Table2Datasets is the row order of the paper's Table 2.
+var Table2Datasets = []string{"Beijing", "Mars Express"}
+
+// Table2Row is one dataset's MSE per basis family.
+type Table2Row struct {
+	Dataset string
+	MSE     map[core.Kind]float64
+}
+
+// Table2Result reproduces the paper's Table 2 (and via normalization,
+// Figure 7).
+type Table2Result struct {
+	Rows      []Table2Row
+	CircularR float64
+}
+
+// RunTable2 trains and evaluates all (dataset × basis) regression cells in
+// parallel.
+func RunTable2(cfg Table2Config) *Table2Result {
+	res := &Table2Result{CircularR: cfg.CircularR}
+	res.Rows = []Table2Row{
+		{Dataset: "Beijing", MSE: map[core.Kind]float64{}},
+		{Dataset: "Mars Express", MSE: map[core.Kind]float64{}},
+	}
+	temps := dataset.GenTemperature(cfg.Temp, cfg.Regress.Seed)
+	orbits := dataset.GenOrbitPower(cfg.Orbit, cfg.Regress.Seed)
+
+	type cell struct {
+		ds    int
+		basis int
+	}
+	var cells []cell
+	for d := range res.Rows {
+		for b := range Table1Basis {
+			cells = append(cells, cell{d, b})
+		}
+	}
+	mse := make([]float64, len(cells))
+	parallelFor(len(cells), func(i int) {
+		c := cells[i]
+		kind := Table1Basis[c.basis]
+		rc := cfg.Regress
+		if kind == core.KindCircular {
+			rc.R = cfg.CircularR
+		} else {
+			rc.R = 0
+		}
+		if c.ds == 0 {
+			mse[i] = RunTemperatureRegression(temps, kind, rc).MSE
+		} else {
+			mse[i] = RunOrbitRegression(orbits, kind, rc).MSE
+		}
+	})
+	for i, c := range cells {
+		res.Rows[c.ds].MSE[Table1Basis[c.basis]] = mse[i]
+	}
+	return res
+}
+
+// AverageReduction returns the mean relative MSE reduction of circular
+// versus the reference basis — the paper quotes −67.7% vs level and
+// −84.4% vs random.
+func (t *Table2Result) AverageReduction(ref core.Kind) float64 {
+	var sum float64
+	for _, row := range t.Rows {
+		sum += 1 - row.MSE[core.KindCircular]/row.MSE[ref]
+	}
+	return sum / float64(len(t.Rows))
+}
+
+// Normalized returns each dataset's MSE normalized by the reference basis
+// (random in the paper's Figure 7).
+func (t *Table2Result) Normalized(ref core.Kind) []Table2Row {
+	out := make([]Table2Row, len(t.Rows))
+	for i, row := range t.Rows {
+		norm := map[core.Kind]float64{}
+		for k, v := range row.MSE {
+			norm[k] = v / row.MSE[ref]
+		}
+		out[i] = Table2Row{Dataset: row.Dataset, MSE: norm}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package graph provides the small graph substrate used by the GraphHD
+// extension experiment (Nunes et al., DATE 2022 — the paper's reference
+// [31]): an adjacency-set graph type, three synthetic random-graph family
+// generators with distinct structure (Erdős–Rényi, preferential attachment,
+// Watts–Strogatz ring rewiring), and the centrality ranking GraphHD encodes
+// vertices by.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"hdcirc/internal/rng"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("graph: vertex count must be positive, got %d", n))
+	}
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	return &Graph{n: n, adj: adj}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}; self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports whether {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Edges returns every undirected edge once, as ordered pairs u < v, sorted.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		total += len(g.adj[u])
+	}
+	return total / 2
+}
+
+// DegreeRank returns each vertex's rank by descending degree (ties broken
+// by vertex id): rank[v] ∈ [0, N). GraphHD assigns basis-hypervectors to
+// vertices by centrality rank so isomorphic graphs encode identically up
+// to tie order; degree centrality is the cheap, deterministic choice.
+func (g *Graph) DegreeRank() []int {
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int, g.n)
+	for r, v := range order {
+		rank[v] = r
+	}
+	return rank
+}
+
+func (g *Graph) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d outside [0,%d)", u, g.n))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Random-graph family generators
+// ---------------------------------------------------------------------------
+
+// ErdosRenyi samples G(n, p): every pair is an edge independently with
+// probability p.
+func ErdosRenyi(n int, p float64, r *rng.Stream) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: edge probability %v outside [0,1]", p))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// PreferentialAttachment grows a Barabási–Albert-style graph: starting from
+// a small clique, each new vertex attaches m edges to existing vertices
+// with probability proportional to their degree (plus one, so isolated
+// vertices stay reachable). Produces heavy-tailed degree distributions.
+func PreferentialAttachment(n, m int, r *rng.Stream) *Graph {
+	if m < 1 {
+		panic(fmt.Sprintf("graph: attachment count %d must be >= 1", m))
+	}
+	g := New(n)
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	for u := seed; u < n; u++ {
+		for e := 0; e < m; e++ {
+			// Weighted pick over existing vertices by degree+1.
+			total := 0
+			for v := 0; v < u; v++ {
+				total += g.Degree(v) + 1
+			}
+			pick := r.Intn(total)
+			acc := 0
+			for v := 0; v < u; v++ {
+				acc += g.Degree(v) + 1
+				if pick < acc {
+					g.AddEdge(u, v)
+					break
+				}
+			}
+		}
+	}
+	return g
+}
+
+// WattsStrogatz builds a ring lattice where each vertex connects to its k
+// nearest neighbors (k even), then rewires each edge with probability beta
+// to a uniform random endpoint. Small beta keeps high clustering; this is
+// the "small world" family.
+func WattsStrogatz(n, k int, beta float64, r *rng.Stream) *Graph {
+	if k < 2 || k%2 != 0 || k >= n {
+		panic(fmt.Sprintf("graph: ring degree %d must be even, >= 2 and < n=%d", k, n))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("graph: rewiring probability %v outside [0,1]", beta))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if r.Float64() < beta {
+				// Rewire to a random non-self vertex; collisions with an
+				// existing edge simply keep the lattice edge out (AddEdge
+				// on an existing pair is a no-op, which slightly lowers
+				// degree — acceptable for a synthetic family).
+				w := r.Intn(n)
+				if w != u {
+					g.AddEdge(u, w)
+					continue
+				}
+			}
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// ClusteringCoefficient returns the global clustering coefficient (ratio of
+// closed triplets), a structural statistic that separates the three
+// families; the generator tests assert it.
+func (g *Graph) ClusteringCoefficient() float64 {
+	closed, triplets := 0, 0
+	for u := 0; u < g.n; u++ {
+		neigh := make([]int, 0, len(g.adj[u]))
+		for v := range g.adj[u] {
+			neigh = append(neigh, v)
+		}
+		for i := 0; i < len(neigh); i++ {
+			for j := i + 1; j < len(neigh); j++ {
+				triplets++
+				if g.adj[neigh[i]][neigh[j]] {
+					closed++
+				}
+			}
+		}
+	}
+	if triplets == 0 {
+		return 0
+	}
+	return float64(closed) / float64(triplets)
+}

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"hdcirc/internal/rng"
+)
+
+func TestNewAndEdges(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.NumEdges() != 0 {
+		t.Fatal("fresh graph wrong")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate is a no-op
+	g.AddEdge(2, 2) // self-loop ignored
+	g.AddEdge(3, 4)
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge missing")
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self-loop stored")
+	}
+	es := g.Edges()
+	if len(es) != 2 || es[0] != [2]int{0, 1} || es[1] != [2]int{3, 4} {
+		t.Errorf("Edges() = %v", es)
+	}
+}
+
+func TestDegreeAndRank(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	// degrees: 0→3, 1→2, 2→2, 3→1
+	if g.Degree(0) != 3 || g.Degree(3) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	rank := g.DegreeRank()
+	if rank[0] != 0 {
+		t.Errorf("highest-degree vertex rank = %d", rank[0])
+	}
+	if rank[3] != 3 {
+		t.Errorf("lowest-degree vertex rank = %d", rank[3])
+	}
+	if rank[1] != 1 || rank[2] != 2 { // tie broken by id
+		t.Errorf("tie ranks = %d,%d", rank[1], rank[2])
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := map[string]func(){
+		"n=0":        func() { New(0) },
+		"vertex oob": func() { New(2).AddEdge(0, 5) },
+		"bad p":      func() { ErdosRenyi(5, 1.5, rng.New(1)) },
+		"bad m":      func() { PreferentialAttachment(5, 0, rng.New(1)) },
+		"bad k":      func() { WattsStrogatz(10, 3, 0.1, rng.New(1)) },
+		"bad beta":   func() { WattsStrogatz(10, 4, -1, rng.New(1)) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	r := rng.New(2)
+	n, p := 60, 0.2
+	g := ErdosRenyi(n, p, r)
+	want := p * float64(n*(n-1)/2)
+	got := float64(g.NumEdges())
+	if math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Errorf("G(n,p) edges = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestPreferentialAttachmentHeavyTail(t *testing.T) {
+	r := rng.New(3)
+	g := PreferentialAttachment(120, 2, r)
+	er := ErdosRenyi(120, float64(2*g.NumEdges())/float64(120*119), r)
+	// Degree variance of BA must clearly exceed that of a density-matched
+	// ER graph.
+	variance := func(g *Graph) float64 {
+		var sum, sumsq float64
+		for v := 0; v < g.N(); v++ {
+			d := float64(g.Degree(v))
+			sum += d
+			sumsq += d * d
+		}
+		n := float64(g.N())
+		m := sum / n
+		return sumsq/n - m*m
+	}
+	if variance(g) <= variance(er) {
+		t.Errorf("BA degree variance %v not above ER %v", variance(g), variance(er))
+	}
+}
+
+func TestWattsStrogatzClustering(t *testing.T) {
+	r := rng.New(4)
+	ws := WattsStrogatz(100, 6, 0.05, r)
+	er := ErdosRenyi(100, float64(2*ws.NumEdges())/float64(100*99), r)
+	if ws.ClusteringCoefficient() <= 2*er.ClusteringCoefficient() {
+		t.Errorf("WS clustering %v not well above ER %v",
+			ws.ClusteringCoefficient(), er.ClusteringCoefficient())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PreferentialAttachment(40, 2, rng.New(5))
+	b := PreferentialAttachment(40, 2, rng.New(5))
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("equal-seed graphs differ")
+		}
+	}
+}
+
+func TestClusteringDegenerate(t *testing.T) {
+	if New(3).ClusteringCoefficient() != 0 {
+		t.Error("empty graph clustering != 0")
+	}
+	tri := New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	if c := tri.ClusteringCoefficient(); c != 1 {
+		t.Errorf("triangle clustering = %v, want 1", c)
+	}
+}

@@ -1,0 +1,219 @@
+// Package hwcost provides a first-order hardware cost model for HDC
+// pipelines, backing the paper's efficiency claims for embedded and IoT
+// targets (Sections 1 and 6.2). The model counts the word-level primitive
+// operations a binary-HDC datapath executes — 64-bit XORs, popcounts,
+// counter updates and threshold comparisons — plus the model memory
+// footprint, and converts them to energy with a configurable per-op table
+// (defaults in the ballpark of a 45 nm embedded-class process).
+//
+// This is an analytic estimator, not a simulator: it exists to compare
+// *designs* (dimension, basis cardinality, field counts, class counts) on
+// equal footing, the way architecture papers size HDC accelerators.
+package hwcost
+
+import "fmt"
+
+// OpCounts tallies word-level primitive operations and the static memory a
+// pipeline stage needs.
+type OpCounts struct {
+	XorWords       int64 // 64-bit XOR operations (binding)
+	PopcountWords  int64 // 64-bit popcounts (distance)
+	CounterUpdates int64 // per-dimension saturating counter increments (bundling/training)
+	ThresholdOps   int64 // per-dimension majority threshold comparisons
+	MemoryBits     int64 // static storage: basis sets, prototypes, counters
+}
+
+// Add returns the element-wise sum of two counts.
+func (o OpCounts) Add(p OpCounts) OpCounts {
+	return OpCounts{
+		XorWords:       o.XorWords + p.XorWords,
+		PopcountWords:  o.PopcountWords + p.PopcountWords,
+		CounterUpdates: o.CounterUpdates + p.CounterUpdates,
+		ThresholdOps:   o.ThresholdOps + p.ThresholdOps,
+		MemoryBits:     o.MemoryBits + p.MemoryBits,
+	}
+}
+
+// Scale returns the counts multiplied by n (memory is NOT scaled — it is
+// static).
+func (o OpCounts) Scale(n int64) OpCounts {
+	return OpCounts{
+		XorWords:       o.XorWords * n,
+		PopcountWords:  o.PopcountWords * n,
+		CounterUpdates: o.CounterUpdates * n,
+		ThresholdOps:   o.ThresholdOps * n,
+		MemoryBits:     o.MemoryBits,
+	}
+}
+
+// EnergyModel holds per-operation energies in picojoules.
+type EnergyModel struct {
+	XorWordPJ   float64 // one 64-bit XOR including operand reads
+	PopcountPJ  float64 // one 64-bit popcount step
+	CounterPJ   float64 // one counter read-modify-write
+	ThresholdPJ float64 // one comparison
+	LeakPJPerOp float64 // amortized static leakage per op
+}
+
+// Default45nm returns energy constants in the ballpark reported for 45 nm
+// embedded logic (Horowitz ISSCC'14 style orders of magnitude: ~pJ-scale
+// word ops, counter RMWs dominated by SRAM access).
+func Default45nm() EnergyModel {
+	return EnergyModel{
+		XorWordPJ:   1.1,
+		PopcountPJ:  1.8,
+		CounterPJ:   6.0,
+		ThresholdPJ: 0.4,
+		LeakPJPerOp: 0.2,
+	}
+}
+
+// Energy returns the total energy of the counted operations in microjoules.
+func (e EnergyModel) Energy(o OpCounts) float64 {
+	ops := float64(o.XorWords + o.PopcountWords + o.CounterUpdates + o.ThresholdOps)
+	pj := float64(o.XorWords)*e.XorWordPJ +
+		float64(o.PopcountWords)*e.PopcountPJ +
+		float64(o.CounterUpdates)*e.CounterPJ +
+		float64(o.ThresholdOps)*e.ThresholdPJ +
+		ops*e.LeakPJPerOp
+	return pj / 1e6
+}
+
+// words converts a bit dimension to 64-bit word count (rounded up).
+func words(d int) int64 { return int64((d + 63) / 64) }
+
+// ---------------------------------------------------------------------------
+// Pipeline stage models
+// ---------------------------------------------------------------------------
+
+// PipelineConfig describes an HDC deployment for costing.
+type PipelineConfig struct {
+	D           int // hypervector dimension
+	Fields      int // record fields bound per sample (0 or 1 = single feature)
+	Classes     int // classifier prototypes (0 for regression)
+	LabelLevels int // regression label set size (0 for classification)
+	BasisM      int // feature basis cardinality (for memory accounting)
+}
+
+func (c PipelineConfig) validate() {
+	if c.D <= 0 {
+		panic(fmt.Sprintf("hwcost: dimension must be positive, got %d", c.D))
+	}
+}
+
+// EncodeSample counts one sample encoding: Fields key-bindings plus the
+// bundling majority across fields (record encoding ⊕ Kᵢ⊗Vᵢ). A single-
+// feature pipeline (Fields ≤ 1) is a bare basis lookup — zero dynamic ops.
+func (c PipelineConfig) EncodeSample() OpCounts {
+	c.validate()
+	w := words(c.D)
+	if c.Fields <= 1 {
+		return OpCounts{}
+	}
+	return OpCounts{
+		XorWords:       int64(c.Fields) * w,
+		CounterUpdates: int64(c.Fields) * int64(c.D),
+		ThresholdOps:   int64(c.D),
+	}
+}
+
+// TrainSample counts absorbing one encoded sample into a model: one
+// counter update per dimension (classification adds to a class accumulator;
+// regression binds with the label first).
+func (c PipelineConfig) TrainSample() OpCounts {
+	c.validate()
+	out := OpCounts{CounterUpdates: int64(c.D)}
+	if c.LabelLevels > 0 {
+		out.XorWords = words(c.D) // bind φ(x) ⊗ φℓ(y)
+	}
+	return out
+}
+
+// FinalizeModel counts thresholding the trained accumulators into binary
+// prototypes.
+func (c PipelineConfig) FinalizeModel() OpCounts {
+	c.validate()
+	n := int64(1)
+	if c.Classes > 1 {
+		n = int64(c.Classes)
+	}
+	return OpCounts{ThresholdOps: n * int64(c.D)}
+}
+
+// InferSample counts one inference: encode (shared with EncodeSample, not
+// included here), then either Classes prototype distances or one unbind
+// plus LabelLevels cleanup distances.
+func (c PipelineConfig) InferSample() OpCounts {
+	c.validate()
+	w := words(c.D)
+	if c.Classes > 1 {
+		return OpCounts{
+			XorWords:      int64(c.Classes) * w,
+			PopcountWords: int64(c.Classes) * w,
+		}
+	}
+	n := int64(c.LabelLevels)
+	if n < 1 {
+		n = 1
+	}
+	return OpCounts{
+		XorWords:      w + n*w, // unbind + cleanup XORs
+		PopcountWords: n * w,
+	}
+}
+
+// ModelMemory counts the static storage of a deployed model: basis set(s),
+// field keys and prototypes (binary), ignoring training counters which stay
+// on the training host.
+func (c PipelineConfig) ModelMemory() OpCounts {
+	c.validate()
+	bits := int64(0)
+	if c.BasisM > 0 {
+		bits += int64(c.BasisM) * int64(c.D)
+	}
+	if c.Fields > 1 {
+		bits += int64(c.Fields) * int64(c.D)
+	}
+	if c.Classes > 1 {
+		bits += int64(c.Classes) * int64(c.D)
+	} else {
+		bits += int64(c.D) // regression model vector
+		bits += int64(c.LabelLevels) * int64(c.D)
+	}
+	return OpCounts{MemoryBits: bits}
+}
+
+// Workload couples a pipeline with sample counts for end-to-end costing.
+type Workload struct {
+	Name     string
+	Pipeline PipelineConfig
+	Train    int
+	Test     int
+}
+
+// Report is the costed summary of one workload.
+type Report struct {
+	Name            string
+	TrainOps        OpCounts
+	InferOpsPerItem OpCounts
+	ModelKiB        float64
+	TrainEnergyUJ   float64
+	InferEnergyUJ   float64 // per inference
+}
+
+// Cost produces the end-to-end report for a workload under the energy
+// model.
+func Cost(w Workload, e EnergyModel) Report {
+	p := w.Pipeline
+	train := p.EncodeSample().Add(p.TrainSample()).Scale(int64(w.Train)).Add(p.FinalizeModel())
+	infer := p.EncodeSample().Add(p.InferSample())
+	mem := p.ModelMemory()
+	return Report{
+		Name:            w.Name,
+		TrainOps:        train,
+		InferOpsPerItem: infer,
+		ModelKiB:        float64(mem.MemoryBits) / 8 / 1024,
+		TrainEnergyUJ:   e.Energy(train),
+		InferEnergyUJ:   e.Energy(infer),
+	}
+}

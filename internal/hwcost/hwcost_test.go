@@ -1,0 +1,163 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+)
+
+func classifierCfg() PipelineConfig {
+	return PipelineConfig{D: 10000, Fields: 18, Classes: 15, BasisM: 24}
+}
+
+func regressorCfg() PipelineConfig {
+	return PipelineConfig{D: 10000, Fields: 3, LabelLevels: 128, BasisM: 512}
+}
+
+func TestOpCountsAddScale(t *testing.T) {
+	a := OpCounts{XorWords: 1, PopcountWords: 2, CounterUpdates: 3, ThresholdOps: 4, MemoryBits: 5}
+	b := a.Add(a)
+	if b.XorWords != 2 || b.MemoryBits != 10 {
+		t.Errorf("Add wrong: %+v", b)
+	}
+	s := a.Scale(3)
+	if s.XorWords != 3 || s.CounterUpdates != 9 {
+		t.Errorf("Scale wrong: %+v", s)
+	}
+	if s.MemoryBits != 5 {
+		t.Errorf("Scale must not scale static memory: %+v", s)
+	}
+}
+
+func TestEncodeSampleScalesWithFieldsAndD(t *testing.T) {
+	base := classifierCfg().EncodeSample()
+	wide := PipelineConfig{D: 10000, Fields: 36, Classes: 15}.EncodeSample()
+	if wide.XorWords != 2*base.XorWords {
+		t.Errorf("XOR count did not double with fields: %d vs %d", wide.XorWords, base.XorWords)
+	}
+	big := PipelineConfig{D: 20000, Fields: 18, Classes: 15}.EncodeSample()
+	if big.CounterUpdates != 2*base.CounterUpdates {
+		t.Errorf("counter updates did not double with d")
+	}
+	// Single-feature pipelines encode by table lookup: zero dynamic ops.
+	single := PipelineConfig{D: 10000, Fields: 1}.EncodeSample()
+	if single.XorWords != 0 || single.CounterUpdates != 0 {
+		t.Errorf("single-feature encode should be free: %+v", single)
+	}
+}
+
+func TestInferSampleClassifierVsRegressor(t *testing.T) {
+	clf := classifierCfg().InferSample()
+	if clf.PopcountWords != 15*int64((10000+63)/64) {
+		t.Errorf("classifier popcounts wrong: %d", clf.PopcountWords)
+	}
+	reg := regressorCfg().InferSample()
+	// Regression cleanup over 128 labels dominates.
+	if reg.PopcountWords <= clf.PopcountWords {
+		t.Errorf("128-label cleanup (%d) should out-cost 15-class compare (%d)",
+			reg.PopcountWords, clf.PopcountWords)
+	}
+}
+
+func TestTrainSampleBindsLabelOnlyForRegression(t *testing.T) {
+	if classifierCfg().TrainSample().XorWords != 0 {
+		t.Error("classifier training should not bind labels")
+	}
+	if regressorCfg().TrainSample().XorWords == 0 {
+		t.Error("regressor training must bind the label")
+	}
+}
+
+func TestFinalizeModelPerClass(t *testing.T) {
+	clf := classifierCfg().FinalizeModel()
+	if clf.ThresholdOps != 15*10000 {
+		t.Errorf("finalize thresholds = %d", clf.ThresholdOps)
+	}
+	reg := regressorCfg().FinalizeModel()
+	if reg.ThresholdOps != 10000 {
+		t.Errorf("regression finalize thresholds = %d", reg.ThresholdOps)
+	}
+}
+
+func TestModelMemoryAccounting(t *testing.T) {
+	clf := classifierCfg().ModelMemory().MemoryBits
+	// basis 24·d + keys 18·d + prototypes 15·d = 57·d
+	if clf != 57*10000 {
+		t.Errorf("classifier memory = %d bits, want %d", clf, 57*10000)
+	}
+	reg := regressorCfg().ModelMemory().MemoryBits
+	// basis 512·d + keys 3·d + model d + labels 128·d = 644·d
+	if reg != 644*10000 {
+		t.Errorf("regressor memory = %d bits, want %d", reg, 644*10000)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	e := Default45nm()
+	zero := e.Energy(OpCounts{})
+	if zero != 0 {
+		t.Errorf("zero ops cost energy: %v", zero)
+	}
+	one := e.Energy(OpCounts{XorWords: 1})
+	want := (e.XorWordPJ + e.LeakPJPerOp) / 1e6
+	if math.Abs(one-want) > 1e-15 {
+		t.Errorf("single-op energy %v, want %v", one, want)
+	}
+	// Energy is monotone in counts.
+	small := e.Energy(OpCounts{CounterUpdates: 100})
+	large := e.Energy(OpCounts{CounterUpdates: 1000})
+	if large <= small {
+		t.Error("energy not monotone")
+	}
+}
+
+func TestCostEndToEnd(t *testing.T) {
+	w := Workload{Name: "gesture", Pipeline: classifierCfg(), Train: 600, Test: 375}
+	rep := Cost(w, Default45nm())
+	if rep.Name != "gesture" {
+		t.Error("name lost")
+	}
+	if rep.TrainEnergyUJ <= 0 || rep.InferEnergyUJ <= 0 {
+		t.Error("non-positive energies")
+	}
+	if rep.TrainEnergyUJ <= rep.InferEnergyUJ {
+		t.Error("600-sample training should out-cost one inference")
+	}
+	if rep.ModelKiB <= 0 {
+		t.Error("model memory missing")
+	}
+	// Training ops scale linearly in the training-set size (modulo the
+	// constant finalize term).
+	w2 := w
+	w2.Train = 1200
+	rep2 := Cost(w2, Default45nm())
+	fin := classifierCfg().FinalizeModel()
+	growth := float64(rep2.TrainOps.CounterUpdates-fin.CounterUpdates) /
+		float64(rep.TrainOps.CounterUpdates-fin.CounterUpdates)
+	if math.Abs(growth-2) > 1e-9 {
+		t.Errorf("training counter growth %v, want 2", growth)
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("d=0 did not panic")
+		}
+	}()
+	PipelineConfig{D: 0}.EncodeSample()
+}
+
+func TestEmbeddedBudgetSanity(t *testing.T) {
+	// The paper's claim: most embedded systems can afford HDC inference.
+	// One full gesture inference at d=10000 must stay under a millijoule
+	// under the default energy table — sanity-check the model's scale.
+	cfg := classifierCfg()
+	infer := cfg.EncodeSample().Add(cfg.InferSample())
+	uj := Default45nm().Energy(infer)
+	if uj > 1000 {
+		t.Errorf("one inference costs %v µJ — implausibly high for the model", uj)
+	}
+	if uj <= 0 {
+		t.Error("inference energy not positive")
+	}
+}

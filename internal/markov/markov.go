@@ -1,0 +1,171 @@
+// Package markov implements the bit-flip Markov chain of the paper's
+// Section 4.2. States are Hamming distances 0, 1/d, 2/d, … from a reference
+// hypervector; each step flips one uniformly random position, moving away
+// from the reference with probability (d−k)/d and back with probability
+// k/d. The expected number of steps until first reaching the target
+// distance Δ — the absorption time u(0) — is the number of flips a scatter
+// code performs to realize an expected distance of Δ.
+//
+// The absorption times satisfy the tridiagonal linear system
+//
+//	u(K)   = 0
+//	u(0)   = 1 + u(1)
+//	u(k)   = 1 + ((d−k)·u(k+1) + k·u(k−1))/d      for 0 < k < K
+//
+// with K = Δ·d. The package provides two independent solvers (the Thomas
+// elimination the paper alludes to via Stone's tridiagonal reference, and a
+// closed forward recurrence over successive differences) plus the analytic
+// flips-with-replacement inverse used as a sanity bound.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveTridiagonal solves a·x = rhs for a tridiagonal matrix given by its
+// sub-, main- and super-diagonals (lower[0] and upper[n-1] are ignored)
+// using the Thomas algorithm. It returns an error when a zero pivot is
+// encountered; the absorption system is strictly diagonally dominant, so
+// that never happens for valid inputs. The inputs are not modified.
+func SolveTridiagonal(lower, diag, upper, rhs []float64) ([]float64, error) {
+	n := len(diag)
+	if len(lower) != n || len(upper) != n || len(rhs) != n {
+		return nil, fmt.Errorf("markov: diagonal lengths disagree (%d/%d/%d/%d)",
+			len(lower), len(diag), len(upper), len(rhs))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	cp := make([]float64, n) // modified super-diagonal
+	dp := make([]float64, n) // modified rhs
+	if diag[0] == 0 {
+		return nil, fmt.Errorf("markov: zero pivot at row 0")
+	}
+	cp[0] = upper[0] / diag[0]
+	dp[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - lower[i]*cp[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("markov: zero pivot at row %d", i)
+		}
+		cp[i] = upper[i] / den
+		dp[i] = (rhs[i] - lower[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// AbsorptionTimes returns the full vector u(0..K-1) of expected step counts
+// to first reach state K in a chain over dimension d, solved with the
+// Thomas algorithm. u(K) = 0 is implicit. K must satisfy 0 < K <= d/2 for a
+// meaningful scatter target (distances beyond 1/2 are not used by any basis
+// set); values up to d are accepted.
+func AbsorptionTimes(d, targetK int) ([]float64, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("markov: dimension %d must be positive", d)
+	}
+	if targetK <= 0 || targetK > d {
+		return nil, fmt.Errorf("markov: target state %d outside (0,%d]", targetK, d)
+	}
+	n := targetK // unknowns u(0..K-1)
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	rhs := make([]float64, n)
+	fd := float64(d)
+	// Row 0: u(0) − u(1) = 1. When K == 1, u(1) = u(K) = 0 and the single
+	// equation is u(0) = 1.
+	diag[0], rhs[0] = 1, 1
+	if n > 1 {
+		upper[0] = -1
+	}
+	for k := 1; k < n; k++ {
+		// −(k/d)·u(k−1) + u(k) − ((d−k)/d)·u(k+1) = 1
+		lower[k] = -float64(k) / fd
+		diag[k] = 1
+		rhs[k] = 1
+		if k+1 < n {
+			upper[k] = -(fd - float64(k)) / fd
+		}
+		// when k+1 == K the u(k+1) term is zero and simply drops out
+	}
+	return SolveTridiagonal(lower, diag, upper, rhs)
+}
+
+// ExpectedFlips returns u(0): the expected number of single-bit flips until
+// the walk first reaches Hamming distance targetK from its start, in
+// dimension d. This is 𝔉 in the paper — the flip budget that realizes
+// expected distance Δ = targetK/d.
+func ExpectedFlips(d, targetK int) (float64, error) {
+	u, err := AbsorptionTimes(d, targetK)
+	if err != nil {
+		return 0, err
+	}
+	return u[0], nil
+}
+
+// ExpectedFlipsRecurrence computes u(0) by the closed forward recurrence
+// over successive differences w(k) = u(k) − u(k+1):
+//
+//	w(0) = 1
+//	w(k) = (d + k·w(k−1)) / (d − k)
+//	u(0) = Σ_{k=0}^{K−1} w(k)
+//
+// It is an independent O(K) derivation used to cross-check the tridiagonal
+// solver (and is the faster choice on large K).
+func ExpectedFlipsRecurrence(d, targetK int) (float64, error) {
+	if d <= 0 {
+		return 0, fmt.Errorf("markov: dimension %d must be positive", d)
+	}
+	if targetK <= 0 || targetK > d {
+		return 0, fmt.Errorf("markov: target state %d outside (0,%d]", targetK, d)
+	}
+	if targetK == d {
+		// d − k hits zero at k = d−1 only when targetK == d; the final
+		// difference then comes from the pure backward step balance. The
+		// scatter generator never asks for Δ = 1, so treat it as invalid.
+		return 0, fmt.Errorf("markov: target distance 1.0 is unreachable in expectation")
+	}
+	fd := float64(d)
+	w := 1.0
+	sum := 1.0
+	for k := 1; k < targetK; k++ {
+		w = (fd + float64(k)*w) / (fd - float64(k))
+		sum += w
+	}
+	return sum, nil
+}
+
+// AnalyticFlips returns the real-valued flip count f such that performing f
+// uniformly random flips *with replacement* yields expected normalized
+// distance exactly delta: E[δ] after f flips is (1 − (1 − 2/d)^f)/2, so
+//
+//	f = ln(1 − 2δ) / ln(1 − 2/d).
+//
+// The first-hitting absorption time of ExpectedFlips is close to but
+// slightly below this value for small δ (the walk that has just reached K
+// for the first time has not yet had a chance to fall back). Both are
+// exposed so the scatter generator can choose its calibration and the tests
+// can bound one with the other.
+func AnalyticFlips(d int, delta float64) (float64, error) {
+	if d <= 1 {
+		return 0, fmt.Errorf("markov: dimension %d must exceed 1", d)
+	}
+	if delta <= 0 || delta >= 0.5 {
+		return 0, fmt.Errorf("markov: delta %v outside (0, 0.5)", delta)
+	}
+	return math.Log(1-2*delta) / math.Log(1-2/float64(d)), nil
+}
+
+// DistanceAfterFlips returns the expected normalized distance after f
+// uniformly random flips with replacement in dimension d — the inverse of
+// AnalyticFlips, used for round-trip testing and by the scatter generator's
+// documentation of its nonlinearity.
+func DistanceAfterFlips(d int, f float64) float64 {
+	return (1 - math.Pow(1-2/float64(d), f)) / 2
+}

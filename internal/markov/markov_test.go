@@ -1,0 +1,264 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"hdcirc/internal/rng"
+)
+
+func TestSolveTridiagonalKnownSystem(t *testing.T) {
+	// [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] → x = [1; 2; 3]
+	lower := []float64{0, 1, 1}
+	diag := []float64{2, 2, 2}
+	upper := []float64{1, 1, 0}
+	rhs := []float64{4, 8, 8}
+	x, err := SolveTridiagonal(lower, diag, upper, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveTridiagonalSingleRow(t *testing.T) {
+	x, err := SolveTridiagonal([]float64{0}, []float64{4}, []float64{0}, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 {
+		t.Errorf("x = %v, want 2", x[0])
+	}
+}
+
+func TestSolveTridiagonalErrors(t *testing.T) {
+	if _, err := SolveTridiagonal([]float64{0}, []float64{1, 2}, []float64{0}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SolveTridiagonal([]float64{0}, []float64{0}, []float64{0}, []float64{1}); err == nil {
+		t.Error("zero pivot accepted")
+	}
+	if x, err := SolveTridiagonal(nil, nil, nil, nil); err != nil || x != nil {
+		t.Error("empty system should be trivially solvable")
+	}
+}
+
+func TestSolveTridiagonalResidual(t *testing.T) {
+	// Random diagonally dominant system; verify A·x == rhs.
+	r := rng.New(42)
+	n := 200
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lower[i] = r.Float64() - 0.5
+		upper[i] = r.Float64() - 0.5
+		diag[i] = 3 + r.Float64()
+		rhs[i] = 10 * (r.Float64() - 0.5)
+	}
+	lower[0], upper[n-1] = 0, 0
+	x, err := SolveTridiagonal(lower, diag, upper, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := diag[i] * x[i]
+		if i > 0 {
+			got += lower[i] * x[i-1]
+		}
+		if i < n-1 {
+			got += upper[i] * x[i+1]
+		}
+		if math.Abs(got-rhs[i]) > 1e-9 {
+			t.Fatalf("residual at row %d: %v", i, got-rhs[i])
+		}
+	}
+}
+
+func TestExpectedFlipsTrivial(t *testing.T) {
+	// K=1: first step always moves away, so exactly one flip.
+	f, err := ExpectedFlips(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-12 {
+		t.Errorf("ExpectedFlips(d,1) = %v, want 1", f)
+	}
+}
+
+func TestExpectedFlipsMatchesRecurrence(t *testing.T) {
+	for _, d := range []int{64, 1000, 10000} {
+		for _, frac := range []float64{0.01, 0.1, 0.25, 0.5} {
+			k := int(frac * float64(d))
+			if k < 1 {
+				k = 1
+			}
+			a, err := ExpectedFlips(d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ExpectedFlipsRecurrence(d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(a-b)/b > 1e-9 {
+				t.Errorf("d=%d k=%d: Thomas %v vs recurrence %v", d, k, a, b)
+			}
+		}
+	}
+}
+
+func TestExpectedFlipsAtLeastK(t *testing.T) {
+	// The walk needs at least K steps to reach distance K; backtracking can
+	// only add steps.
+	for _, k := range []int{1, 10, 100, 2500} {
+		f, err := ExpectedFlips(10000, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < float64(k) {
+			t.Errorf("k=%d: expected flips %v < k", k, f)
+		}
+	}
+}
+
+func TestExpectedFlipsMonotoneInK(t *testing.T) {
+	d := 2000
+	prev := 0.0
+	for k := 1; k <= d/2; k += 37 {
+		f, err := ExpectedFlipsRecurrence(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f <= prev {
+			t.Fatalf("absorption time not increasing at k=%d: %v <= %v", k, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestExpectedFlipsErrors(t *testing.T) {
+	if _, err := ExpectedFlips(0, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := ExpectedFlips(100, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ExpectedFlips(100, 101); err == nil {
+		t.Error("k>d accepted")
+	}
+	if _, err := ExpectedFlipsRecurrence(100, 100); err == nil {
+		t.Error("recurrence with k=d accepted")
+	}
+}
+
+func TestAnalyticFlipsRoundTrip(t *testing.T) {
+	d := 10000
+	for _, delta := range []float64{0.01, 0.1, 0.25, 0.4, 0.49} {
+		f, err := AnalyticFlips(d, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := DistanceAfterFlips(d, f)
+		if math.Abs(back-delta) > 1e-12 {
+			t.Errorf("delta=%v: round trip gives %v", delta, back)
+		}
+	}
+}
+
+func TestAnalyticFlipsErrors(t *testing.T) {
+	for _, delta := range []float64{0, -0.1, 0.5, 0.9} {
+		if _, err := AnalyticFlips(10000, delta); err == nil {
+			t.Errorf("delta=%v accepted", delta)
+		}
+	}
+	if _, err := AnalyticFlips(1, 0.1); err == nil {
+		t.Error("d=1 accepted")
+	}
+}
+
+func TestMarkovVsAnalyticOrdering(t *testing.T) {
+	// First-hitting flips ≤ analytic with-replacement flips: the walk that
+	// stops on arrival never wastes backtracking steps past the boundary,
+	// while the analytic count must overcome expected backsliding to land
+	// at Δ in expectation. They agree asymptotically for small Δ.
+	d := 10000
+	for _, delta := range []float64{0.05, 0.1, 0.2, 0.4} {
+		k := int(delta * float64(d))
+		markovF, err := ExpectedFlipsRecurrence(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyticF, err := AnalyticFlips(d, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if markovF > analyticF {
+			t.Errorf("delta=%v: markov %v > analytic %v", delta, markovF, analyticF)
+		}
+		if delta <= 0.1 && (analyticF-markovF)/analyticF > 0.05 {
+			t.Errorf("delta=%v: markov %v and analytic %v should be within 5%%", delta, markovF, analyticF)
+		}
+	}
+}
+
+func TestExpectedFlipsSmallDeltaNearLinear(t *testing.T) {
+	// For K ≪ d backtracking is rare: u(0) ≈ K.
+	d := 100000
+	k := 100
+	f, err := ExpectedFlipsRecurrence(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < float64(k) || f > float64(k)*1.01 {
+		t.Errorf("u(0)=%v should be within 1%% of K=%d for K≪d", f, k)
+	}
+}
+
+func TestAbsorptionTimesDecreasing(t *testing.T) {
+	// u(k) decreases in k: starting closer to the boundary takes less time.
+	u, err := AbsorptionTimes(1000, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(u); k++ {
+		if u[k] >= u[k-1] {
+			t.Fatalf("u(%d)=%v >= u(%d)=%v", k, u[k], k-1, u[k-1])
+		}
+	}
+}
+
+// Monte-Carlo validation: simulate the walk and compare the empirical mean
+// first-hitting time with the solver.
+func TestAbsorptionMonteCarlo(t *testing.T) {
+	d, k := 256, 64
+	want, err := ExpectedFlipsRecurrence(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	const trials = 3000
+	var total float64
+	for tr := 0; tr < trials; tr++ {
+		state := 0
+		steps := 0
+		for state < k {
+			steps++
+			if r.Float64() < float64(d-state)/float64(d) {
+				state++
+			} else {
+				state--
+			}
+		}
+		total += float64(steps)
+	}
+	got := total / trials
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Monte-Carlo mean %v vs solver %v (>5%% off)", got, want)
+	}
+}

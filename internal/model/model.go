@@ -1,0 +1,222 @@
+// Package model implements the paper's two learning frameworks on top of
+// encoded hypervectors.
+//
+// Classification (Section 2.2): each class accumulates the bundle of its
+// training samples' encodings into a class-vector prototype; inference
+// returns the class whose prototype is nearest to the query. An optional
+// online-refinement pass (the standard retraining extension in the HDC
+// literature) moves misclassified samples from the wrong prototype to the
+// right one on the integer accumulators.
+//
+// Regression (Section 2.3): a single model hypervector memorizes the bundle
+// of φ(x) ⊗ φℓ(y) pairs. Prediction unbinds the query (binding is its own
+// inverse), cleans up against the label basis and decodes.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+// Classifier is the centroid HDC classification model M = {M_1, …, M_k}.
+type Classifier struct {
+	k, d  int
+	accs  []*bitvec.Accumulator
+	class []*bitvec.Vector // thresholded prototypes; nil until Finalize
+	tie   bitvec.TieBreak
+	src   *rng.Stream
+}
+
+// NewClassifier creates a classifier over k classes and dimension d. Ties
+// in the prototype majority are broken randomly from a substream of seed.
+func NewClassifier(k, d int, seed uint64) *Classifier {
+	if k <= 0 {
+		panic(fmt.Sprintf("model: class count must be positive, got %d", k))
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("model: dimension must be positive, got %d", d))
+	}
+	accs := make([]*bitvec.Accumulator, k)
+	for i := range accs {
+		accs[i] = bitvec.NewAccumulator(d)
+	}
+	return &Classifier{
+		k: k, d: d,
+		accs: accs,
+		tie:  bitvec.TieRandom,
+		src:  rng.Sub(seed, "classifier/ties"),
+	}
+}
+
+// NumClasses returns k.
+func (c *Classifier) NumClasses() int { return c.k }
+
+// Dim returns the hypervector dimension.
+func (c *Classifier) Dim() int { return c.d }
+
+// Add bundles one encoded training sample into its class accumulator and
+// invalidates the finalized prototypes.
+func (c *Classifier) Add(class int, hv *bitvec.Vector) {
+	c.checkClass(class)
+	c.accs[class].Add(hv)
+	c.class = nil
+}
+
+// Finalize thresholds the accumulators into class-vectors. It must be
+// called after training (and after any refinement) before Predict; Predict
+// calls it implicitly when needed.
+func (c *Classifier) Finalize() {
+	c.class = make([]*bitvec.Vector, c.k)
+	for i, acc := range c.accs {
+		c.class[i] = acc.Threshold(c.tie, c.src)
+	}
+}
+
+// ClassVector returns class i's prototype, finalizing if necessary.
+func (c *Classifier) ClassVector(i int) *bitvec.Vector {
+	c.checkClass(i)
+	if c.class == nil {
+		c.Finalize()
+	}
+	return c.class[i]
+}
+
+// Predict returns the class whose prototype is most similar to the query,
+// and the corresponding normalized distance.
+func (c *Classifier) Predict(q *bitvec.Vector) (class int, distance float64) {
+	if c.class == nil {
+		c.Finalize()
+	}
+	best, bestClass := math.Inf(1), 0
+	for i, m := range c.class {
+		if d := q.Distance(m); d < best {
+			best, bestClass = d, i
+		}
+	}
+	return bestClass, best
+}
+
+// Scores returns the similarity of the query to every class prototype.
+func (c *Classifier) Scores(q *bitvec.Vector) []float64 {
+	if c.class == nil {
+		c.Finalize()
+	}
+	out := make([]float64, c.k)
+	for i, m := range c.class {
+		out[i] = q.Similarity(m)
+	}
+	return out
+}
+
+// Refine performs epochs of online retraining over the given training set:
+// each misclassified sample is added to its true class accumulator and
+// subtracted from the wrongly predicted one, and prototypes are
+// re-thresholded after every epoch. It returns the number of updates per
+// epoch, which reaching zero means the training set is fit. This is the
+// standard perceptron-style HDC retraining extension; with epochs = 0 the
+// model is the paper's single-pass centroid model.
+func (c *Classifier) Refine(hvs []*bitvec.Vector, labels []int, epochs int) []int {
+	if len(hvs) != len(labels) {
+		panic(fmt.Sprintf("model: %d samples but %d labels", len(hvs), len(labels)))
+	}
+	updates := make([]int, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		c.Finalize()
+		n := 0
+		for i, hv := range hvs {
+			pred, _ := c.Predict(hv)
+			if pred != labels[i] {
+				c.accs[labels[i]].Add(hv)
+				c.accs[pred].Sub(hv)
+				n++
+			}
+		}
+		updates = append(updates, n)
+		c.class = nil
+		if n == 0 {
+			break
+		}
+	}
+	c.Finalize()
+	return updates
+}
+
+func (c *Classifier) checkClass(i int) {
+	if i < 0 || i >= c.k {
+		panic(fmt.Sprintf("model: class %d outside [0,%d)", i, c.k))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Regressor
+// ---------------------------------------------------------------------------
+
+// Regressor is the single-hypervector regression model
+// M = ⊕_i φ(x_i) ⊗ φℓ(y_i).
+type Regressor struct {
+	d     int
+	acc   *bitvec.Accumulator
+	model *bitvec.Vector // thresholded; nil until Finalize
+	tie   bitvec.TieBreak
+	src   *rng.Stream
+}
+
+// NewRegressor creates a regressor over dimension d; majority ties are
+// broken randomly from a substream of seed.
+func NewRegressor(d int, seed uint64) *Regressor {
+	if d <= 0 {
+		panic(fmt.Sprintf("model: dimension must be positive, got %d", d))
+	}
+	return &Regressor{
+		d:   d,
+		acc: bitvec.NewAccumulator(d),
+		tie: bitvec.TieRandom,
+		src: rng.Sub(seed, "regressor/ties"),
+	}
+}
+
+// Dim returns the hypervector dimension.
+func (r *Regressor) Dim() int { return r.d }
+
+// Add memorizes one training pair: the binding of the encoded sample and
+// the encoded label is bundled into the model.
+func (r *Regressor) Add(sampleHV, labelHV *bitvec.Vector) {
+	r.acc.Add(sampleHV.Xor(labelHV))
+	r.model = nil
+}
+
+// N returns the number of memorized pairs.
+func (r *Regressor) N() int { return r.acc.N() }
+
+// Finalize thresholds the accumulator into the model hypervector.
+func (r *Regressor) Finalize() {
+	r.model = r.acc.Threshold(r.tie, r.src)
+}
+
+// Model returns the model hypervector, finalizing if needed.
+func (r *Regressor) Model() *bitvec.Vector {
+	if r.model == nil {
+		r.Finalize()
+	}
+	return r.model
+}
+
+// PredictVector returns the approximate label hypervector M ⊗ φ(x̂); the
+// caller cleans it up against a label basis (e.g. ScalarEncoder.Decode).
+func (r *Regressor) PredictVector(sampleHV *bitvec.Vector) *bitvec.Vector {
+	return r.Model().Xor(sampleHV)
+}
+
+// Predict decodes the approximate label hypervector against the label
+// encoder and returns the value.
+func (r *Regressor) Predict(sampleHV *bitvec.Vector, labels *embed.ScalarEncoder) float64 {
+	return labels.Decode(r.PredictVector(sampleHV))
+}

@@ -1,0 +1,128 @@
+package model
+
+// Model serialization. A trained classifier is its class-vectors; a trained
+// regressor is its model hypervector. Serializing the *finalized* binary
+// form (not the integer accumulators) matches how HDC models deploy to
+// embedded inference targets: inference needs only the binary prototypes.
+//
+//	classifier: magic "HCLS" | uint32 version | uint64 k | k framed vectors
+//	regressor:  magic "HREG" | uint32 version | 1 framed vector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hdcirc/internal/bitvec"
+)
+
+const (
+	classifierMagic = "HCLS"
+	regressorMagic  = "HREG"
+	modelVersion    = 1
+)
+
+// WriteTo serializes the finalized classifier prototypes. Training state
+// (the accumulators) is intentionally not persisted; a loaded model serves
+// inference only.
+func (c *Classifier) WriteTo(w io.Writer) (int64, error) {
+	if c.class == nil {
+		c.Finalize()
+	}
+	header := make([]byte, 4+4+8)
+	copy(header, classifierMagic)
+	binary.LittleEndian.PutUint32(header[4:], modelVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(c.k))
+	var n int64
+	k, err := w.Write(header)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, m := range c.class {
+		kk, err := m.WriteTo(w)
+		n += kk
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadClassifier deserializes a classifier written by WriteTo. The result
+// predicts exactly like the saved model; it can also keep training (the
+// prototypes are re-seeded into fresh accumulators with unit weight).
+func ReadClassifier(r io.Reader, seed uint64) (*Classifier, error) {
+	header := make([]byte, 4+4+8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("model: reading classifier header: %w", err)
+	}
+	if string(header[:4]) != classifierMagic {
+		return nil, errors.New("model: bad magic (not a classifier stream)")
+	}
+	if ver := binary.LittleEndian.Uint32(header[4:]); ver != modelVersion {
+		return nil, fmt.Errorf("model: unsupported classifier version %d", ver)
+	}
+	k64 := binary.LittleEndian.Uint64(header[8:])
+	if k64 == 0 || k64 > 1<<20 {
+		return nil, fmt.Errorf("model: implausible class count %d", k64)
+	}
+	var vecs []*bitvec.Vector
+	for i := 0; i < int(k64); i++ {
+		v, err := bitvec.ReadVector(r)
+		if err != nil {
+			return nil, fmt.Errorf("model: reading class vector %d: %w", i, err)
+		}
+		vecs = append(vecs, v)
+	}
+	d := vecs[0].Dim()
+	for i, v := range vecs {
+		if v.Dim() != d {
+			return nil, fmt.Errorf("model: class vector %d dimension %d != %d", i, v.Dim(), d)
+		}
+	}
+	c := NewClassifier(int(k64), d, seed)
+	for i, v := range vecs {
+		c.accs[i].Add(v)
+	}
+	c.class = vecs
+	return c, nil
+}
+
+// WriteTo serializes the finalized regression model hypervector.
+func (r *Regressor) WriteTo(w io.Writer) (int64, error) {
+	header := make([]byte, 4+4)
+	copy(header, regressorMagic)
+	binary.LittleEndian.PutUint32(header[4:], modelVersion)
+	var n int64
+	k, err := w.Write(header)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	kk, err := r.Model().WriteTo(w)
+	return n + kk, err
+}
+
+// ReadRegressor deserializes a regressor written by WriteTo.
+func ReadRegressor(rd io.Reader, seed uint64) (*Regressor, error) {
+	header := make([]byte, 4+4)
+	if _, err := io.ReadFull(rd, header); err != nil {
+		return nil, fmt.Errorf("model: reading regressor header: %w", err)
+	}
+	if string(header[:4]) != regressorMagic {
+		return nil, errors.New("model: bad magic (not a regressor stream)")
+	}
+	if ver := binary.LittleEndian.Uint32(header[4:]); ver != modelVersion {
+		return nil, fmt.Errorf("model: unsupported regressor version %d", ver)
+	}
+	v, err := bitvec.ReadVector(rd)
+	if err != nil {
+		return nil, fmt.Errorf("model: reading model vector: %w", err)
+	}
+	reg := NewRegressor(v.Dim(), seed)
+	reg.acc.Add(v)
+	reg.model = v
+	return reg, nil
+}

@@ -1,0 +1,248 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestAdjacentSeedsUncorrelated(t *testing.T) {
+	// splitmix64 seeding should decorrelate seeds 0 and 1: the fraction of
+	// equal bits across draws should be near 1/2.
+	a, b := New(0), New(1)
+	matches, total := 0, 0
+	for i := 0; i < 1000; i++ {
+		x, y := a.Uint64(), b.Uint64()
+		for k := 0; k < 64; k++ {
+			if (x>>k)&1 == (y>>k)&1 {
+				matches++
+			}
+			total++
+		}
+	}
+	frac := float64(matches) / float64(total)
+	if frac < 0.49 || frac > 0.51 {
+		t.Errorf("adjacent-seed bit agreement %v not ≈ 0.5", frac)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v outside [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(8)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestIntnOne(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 100; i++ {
+		if r.Intn(1) != 0 {
+			t.Fatal("Intn(1) != 0")
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	n := 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean %v not ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %v not ≈ 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(13)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("first element %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(14)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(15)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Error("first draws of split streams collide")
+	}
+}
+
+func TestSubDeterministicAndLabelSensitive(t *testing.T) {
+	a1 := Sub(99, "alpha")
+	a2 := Sub(99, "alpha")
+	b := Sub(99, "beta")
+	c := Sub(100, "alpha")
+	x := a1.Uint64()
+	if x != a2.Uint64() {
+		t.Error("Sub not deterministic")
+	}
+	if x == b.Uint64() {
+		t.Error("Sub ignores label")
+	}
+	if x == c.Uint64() {
+		t.Error("Sub ignores seed")
+	}
+}
+
+func TestBoolRoughlyFair(t *testing.T) {
+	r := New(16)
+	ones := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			ones++
+		}
+	}
+	frac := float64(ones) / float64(n)
+	if frac < 0.49 || frac > 0.51 {
+		t.Errorf("Bool fraction %v not ≈ 0.5", frac)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint32, nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		r := New(uint64(seed))
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

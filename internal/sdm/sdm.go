@@ -1,0 +1,209 @@
+// Package sdm implements Kanerva's Sparse Distributed Memory (Kanerva
+// 1988, the paper's reference [18]) — the associative memory that underlies
+// HDC's theory of quasi-orthogonality and serves as a large-capacity
+// cleanup memory: write noisy hypervectors in, read denoised ones back.
+//
+// The memory consists of H hard locations with fixed random addresses in
+// {0,1}^d. A write at address A increments/decrements the bipolar counters
+// of every hard location within Hamming radius r of A; a read at A sums the
+// counters of the activated locations and thresholds. Reads can be iterated:
+// starting from a noisy cue, each read output is used as the next address,
+// converging to the stored item when the cue is within the critical
+// distance.
+package sdm
+
+import (
+	"fmt"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/rng"
+)
+
+// Memory is a sparse distributed memory. It is not safe for concurrent use.
+type Memory struct {
+	d         int
+	radius    int
+	addresses []*bitvec.Vector
+	counters  [][]int32 // per hard location, per dimension bipolar counters
+	writes    int
+}
+
+// Config parameterizes a Memory.
+type Config struct {
+	Dim       int // hypervector dimension d
+	Locations int // number of hard locations H
+	Radius    int // activation Hamming radius r
+
+	Seed uint64
+}
+
+// DefaultConfig returns an operating point scaled to the given dimension:
+// the radius is chosen so a location activates for ≈ 1% of random
+// addresses, which at 5000 hard locations activates ~50 locations per
+// access — enough overlap between a noisy cue's set and the stored item's
+// set for reliable recall. (Kanerva's classic 0.1% point assumes millions
+// of locations.) The radius is exposed directly for other trade-offs.
+func DefaultConfig(d int) Config {
+	return Config{
+		Dim:       d,
+		Locations: 5000,
+		Radius:    activationRadius(d, 0.01),
+		Seed:      1,
+	}
+}
+
+// activationRadius returns the Hamming radius at which a random address
+// activates a location with roughly the given probability, using the normal
+// approximation to Binomial(d, 1/2).
+func activationRadius(d int, p float64) int {
+	// z-quantiles for the tail probabilities we care about.
+	var z float64
+	switch {
+	case p >= 0.01:
+		z = 2.326
+	case p >= 0.001:
+		z = 3.090
+	default:
+		z = 3.719
+	}
+	mean := float64(d) / 2
+	sd := 0.5 * sqrtf(float64(d))
+	r := int(mean - z*sd)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+func sqrtf(x float64) float64 {
+	// Newton iterations suffice and avoid importing math for one call.
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 32; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}
+
+// New creates a memory with uniformly random hard-location addresses.
+func New(cfg Config) *Memory {
+	if cfg.Dim <= 0 {
+		panic(fmt.Sprintf("sdm: dimension must be positive, got %d", cfg.Dim))
+	}
+	if cfg.Locations <= 0 {
+		panic(fmt.Sprintf("sdm: need at least one hard location, got %d", cfg.Locations))
+	}
+	if cfg.Radius < 0 || cfg.Radius >= cfg.Dim {
+		panic(fmt.Sprintf("sdm: radius %d outside [0, %d)", cfg.Radius, cfg.Dim))
+	}
+	src := rng.Sub(cfg.Seed, "sdm/addresses")
+	m := &Memory{
+		d:         cfg.Dim,
+		radius:    cfg.Radius,
+		addresses: make([]*bitvec.Vector, cfg.Locations),
+		counters:  make([][]int32, cfg.Locations),
+	}
+	for i := range m.addresses {
+		m.addresses[i] = bitvec.Random(cfg.Dim, src)
+		m.counters[i] = make([]int32, cfg.Dim)
+	}
+	return m
+}
+
+// Dim returns the hypervector dimension.
+func (m *Memory) Dim() int { return m.d }
+
+// Locations returns the number of hard locations.
+func (m *Memory) Locations() int { return len(m.addresses) }
+
+// Radius returns the activation radius.
+func (m *Memory) Radius() int { return m.radius }
+
+// Writes returns the number of Write calls so far.
+func (m *Memory) Writes() int { return m.writes }
+
+// activated returns the indexes of hard locations within the radius of a.
+func (m *Memory) activated(a *bitvec.Vector) []int {
+	var out []int
+	for i, addr := range m.addresses {
+		if addr.HammingDistance(a) <= m.radius {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ActivationCount returns how many hard locations the address activates —
+// useful for validating that the radius is in the sparse regime.
+func (m *Memory) ActivationCount(a *bitvec.Vector) int { return len(m.activated(a)) }
+
+// Write stores data at address: every activated location's counters move
+// toward the data word (auto-association uses Write(x, x)).
+func (m *Memory) Write(address, data *bitvec.Vector) {
+	m.check(address)
+	m.check(data)
+	for _, i := range m.activated(address) {
+		c := m.counters[i]
+		for k := 0; k < m.d; k++ {
+			if data.Bit(k) == 1 {
+				c[k]++
+			} else {
+				c[k]--
+			}
+		}
+	}
+	m.writes++
+}
+
+// Read recalls the word stored at address by summing activated counters
+// and thresholding at zero (ties resolve to the address's own bit, the
+// customary symmetric choice). ok is false when no location activates.
+func (m *Memory) Read(address *bitvec.Vector) (word *bitvec.Vector, ok bool) {
+	m.check(address)
+	act := m.activated(address)
+	if len(act) == 0 {
+		return nil, false
+	}
+	out := bitvec.New(m.d)
+	for k := 0; k < m.d; k++ {
+		var sum int64
+		for _, i := range act {
+			sum += int64(m.counters[i][k])
+		}
+		switch {
+		case sum > 0:
+			out.SetBit(k, 1)
+		case sum == 0:
+			out.SetBit(k, address.Bit(k))
+		}
+	}
+	return out, true
+}
+
+// ReadIterative reads repeatedly, feeding each output back as the next
+// address, until a fixed point or maxIters. It returns the final word, the
+// number of iterations used, and ok=false when some read found no active
+// locations. This is Kanerva's converging recall: within the critical
+// distance the sequence contracts to the stored item.
+func (m *Memory) ReadIterative(address *bitvec.Vector, maxIters int) (word *bitvec.Vector, iters int, ok bool) {
+	cur := address
+	for i := 0; i < maxIters; i++ {
+		next, readOK := m.Read(cur)
+		if !readOK {
+			return nil, i, false
+		}
+		if next.Equal(cur) {
+			return next, i + 1, true
+		}
+		cur = next
+	}
+	return cur, maxIters, true
+}
+
+func (m *Memory) check(v *bitvec.Vector) {
+	if v.Dim() != m.d {
+		panic(fmt.Sprintf("sdm: vector dimension %d, memory dimension %d", v.Dim(), m.d))
+	}
+}
