@@ -1,6 +1,7 @@
 package hdcirc
 
 import (
+	"hdcirc/internal/batch"
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/core"
 	"hdcirc/internal/embed"
@@ -45,6 +46,48 @@ func RandomVector(d int, stream *Stream) *Vector { return bitvec.Random(d, strea
 func Majority(vs []*Vector, tie TieBreak, stream *Stream) *Vector {
 	return bitvec.Majority(vs, tie, stream)
 }
+
+// Nearest returns the index in vs of the vector nearest to q (ties resolve
+// to the lowest index) and the Hamming distance, scanning with the fused
+// allocation-free kernel.
+func Nearest(q *Vector, vs []*Vector) (idx, hamming int) { return bitvec.Nearest(q, vs) }
+
+// DistanceMany stores the Hamming distance from q to every vs[i] into
+// dst[i] (pass nil to allocate) and returns dst.
+func DistanceMany(q *Vector, vs []*Vector, dst []int) []int {
+	return bitvec.DistanceMany(q, vs, dst)
+}
+
+// XorDistance returns the Hamming distance between the binding x ⊗ y and z
+// without materializing the bound vector.
+func XorDistance(x, y, z *Vector) int { return bitvec.XorDistance(x, y, z) }
+
+// ---------------------------------------------------------------------------
+// Batch pipeline
+// ---------------------------------------------------------------------------
+
+// BatchPool is a fixed-size worker pool for the concurrent batch pipeline.
+// Every batched operation is bit-identical to its sequential counterpart
+// regardless of the pool size; see internal/batch for the determinism
+// contract.
+type BatchPool = batch.Pool
+
+// NewBatchPool returns a pool of the given size; workers <= 0 selects
+// GOMAXPROCS.
+func NewBatchPool(workers int) *BatchPool { return batch.New(workers) }
+
+// EncodeBatch encodes every sample across the pool and returns the
+// hypervectors in input order. The encode function must be safe for
+// concurrent use — the record, sequence, n-gram, scalar and circular
+// encoders all are (fixed tie vectors, no internal mutation), but
+// ItemMemory.Get is not (it lazily inserts; intern symbols first).
+func EncodeBatch[T any](p *BatchPool, samples []T, encode func(T) *Vector) []*Vector {
+	return batch.Map(p, samples, encode)
+}
+
+// Batched training and inference on Classifier — AddBatch, PredictBatch
+// and RefineBatch — are methods on the Classifier alias; see
+// internal/model.
 
 // ---------------------------------------------------------------------------
 // Randomness

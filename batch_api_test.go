@@ -1,0 +1,93 @@
+package hdcirc
+
+// Determinism tests for the public batch pipeline: EncodeBatch and the
+// batched classifier methods must produce bit-identical results to the
+// sequential path for any worker count.
+
+import (
+	"testing"
+)
+
+func TestEncodeBatchMatchesSequential(t *testing.T) {
+	const d, nFields, m = 1000, 4, 32
+	stream := NewStream(5)
+	basis := NewBasis(Level, m, d, 0, stream)
+	enc := NewScalarEncoder(basis, 0, 1)
+	rec := NewRecordEncoder(d, nFields, 77)
+	encs := []FieldEncoder{enc, enc, enc, enc}
+
+	samples := make([][]float64, 150)
+	r := NewStream(6)
+	for i := range samples {
+		row := make([]float64, nFields)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		samples[i] = row
+	}
+	want := make([]*Vector, len(samples))
+	for i, s := range samples {
+		want[i] = rec.EncodeRecord(s, encs)
+	}
+	for _, workers := range []int{1, 2, 3, 5, 8, 16} {
+		got := EncodeBatch(NewBatchPool(workers), samples, func(s []float64) *Vector {
+			return rec.EncodeRecord(s, encs)
+		})
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("workers=%d: EncodeBatch[%d] differs from sequential encode", workers, i)
+			}
+		}
+	}
+}
+
+func TestEncodeBatchSequenceEncoder(t *testing.T) {
+	const d = 777
+	seq := NewSequenceEncoder(d, 9)
+	im := NewItemMemory(d, 10)
+	// Pre-intern the alphabet: ItemMemory.Get mutates and is the one encoder
+	// step that must happen before fanning out.
+	alphabet := []string{"a", "b", "c", "d", "e"}
+	for _, s := range alphabet {
+		im.Get(s)
+	}
+	sentences := make([][]*Vector, 60)
+	r := NewStream(11)
+	for i := range sentences {
+		n := 3 + r.Intn(10)
+		items := make([]*Vector, n)
+		for j := range items {
+			items[j] = im.Get(alphabet[r.Intn(len(alphabet))])
+		}
+		sentences[i] = items
+	}
+	want := make([]*Vector, len(sentences))
+	for i, s := range sentences {
+		want[i] = seq.Encode(s)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := EncodeBatch(NewBatchPool(workers), sentences, seq.Encode)
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("workers=%d: sequence EncodeBatch[%d] differs from sequential", workers, i)
+			}
+		}
+	}
+}
+
+func TestBatchKernelReexports(t *testing.T) {
+	r := NewStream(12)
+	q := RandomVector(512, r)
+	vs := []*Vector{RandomVector(512, r), RandomVector(512, r), q.Clone()}
+	if idx, hd := Nearest(q, vs); idx != 2 || hd != 0 {
+		t.Errorf("Nearest = (%d,%d), want (2,0)", idx, hd)
+	}
+	dst := DistanceMany(q, vs, nil)
+	if dst[2] != 0 || dst[0] != q.HammingDistance(vs[0]) {
+		t.Errorf("DistanceMany wrong: %v", dst)
+	}
+	x, y := RandomVector(512, r), RandomVector(512, r)
+	if got, want := XorDistance(x, y, q), x.Xor(y).HammingDistance(q); got != want {
+		t.Errorf("XorDistance = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,158 @@
+// Command hdcbench measures the kernel hot paths — bind, distance,
+// accumulate, threshold, rotate, majority, nearest and predict — and emits
+// the ns/op numbers as JSON (BENCH_kernels.json by default) so the
+// performance trajectory can be tracked across changes:
+//
+//	go run ./cmd/hdcbench            # d=10000, writes BENCH_kernels.json
+//	go run ./cmd/hdcbench -d 4096 -o -   # custom dimension, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"hdcirc/internal/batch"
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/model"
+	"hdcirc/internal/rng"
+)
+
+type kernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Dimension  int            `json:"dimension"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Kernels    []kernelResult `json:"kernels"`
+}
+
+func main() {
+	d := flag.Int("d", 10000, "hypervector dimension")
+	out := flag.String("o", "BENCH_kernels.json", "output path, or - for stdout")
+	flag.Parse()
+	if *d <= 0 {
+		fmt.Fprintf(os.Stderr, "hdcbench: -d must be positive, got %d\n", *d)
+		os.Exit(2)
+	}
+
+	r := rng.New(1)
+	x := bitvec.Random(*d, r)
+	y := bitvec.Random(*d, r)
+	dst := bitvec.New(*d)
+
+	acc := bitvec.NewAccumulator(*d)
+	for i := 0; i < 9; i++ {
+		acc.Add(bitvec.Random(*d, r))
+	}
+
+	nine := make([]*bitvec.Vector, 9)
+	for i := range nine {
+		nine[i] = bitvec.Random(*d, r)
+	}
+
+	cands := make([]*bitvec.Vector, 64)
+	for i := range cands {
+		cands[i] = bitvec.Random(*d, r)
+	}
+
+	const k = 32
+	clf := model.NewClassifier(k, *d, 7)
+	queries := make([]*bitvec.Vector, 256)
+	for i := range queries {
+		class := i % k
+		hv := bitvec.Random(*d, rng.Sub(11, fmt.Sprintf("bench/sample/%d", i)))
+		clf.Add(class, hv)
+		queries[i] = hv
+	}
+	clf.Finalize()
+	pool := batch.New(0)
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"bind", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x.XorInto(y, dst)
+			}
+		}},
+		{"distance", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.HammingDistance(y)
+			}
+		}},
+		{"accumulate", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acc.Add(x)
+			}
+		}},
+		{"threshold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = acc.Threshold(bitvec.TieZero, nil)
+			}
+		}},
+		{"rotate", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.RotateBits(1)
+			}
+		}},
+		{"majority9_csa", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = bitvec.Majority(nine, bitvec.TieZero, nil)
+			}
+		}},
+		{"nearest64", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = bitvec.Nearest(x, cands)
+			}
+		}},
+		{"predict_k32", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = clf.Predict(queries[i%len(queries)])
+			}
+		}},
+		{"predict_batch256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = clf.PredictBatch(pool, queries)
+			}
+		}},
+	}
+
+	rep := report{Dimension: *d, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, bench := range benches {
+		res := testing.Benchmark(bench.fn)
+		rep.Kernels = append(rep.Kernels, kernelResult{
+			Name:        bench.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-18s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			bench.name, float64(res.T.Nanoseconds())/float64(res.N),
+			res.AllocedBytesPerOp(), res.AllocsPerOp())
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdcbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hdcbench:", err)
+		os.Exit(1)
+	}
+}

@@ -4,7 +4,7 @@
 // Computing" (Nunes, Heddes, Givargis, Nicolau — DAC 2023,
 // arXiv:2205.07920).
 //
-// The package exposes four layers:
+// The package exposes five layers:
 //
 //   - Hypervector arithmetic: binary vectors in {0,1}^d with binding (XOR),
 //     bundling (majority / integer accumulators) and permutation (cyclic
@@ -19,6 +19,17 @@
 //   - Learning: the standard HDC centroid classifier (with optional online
 //     refinement) and the bind-and-memorize regressor with invertible label
 //     decoding. See NewClassifier, NewRegressor.
+//   - Batch pipeline: a GOMAXPROCS-sized worker pool that fans encode,
+//     train and predict out across cores with results bit-identical to the
+//     sequential path for any worker count. See NewBatchPool, EncodeBatch,
+//     and the Classifier AddBatch/PredictBatch/RefineBatch methods.
+//
+// Every hot loop — bundling accumulation, majority thresholding, rotation,
+// nearest-prototype search — runs as a word-parallel kernel over the
+// packed 64-bit representation rather than bit by bit; see internal/bitvec
+// for the kernel catalog (Nearest, DistanceMany, XorDistance,
+// WithinDistance, the carry-save-adder Majority) and cmd/hdcbench for the
+// tracked ns/op numbers.
 //
 // A minimal classification session:
 //

@@ -1,0 +1,3 @@
+module hdcirc
+
+go 1.24

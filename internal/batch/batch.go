@@ -1,0 +1,136 @@
+// Package batch provides the concurrent fan-out layer for encode, train
+// and predict pipelines: a fixed-size worker pool that distributes
+// independent per-index work across GOMAXPROCS goroutines.
+//
+// Every construct here is deterministic by design: workers claim indices
+// from an atomic cursor but write results only to their own index, so the
+// output of a batched operation is bit-identical to the sequential loop
+// regardless of the worker count or scheduling order. Operations that need
+// randomness (majority tie-breaking) stay deterministic because the
+// encoders use fixed per-encoder tie vectors and the models draw tie coins
+// only in sequential sections — the properties ThresholdTieVector and the
+// classifier's epoch structure were designed around.
+package batch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable description of a worker fleet. The zero value is not
+// usable; create pools with New. Pools hold no goroutines between calls —
+// workers are spawned per operation and torn down when it completes, so an
+// idle Pool costs nothing.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given size; workers <= 0 selects
+// runtime.GOMAXPROCS(0), the number of CPUs the scheduler will actually
+// use.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), spread across
+// the pool. fn must be safe for concurrent invocation from multiple
+// goroutines; the usual pattern is writing to out[i] only, which keeps the
+// result independent of scheduling. A panic in any fn is re-raised on the
+// calling goroutine after the remaining workers drain.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor  atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// Map applies fn to every element of in across the pool and returns the
+// outputs in input order: out[i] = fn(in[i]), bit-identical to the
+// sequential loop for any worker count.
+func Map[T, R any](p *Pool, in []T, fn func(T) R) []R {
+	out := make([]R, len(in))
+	p.ForEach(len(in), func(i int) { out[i] = fn(in[i]) })
+	return out
+}
+
+// Chunks invokes fn(lo, hi) over contiguous, non-overlapping index ranges
+// covering [0, n), one range per worker, sized as evenly as possible. Use
+// it when per-index dispatch is too fine-grained — e.g. merging per-worker
+// partial results that are themselves index-addressed.
+func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	size, rem := n/w, n%w
+	lo := 0
+	for g := 0; g < w; g++ {
+		hi := lo + size
+		if g < rem {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

@@ -1,0 +1,85 @@
+package batch
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got < 1 {
+		t.Errorf("New(-3).Workers() = %d", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Errorf("New(5).Workers() = %d", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 17, 1000} {
+			hits := make([]atomic.Int32, n)
+			p.ForEach(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 500)
+	for i := range in {
+		in[i] = i
+	}
+	for _, workers := range []int{1, 3, 8} {
+		out := Map(New(workers), in, func(x int) int { return x * x })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 5, 16, 17, 1000} {
+			covered := make([]atomic.Int32, n)
+			p.Chunks(n, func(lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			})
+			for i := range covered {
+				if c := covered[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	New(4).ForEach(100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}

@@ -2,8 +2,29 @@
 // words, together with the three HDC operations the paper relies on:
 // binding (element-wise XOR), bundling (element-wise majority) and
 // permutation (cyclic shift). All operations are dimension-independent and
-// allocation-conscious; the hot paths (XOR, popcount) compile to straight
-// word loops.
+// allocation-conscious.
+//
+// Every hot path is a word-parallel kernel over the packed representation,
+// never a per-bit loop:
+//
+//   - Binding and distance (XOR, popcount) are straight word loops.
+//   - Bundling accumulation (Accumulator.Add/Sub/AddWeighted) extracts 64
+//     bits per load and updates the bipolar counters branch-free — random
+//     hypervector bits make branches mispredict half the time.
+//   - Thresholding (Threshold, ThresholdTieVector) packs output words in
+//     registers with sign arithmetic, with a dedicated kernel per tie mode.
+//   - Majority over up to 64 operands runs a bit-sliced carry-save adder
+//     (majorityCSA) that counts all 64 positions of a word simultaneously
+//     and never materializes integer counters.
+//   - Rotation (RotateBits, Rotate) is two d-bit word shifts, O(d/64) for
+//     any dimension including non-multiples of 64.
+//   - Nearest-neighbor search (Nearest, NearestInto, NearestXor,
+//     DistanceMany, XorDistance, WithinDistance in nearest.go) fuses
+//     bind/compare/argmin into allocation-free scans with early exit.
+//
+// The per-bit originals are kept in reference.go as the spec the kernels
+// are differential-tested against (kernels_test.go) — every kernel is
+// bit-identical to its reference, including random tie-coin consumption.
 //
 // A Vector is a point in H = {0,1}^d. The zero value is not usable; create
 // vectors with New, NewFromBits or Random.
@@ -213,35 +234,62 @@ func (v *Vector) Similarity(o *Vector) float64 { return 1 - v.Distance(o) }
 
 // RotateBits returns the cyclic-shift permutation Π^k(v) as a new vector:
 // output bit (i+k) mod d equals input bit i. Negative k rotates the other
-// way; k is reduced modulo d.
+// way; k is reduced modulo d. The rotation runs in O(d/64) for any
+// dimension: it is the OR of a d-bit left shift by k (the unwrapped bits)
+// and a d-bit right shift by d−k (the wrapped bits), each a straight word
+// loop. Sequence and n-gram encoders call this once per symbol, so it is a
+// genuine hot path.
 func (v *Vector) RotateBits(k int) *Vector {
-	r := New(v.d)
 	k %= v.d
 	if k < 0 {
 		k += v.d
 	}
+	r := New(v.d)
 	if k == 0 {
 		copy(r.words, v.words)
 		return r
 	}
-	// General case: place each input word into the output at bit offset k.
-	// Simpler and still O(words): read each output bit span from the input.
-	// We go word-by-word on the output, gathering from the two source words
-	// that contribute to it in the un-wrapped bit stream, then fix the wrap
-	// using explicit bit extraction for the (at most 64+tail) wrapped bits.
-	// For clarity and guaranteed correctness with non-multiple-of-64
-	// dimensions we use the straightforward bit loop; rotation is never on a
-	// hot path (it is used once per symbol in sequence encodings).
-	for i := 0; i < v.d; i++ {
-		if v.words[i>>6]>>(uint(i)&63)&1 == 1 {
-			j := i + k
-			if j >= v.d {
-				j -= v.d
-			}
-			r.setBit(j)
-		}
-	}
+	v.shlOrInto(r, k)
+	v.shrOrInto(r, v.d-k)
+	r.clearTail()
 	return r
+}
+
+// shlOrInto ORs v<<s (a d-bit left shift, bits shifted beyond d dropped)
+// into dst. s must be in [1, d).
+func (v *Vector) shlOrInto(dst *Vector, s int) {
+	ws, bs := s>>6, uint(s&63)
+	words := v.words
+	if bs == 0 {
+		for i := len(words) - 1; i >= ws; i-- {
+			dst.words[i] |= words[i-ws]
+		}
+		return
+	}
+	inv := 64 - bs
+	for i := len(words) - 1; i > ws; i-- {
+		dst.words[i] |= words[i-ws]<<bs | words[i-ws-1]>>inv
+	}
+	dst.words[ws] |= words[0] << bs
+}
+
+// shrOrInto ORs v>>s (a d-bit right shift) into dst. s must be in [1, d);
+// the tail bits of v beyond d are zero, so no masking is needed.
+func (v *Vector) shrOrInto(dst *Vector, s int) {
+	ws, bs := s>>6, uint(s&63)
+	words := v.words
+	n := len(words)
+	if bs == 0 {
+		for i := 0; i < n-ws; i++ {
+			dst.words[i] |= words[i+ws]
+		}
+		return
+	}
+	inv := 64 - bs
+	for i := 0; i < n-ws-1; i++ {
+		dst.words[i] |= words[i+ws]>>bs | words[i+ws+1]<<inv
+	}
+	dst.words[n-ws-1] |= words[n-1] >> bs
 }
 
 // RotateWords returns a permutation that cyclically rotates whole 64-bit

@@ -1,6 +1,10 @@
 package bitvec
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
 // Source is the minimal random source bitvec needs; internal/rng.Stream
 // satisfies it. Keeping the interface here avoids a dependency cycle and
@@ -47,20 +51,104 @@ func (t TieBreak) String() string {
 	}
 }
 
+// csaMaxOperands bounds the carry-save-adder Majority fast path: per-position
+// counts up to 64 fit the seven bit-planes majorityCSA keeps in registers.
+const csaMaxOperands = 64
+
 // Majority bundles the operands with the element-wise majority rule and
 // returns the result: output bit i is 1 when more than half of the operands
 // have bit i set. Ties (possible only for an even operand count) are
 // resolved per tie; src may be nil unless tie == TieRandom. It panics on an
 // empty operand list or mismatched dimensions.
+//
+// Operand lists of up to 64 vectors take a bit-sliced carry-save-adder path
+// that counts all 64 positions of a word simultaneously and never
+// materializes integer counters; larger lists fall back to an Accumulator.
+// Both paths produce identical vectors and draw identical tie coins.
 func Majority(vs []*Vector, tie TieBreak, src Source) *Vector {
 	if len(vs) == 0 {
 		panic("bitvec: Majority of zero vectors")
 	}
-	acc := NewAccumulator(vs[0].Dim())
+	d := vs[0].Dim()
+	for _, v := range vs[1:] {
+		if v.Dim() != d {
+			panic(fmt.Sprintf("bitvec: dimension mismatch %d vs %d", v.Dim(), d))
+		}
+	}
+	if len(vs) <= csaMaxOperands {
+		return majorityCSA(vs, tie, src)
+	}
+	acc := NewAccumulator(d)
 	for _, v := range vs {
 		acc.Add(v)
 	}
 	return acc.Threshold(tie, src)
+}
+
+// majorityCSA is the bit-sliced majority kernel. For every 64-bit word it
+// accumulates the operands into up to seven bit-planes (plane p holds bit p
+// of the per-position count) with a ripple carry-save adder, then compares
+// the bit-sliced counts against the majority threshold with a plane-wise
+// comparator — all in registers, O(words · operands) with no per-bit work.
+func majorityCSA(vs []*Vector, tie TieBreak, src Source) *Vector {
+	if tie == TieRandom && src == nil {
+		panic("bitvec: TieRandom requires a random source")
+	}
+	k := len(vs)
+	out := New(vs[0].d)
+	thr := k / 2 // majority is count > thr; count == thr ties (even k only)
+	nPlanes := bits.Len(uint(k))
+	var coin uint64
+	coinLeft := 0
+	for wi := range out.words {
+		var planes [7]uint64
+		for _, v := range vs {
+			carry := v.words[wi]
+			for p := 0; carry != 0; p++ {
+				carry, planes[p] = planes[p]&carry, planes[p]^carry
+			}
+		}
+		// Plane-wise comparison of the counts against thr, most significant
+		// plane first: gt collects positions already decided greater, eq
+		// tracks positions whose high planes still equal thr's bits.
+		gt, eq := uint64(0), ^uint64(0)
+		for p := nPlanes - 1; p >= 0; p-- {
+			var tb uint64
+			if thr>>uint(p)&1 == 1 {
+				tb = ^uint64(0)
+			}
+			gt |= eq & planes[p] &^ tb
+			eq &= ^(planes[p] ^ tb)
+		}
+		word := gt
+		if k&1 == 0 {
+			ties := eq
+			if wi == len(out.words)-1 {
+				ties &= out.tailMask()
+			}
+			switch tie {
+			case TieOne:
+				word |= ties
+			case TieRandom:
+				// One coin bit per tied position in dimension order — the
+				// same consumption pattern as Accumulator.Threshold, so the
+				// two paths are bit-identical for equal sources.
+				for t := ties; t != 0; t &= t - 1 {
+					if coinLeft == 0 {
+						coin = src.Uint64()
+						coinLeft = 64
+					}
+					if coin&1 == 1 {
+						word |= t & -t
+					}
+					coin >>= 1
+					coinLeft--
+				}
+			}
+		}
+		out.words[wi] = word
+	}
+	return out
 }
 
 // Accumulator is the integer counter form of bundling. HDC training bundles
@@ -97,18 +185,50 @@ func (a *Accumulator) Add(v *Vector) { a.addWeighted(v, 1) }
 // Sub removes one previously added copy of v (weight −1).
 func (a *Accumulator) Sub(v *Vector) { a.addWeighted(v, -1) }
 
-// AddWeighted accumulates v with an arbitrary integer weight.
-func (a *Accumulator) AddWeighted(v *Vector, w int) { a.addWeighted(v, int32(w)) }
+// AddWeighted accumulates v with an arbitrary integer weight. It panics
+// when the weight does not fit the int32 per-dimension counters rather than
+// silently truncating it.
+func (a *Accumulator) AddWeighted(v *Vector, w int) {
+	// MinInt32 itself is excluded: clear bits contribute −w, and negating
+	// MinInt32 wraps back to MinInt32 — the one counter value the
+	// branch-free sign kernels in thresholdWord/posWord cannot classify.
+	if w > math.MaxInt32 || w <= math.MinInt32 {
+		panic(fmt.Sprintf("bitvec: weight %d overflows the int32 accumulator counters", w))
+	}
+	a.addWeighted(v, int32(w))
+}
 
+// addWeighted is the accumulation kernel. It walks v a 64-bit word at a
+// time and updates counts branch-free: hypervector bits are fair coins, so
+// a per-bit branch mispredicts half the time and dominates the loop.
 func (a *Accumulator) addWeighted(v *Vector, w int32) {
 	if v.Dim() != a.d {
 		panic(fmt.Sprintf("bitvec: dimension mismatch %d vs %d", v.Dim(), a.d))
 	}
-	for i := 0; i < a.d; i++ {
-		if v.words[i>>6]>>(uint(i)&63)&1 == 1 {
-			a.counts[i] += w
-		} else {
-			a.counts[i] -= w
+	counts := a.counts
+	w2 := w + w
+	for wi, word := range v.words {
+		base := wi << 6
+		n := a.d - base
+		if n > 64 {
+			n = 64
+		}
+		c := counts[base : base+n : base+n]
+		if len(c) == 64 {
+			// +w when the bit is set, −w when clear: bit·2w − w. Two
+			// independent half-word streams with constant 1-bit shifts.
+			lo, hi := word, word>>32
+			for b := 0; b < 32; b++ {
+				c[b] += int32(lo&1)*w2 - w
+				c[b+32] += int32(hi&1)*w2 - w
+				lo >>= 1
+				hi >>= 1
+			}
+			continue
+		}
+		for b := range c {
+			c[b] += int32(word&1)*w2 - w
+			word >>= 1
 		}
 	}
 	a.n += int(w)
@@ -125,33 +245,109 @@ func (a *Accumulator) Reset() {
 	a.n = 0
 }
 
+// thresholdWord collapses one word's worth of counts into an output word and
+// a tie mask, branch-free: bit b of word is 1 when counts[base+b] > 0, bit b
+// of ties is 1 when the count is exactly zero. The sign tricks rely on the
+// counters staying clear of math.MinInt32, which the ±2-billion-update
+// budget documented on Accumulator guarantees.
+func thresholdWord(c []int32) (word, ties uint64) {
+	// Walk the counts high-to-low and shift finished bits in at the bottom:
+	// constant 1-bit shifts are cheaper than positioning each bit with a
+	// variable shift. uint32(cv−1)>>31 is 1 iff cv ≤ 0; uint32(cv|−cv)>>31
+	// is 1 iff cv ≠ 0. Full words run four independent 16-bit chains per
+	// output, like posWord — this kernel sits on the encoder hot path via
+	// ThresholdTieVector.
+	if len(c) == 64 {
+		var w0, w1, w2, w3, t0, t1, t2, t3 uint64
+		for i := 15; i >= 0; i-- {
+			c0, c1, c2, c3 := c[i], c[i+16], c[i+32], c[i+48]
+			w0 = w0<<1 | uint64(uint32(c0-1)>>31^1)
+			w1 = w1<<1 | uint64(uint32(c1-1)>>31^1)
+			w2 = w2<<1 | uint64(uint32(c2-1)>>31^1)
+			w3 = w3<<1 | uint64(uint32(c3-1)>>31^1)
+			t0 = t0<<1 | uint64(uint32(c0|-c0)>>31^1)
+			t1 = t1<<1 | uint64(uint32(c1|-c1)>>31^1)
+			t2 = t2<<1 | uint64(uint32(c2|-c2)>>31^1)
+			t3 = t3<<1 | uint64(uint32(c3|-c3)>>31^1)
+		}
+		return w3<<48 | w2<<32 | w1<<16 | w0, t3<<48 | t2<<32 | t1<<16 | t0
+	}
+	for i := len(c) - 1; i >= 0; i-- {
+		cv := c[i]
+		word = word<<1 | uint64(uint32(cv-1)>>31^1)
+		ties = ties<<1 | uint64(uint32(cv|-cv)>>31^1)
+	}
+	return word, ties
+}
+
 // ThresholdTieVector collapses the accumulator into a binary hypervector,
 // resolving tied dimensions (count exactly zero) to the corresponding bit
 // of tv. Using a fixed random tie vector makes thresholding deterministic
 // and independent of call order, which in turn makes encoders safe to use
-// from concurrent goroutines — the property the experiment harness's
-// parallel encoding relies on.
+// from concurrent goroutines — the property the batch pipeline's parallel
+// encoding relies on.
 func (a *Accumulator) ThresholdTieVector(tv *Vector) *Vector {
 	if tv.Dim() != a.d {
 		panic(fmt.Sprintf("bitvec: tie vector dimension %d, accumulator %d", tv.Dim(), a.d))
 	}
 	v := New(a.d)
-	for i, c := range a.counts {
-		switch {
-		case c > 0:
-			v.setBit(i)
-		case c == 0:
-			if tv.Bit(i) == 1 {
-				v.setBit(i)
-			}
+	for wi := range v.words {
+		base := wi << 6
+		n := a.d - base
+		if n > 64 {
+			n = 64
 		}
+		word, ties := thresholdWord(a.counts[base : base+n : base+n])
+		v.words[wi] = word | ties&tv.words[wi]
 	}
 	return v
+}
+
+// posWord packs "count > 0" into a word: bit b is 1 iff c[b] > 0. Full
+// words run four independent 16-bit shift-in chains so the result bits
+// don't form one 64-step serial dependency.
+func posWord(c []int32) (word uint64) {
+	if len(c) == 64 {
+		var q0, q1, q2, q3 uint64
+		for i := 15; i >= 0; i-- {
+			q0 = q0<<1 | uint64(uint32(c[i]-1)>>31^1)
+			q1 = q1<<1 | uint64(uint32(c[i+16]-1)>>31^1)
+			q2 = q2<<1 | uint64(uint32(c[i+32]-1)>>31^1)
+			q3 = q3<<1 | uint64(uint32(c[i+48]-1)>>31^1)
+		}
+		return q3<<48 | q2<<32 | q1<<16 | q0
+	}
+	for i := len(c) - 1; i >= 0; i-- {
+		word = word<<1 | uint64(uint32(c[i]-1)>>31^1)
+	}
+	return word
+}
+
+// nonNegWord packs "count ≥ 0" into a word: bit b is 1 iff c[b] >= 0.
+func nonNegWord(c []int32) (word uint64) {
+	if len(c) == 64 {
+		var q0, q1, q2, q3 uint64
+		for i := 15; i >= 0; i-- {
+			q0 = q0<<1 | uint64(uint32(c[i])>>31^1)
+			q1 = q1<<1 | uint64(uint32(c[i+16])>>31^1)
+			q2 = q2<<1 | uint64(uint32(c[i+32])>>31^1)
+			q3 = q3<<1 | uint64(uint32(c[i+48])>>31^1)
+		}
+		return q3<<48 | q2<<32 | q1<<16 | q0
+	}
+	for i := len(c) - 1; i >= 0; i-- {
+		word = word<<1 | uint64(uint32(c[i])>>31^1)
+	}
+	return word
 }
 
 // Threshold collapses the accumulator into a binary hypervector: bit i is 1
 // when the bipolar count is positive, 0 when negative, and resolved by tie
 // when exactly zero. src may be nil unless tie == TieRandom.
+//
+// Each tie mode gets its own word kernel: TieZero is exactly "count > 0"
+// and TieOne exactly "count ≥ 0", so neither needs the tie mask that
+// TieRandom's coin drawing does.
 func (a *Accumulator) Threshold(tie TieBreak, src Source) *Vector {
 	if tie == TieRandom && src == nil {
 		panic("bitvec: TieRandom requires a random source")
@@ -159,27 +355,34 @@ func (a *Accumulator) Threshold(tie TieBreak, src Source) *Vector {
 	v := New(a.d)
 	var coin uint64
 	coinLeft := 0
-	for i, c := range a.counts {
-		switch {
-		case c > 0:
-			v.setBit(i)
-		case c < 0:
-			// leave 0
-		default:
-			switch tie {
-			case TieOne:
-				v.setBit(i)
-			case TieRandom:
+	for wi := range v.words {
+		base := wi << 6
+		n := a.d - base
+		if n > 64 {
+			n = 64
+		}
+		c := a.counts[base : base+n : base+n]
+		switch tie {
+		case TieOne:
+			v.words[wi] = nonNegWord(c)
+		case TieRandom:
+			word, ties := thresholdWord(c)
+			for t := ties; t != 0; t &= t - 1 {
 				if coinLeft == 0 {
 					coin = src.Uint64()
 					coinLeft = 64
 				}
 				if coin&1 == 1 {
-					v.setBit(i)
+					word |= t & -t
 				}
 				coin >>= 1
 				coinLeft--
 			}
+			v.words[wi] = word
+		default:
+			// TieZero and unrecognized TieBreak values: ties stay 0, the
+			// same treatment the per-bit reference gives them.
+			v.words[wi] = posWord(c)
 		}
 	}
 	return v

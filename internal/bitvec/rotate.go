@@ -1,14 +1,14 @@
 package bitvec
 
-// Word-level cyclic rotation. RotateBits in bitvec.go is the obviously
-// correct bit loop; this file provides the fast path used by sequence and
-// n-gram encoders on hot paths, plus the dispatcher that picks it when the
-// dimension allows.
+// Word-level cyclic rotation dispatch. RotateBits in bitvec.go is the
+// general O(d/64) shift-based rotation that works for every dimension;
+// this file keeps the slightly cheaper single-pass kernel for dimensions
+// that are multiples of 64 (one shifted OR per output word instead of two
+// passes) and the dispatcher that picks between them.
 
 // rotateBitsFast computes the cyclic rotation by k (already reduced to
 // [1, d)) for dimensions that are multiples of 64, operating on whole words
-// with two shifts per output word. It is ~50× faster than the bit loop at
-// d = 10000-class sizes.
+// with two shifts per output word.
 func (v *Vector) rotateBitsFast(k int) *Vector {
 	r := New(v.d)
 	words := len(v.words)
@@ -30,10 +30,10 @@ func (v *Vector) rotateBitsFast(k int) *Vector {
 	return r
 }
 
-// Rotate returns the cyclic-shift permutation Π^k(v), choosing the fast
-// word-level path when d is a multiple of 64 and falling back to the
-// general bit loop otherwise. Both paths produce identical results (tested
-// exhaustively in rotate_test.go); prefer this over RotateBits in new code.
+// Rotate returns the cyclic-shift permutation Π^k(v): the single-pass
+// word kernel when d is a multiple of 64, the general O(d/64) shift-based
+// RotateBits otherwise. Both paths produce identical results (pinned
+// against the per-bit reference in rotate_test.go).
 func (v *Vector) Rotate(k int) *Vector {
 	k %= v.d
 	if k < 0 {

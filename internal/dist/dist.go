@@ -1,0 +1,85 @@
+// Package dist provides the small set of scalar distributions the synthetic
+// dataset generators draw from: uniform intervals, angle wrapping, and von
+// Mises (circular normal) sampling. All sampling is driven by rng.Stream so
+// dataset generation stays deterministic per seed.
+package dist
+
+import (
+	"math"
+
+	"hdcirc/internal/rng"
+)
+
+// Uniform draws a value uniformly from [lo, hi).
+func Uniform(stream *rng.Stream, lo, hi float64) float64 {
+	return lo + stream.Float64()*(hi-lo)
+}
+
+// WrapAngle reduces an angle to the canonical interval [0, 2π).
+func WrapAngle(x float64) float64 {
+	x = math.Mod(x, 2*math.Pi)
+	if x < 0 {
+		x += 2 * math.Pi
+	}
+	return x
+}
+
+// Normal draws from the normal distribution with the given mean and
+// standard deviation.
+func Normal(stream *rng.Stream, mean, sd float64) float64 {
+	return mean + sd*stream.NormFloat64()
+}
+
+// AR1 returns n samples of a stationary AR(1) process x_t = phi·x_{t−1} + ε_t
+// with ε ~ N(0, sd²). The initial sample is drawn from the stationary
+// distribution N(0, sd²/(1−phi²)) so the series has no startup transient;
+// phi must satisfy |phi| < 1.
+func AR1(stream *rng.Stream, n int, phi, sd float64) []float64 {
+	if phi <= -1 || phi >= 1 {
+		panic("dist: AR(1) coefficient must satisfy |phi| < 1")
+	}
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	out[0] = stream.NormFloat64() * sd / math.Sqrt(1-phi*phi)
+	for t := 1; t < n; t++ {
+		out[t] = phi*out[t-1] + sd*stream.NormFloat64()
+	}
+	return out
+}
+
+// VonMises draws from the von Mises distribution with mean direction mu and
+// concentration kappa, using the Best–Fisher (1979) wrapped-Cauchy rejection
+// sampler. kappa = 0 degenerates to the circular uniform distribution. The
+// result is wrapped to [0, 2π).
+func VonMises(stream *rng.Stream, mu, kappa float64) float64 {
+	if kappa < 0 {
+		panic("dist: negative von Mises concentration")
+	}
+	if kappa == 0 {
+		return Uniform(stream, 0, 2*math.Pi)
+	}
+	// Very high concentration: the distribution is numerically a normal with
+	// variance 1/kappa; the rejection sampler's envelope degenerates there.
+	if kappa > 1e7 {
+		return WrapAngle(mu + stream.NormFloat64()/math.Sqrt(kappa))
+	}
+	a := 1 + math.Sqrt(1+4*kappa*kappa)
+	b := (a - math.Sqrt(2*a)) / (2 * kappa)
+	r := (1 + b*b) / (2 * b)
+	for {
+		u1 := stream.Float64()
+		z := math.Cos(math.Pi * u1)
+		f := (1 + r*z) / (r + z)
+		c := kappa * (r - f)
+		u2 := stream.Float64()
+		if c*(2-c)-u2 > 0 || math.Log(c/u2)+1-c >= 0 {
+			theta := math.Acos(f)
+			if stream.Float64() < 0.5 {
+				theta = -theta
+			}
+			return WrapAngle(mu + theta)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"hdcirc/internal/rng"
+)
+
+func TestUniformRange(t *testing.T) {
+	s := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		x := Uniform(s, -2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{2 * math.Pi, 0},
+		{-0.1, 2*math.Pi - 0.1},
+		{3 * math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVonMisesUniformWhenKappaZero(t *testing.T) {
+	s := rng.New(2)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := VonMises(s, 1, 0)
+		if x < 0 || x >= 2*math.Pi {
+			t.Fatalf("VonMises out of [0,2π): %v", x)
+		}
+		sum += x
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-math.Pi) > 0.05 {
+		t.Errorf("kappa=0 mean %v not ≈ π", mean)
+	}
+}
+
+func TestVonMisesConcentratesAroundMu(t *testing.T) {
+	s := rng.New(3)
+	mu := 1.3
+	// Circular mean via resultant vector.
+	var cs, ss float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := VonMises(s, mu, 8)
+		cs += math.Cos(x)
+		ss += math.Sin(x)
+	}
+	mean := math.Atan2(ss/float64(n), cs/float64(n))
+	if math.Abs(mean-mu) > 0.03 {
+		t.Errorf("circular mean %v not ≈ %v", mean, mu)
+	}
+	// Higher kappa ⇒ larger resultant length (tighter concentration).
+	rlen := math.Hypot(cs, ss) / float64(n)
+	if rlen < 0.9 {
+		t.Errorf("resultant length %v too small for kappa=8", rlen)
+	}
+}
+
+func TestVonMisesDeterministic(t *testing.T) {
+	a, b := rng.New(7), rng.New(7)
+	for i := 0; i < 100; i++ {
+		if VonMises(a, 0.5, 3) != VonMises(b, 0.5, 3) {
+			t.Fatal("VonMises not deterministic per stream")
+		}
+	}
+}

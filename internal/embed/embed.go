@@ -27,7 +27,9 @@ import (
 type ItemMemory struct {
 	d    int
 	seed uint64
-	m    map[string]*bitvec.Vector
+	m    map[string]int // symbol → index into syms/vecs
+	syms []string
+	vecs []*bitvec.Vector
 }
 
 // NewItemMemory returns an empty item memory over dimension d seeded by
@@ -36,7 +38,7 @@ func NewItemMemory(d int, seed uint64) *ItemMemory {
 	if d <= 0 {
 		panic(fmt.Sprintf("embed: dimension must be positive, got %d", d))
 	}
-	return &ItemMemory{d: d, seed: seed, m: make(map[string]*bitvec.Vector)}
+	return &ItemMemory{d: d, seed: seed, m: make(map[string]int)}
 }
 
 // Dim returns the hypervector dimension.
@@ -48,25 +50,28 @@ func (im *ItemMemory) Len() int { return len(im.m) }
 // Get returns the hypervector for symbol, creating it deterministically on
 // first use.
 func (im *ItemMemory) Get(symbol string) *bitvec.Vector {
-	if v, ok := im.m[symbol]; ok {
-		return v
+	if i, ok := im.m[symbol]; ok {
+		return im.vecs[i]
 	}
 	v := bitvec.Random(im.d, rng.Sub(im.seed, "item/"+symbol))
-	im.m[symbol] = v
+	im.m[symbol] = len(im.syms)
+	im.syms = append(im.syms, symbol)
+	im.vecs = append(im.vecs, v)
 	return v
 }
 
 // Lookup returns the stored symbol whose hypervector is most similar to q,
 // with its similarity; ok is false when the memory is empty. This is the
-// cleanup/associative-recall step of symbolic HDC.
+// cleanup/associative-recall step of symbolic HDC. The scan runs on the
+// fused nearest-neighbor kernel over the creation-ordered vector list, so
+// it allocates nothing and — unlike a map iteration — resolves exact
+// similarity ties deterministically, to the earliest-created symbol.
 func (im *ItemMemory) Lookup(q *bitvec.Vector) (symbol string, sim float64, ok bool) {
-	best := -1.0
-	for s, v := range im.m {
-		if c := q.Similarity(v); c > best {
-			best, symbol = c, s
-		}
+	if len(im.vecs) == 0 {
+		return "", -1, false
 	}
-	return symbol, best, best >= 0
+	idx, hd := bitvec.Nearest(q, im.vecs)
+	return im.syms[idx], 1 - float64(hd)/float64(im.d), true
 }
 
 // ---------------------------------------------------------------------------
@@ -143,21 +148,25 @@ func (e *ScalarEncoder) Encode(x float64) *bitvec.Vector {
 }
 
 // DecodeIndex returns the index of the basis vector most similar to q —
-// the φℓ⁻¹ nearest-label step of Section 2.3.
+// the φℓ⁻¹ nearest-label step of Section 2.3 — using the fused
+// nearest-neighbor kernel (ties resolve to the lowest index).
 func (e *ScalarEncoder) DecodeIndex(q *bitvec.Vector) int {
-	best, bestIdx := math.Inf(1), 0
-	for i := 0; i < e.set.Len(); i++ {
-		if d := q.Distance(e.set.At(i)); d < best {
-			best, bestIdx = d, i
-		}
-	}
-	return bestIdx
+	idx, _ := bitvec.Nearest(q, e.set.Vectors())
+	return idx
 }
 
 // Decode returns the value represented by the basis vector most similar to
 // q.
 func (e *ScalarEncoder) Decode(q *bitvec.Vector) float64 {
 	return e.Value(e.DecodeIndex(q))
+}
+
+// DecodeBound returns the value whose basis vector is most similar to the
+// binding a ⊗ b, without materializing the bound query — the fused
+// unbind-then-decode step regression prediction uses.
+func (e *ScalarEncoder) DecodeBound(a, b *bitvec.Vector) float64 {
+	idx, _ := bitvec.NearestXor(a, b, e.set.Vectors())
+	return e.Value(idx)
 }
 
 // ---------------------------------------------------------------------------
@@ -223,15 +232,12 @@ func (e *CircularEncoder) Encode(x float64) *bitvec.Vector {
 	return e.set.At(e.Index(x))
 }
 
-// DecodeIndex returns the index of the most similar basis vector.
+// DecodeIndex returns the index of the most similar basis vector, scanned
+// with the fused nearest-neighbor kernel (ties resolve to the lowest
+// index).
 func (e *CircularEncoder) DecodeIndex(q *bitvec.Vector) int {
-	best, bestIdx := math.Inf(1), 0
-	for i := 0; i < e.set.Len(); i++ {
-		if d := q.Distance(e.set.At(i)); d < best {
-			best, bestIdx = d, i
-		}
-	}
-	return bestIdx
+	idx, _ := bitvec.Nearest(q, e.set.Vectors())
+	return idx
 }
 
 // Decode returns the phase represented by the most similar basis vector.

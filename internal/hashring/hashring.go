@@ -27,7 +27,12 @@ type Ring struct {
 	members map[string]int            // member name → ring slot
 	slots   map[int]string            // ring slot → member name
 	vectors map[string]*bitvec.Vector // member position vectors (possibly corrupted copies)
-	seed    uint64
+	// names/vlist mirror vectors in name-sorted order so lookups can scan
+	// a slice with the fused nearest-neighbor kernel; kept in sync by
+	// Add/Remove/Heal.
+	names []string
+	vlist []*bitvec.Vector
+	seed  uint64
 }
 
 // New creates a ring with m positions (rounded up to even) of dimension d.
@@ -99,7 +104,21 @@ func (r *Ring) Add(name string) (int, error) {
 	r.members[name] = slot
 	r.slots[slot] = name
 	r.vectors[name] = r.set.At(slot).Clone()
+	r.reindex()
 	return slot, nil
+}
+
+// reindex rebuilds the name-sorted lookup slices from the vectors map.
+func (r *Ring) reindex() {
+	r.names = r.names[:0]
+	for name := range r.vectors {
+		r.names = append(r.names, name)
+	}
+	sort.Strings(r.names)
+	r.vlist = r.vlist[:0]
+	for _, name := range r.names {
+		r.vlist = append(r.vlist, r.vectors[name])
+	}
 }
 
 // Remove deletes a member from the ring.
@@ -111,25 +130,23 @@ func (r *Ring) Remove(name string) error {
 	delete(r.members, name)
 	delete(r.slots, slot)
 	delete(r.vectors, name)
+	r.reindex()
 	return nil
 }
 
 // Lookup returns the member that serves the given key: the key hashes to a
 // ring position, and the member whose (stored, possibly corrupted) position
 // vector is most similar to that position's hypervector wins. ok is false
-// on an empty ring.
+// on an empty ring. The scan runs the fused nearest-neighbor kernel over
+// the name-sorted member list, so exact similarity ties resolve to the
+// lexicographically smallest name, with no per-lookup allocation.
 func (r *Ring) Lookup(key string) (member string, ok bool) {
 	if len(r.members) == 0 {
 		return "", false
 	}
 	q := r.set.At(r.KeySlot(key))
-	best := -1.0
-	for name, v := range r.vectors {
-		if s := q.Similarity(v); s > best || (s == best && name < member) {
-			best, member = s, name
-		}
-	}
-	return member, true
+	idx, _ := bitvec.Nearest(q, r.vlist)
+	return r.names[idx], true
 }
 
 // KeySlot returns the ring slot the key hashes to.
@@ -158,6 +175,7 @@ func (r *Ring) Heal() {
 	for name, slot := range r.members {
 		r.vectors[name] = r.set.At(slot).Clone()
 	}
+	r.reindex()
 }
 
 // circDist is the circular slot distance between two slots on a ring of m.

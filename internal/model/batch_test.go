@@ -1,0 +1,140 @@
+package model
+
+// Determinism tests for the batch pipeline: every batched classifier
+// operation must be bit-identical to its sequential counterpart for any
+// worker count — the contract the concurrent layer is built on.
+
+import (
+	"testing"
+
+	"hdcirc/internal/batch"
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/rng"
+)
+
+var batchWorkerCounts = []int{1, 2, 3, 5, 8, 16}
+
+// trainSet draws a small labeled training set with noisy class clusters so
+// refinement has genuine misclassifications to chew on.
+func trainSet(k, d, n int, seed uint64) (hvs []*bitvec.Vector, labels []int) {
+	src := rng.Sub(seed, "batchtest/data")
+	protos := make([]*bitvec.Vector, k)
+	for i := range protos {
+		protos[i] = bitvec.Random(d, src)
+	}
+	for i := 0; i < n; i++ {
+		label := i % k
+		hv := protos[label].Clone()
+		// Flip ~30% of bits for heavy intra-class noise.
+		for j := 0; j < d*3/10; j++ {
+			hv.FlipBit(src.Intn(d))
+		}
+		hvs = append(hvs, hv)
+		labels = append(labels, label)
+	}
+	return hvs, labels
+}
+
+func TestAddBatchMatchesSequentialAdd(t *testing.T) {
+	const k, d, n = 5, 777, 160
+	hvs, labels := trainSet(k, d, n, 1)
+	for _, workers := range batchWorkerCounts {
+		seq := NewClassifier(k, d, 42)
+		for i, hv := range hvs {
+			seq.Add(labels[i], hv)
+		}
+		par := NewClassifier(k, d, 42)
+		par.AddBatch(batch.New(workers), labels, hvs)
+		for cl := 0; cl < k; cl++ {
+			a, b := seq.accs[cl].Counts(), par.accs[cl].Counts()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("workers=%d class=%d: accumulator count %d differs", workers, cl, i)
+				}
+			}
+			if !seq.ClassVector(cl).Equal(par.ClassVector(cl)) {
+				t.Fatalf("workers=%d: class vector %d differs from sequential", workers, cl)
+			}
+		}
+	}
+}
+
+func TestPredictBatchMatchesSequentialPredict(t *testing.T) {
+	const k, d, n = 4, 1000, 120
+	hvs, labels := trainSet(k, d, n, 2)
+	queries, _ := trainSet(k, d, 60, 3)
+	for _, workers := range batchWorkerCounts {
+		c := NewClassifier(k, d, 7)
+		c.AddBatch(batch.New(workers), labels, hvs)
+		wantCl := make([]int, len(queries))
+		wantDist := make([]float64, len(queries))
+		for i, q := range queries {
+			wantCl[i], wantDist[i] = c.Predict(q)
+		}
+		gotCl, gotDist := c.PredictBatch(batch.New(workers), queries)
+		for i := range queries {
+			if gotCl[i] != wantCl[i] || gotDist[i] != wantDist[i] {
+				t.Fatalf("workers=%d sample=%d: PredictBatch (%d,%v) != sequential (%d,%v)",
+					workers, i, gotCl[i], gotDist[i], wantCl[i], wantDist[i])
+			}
+		}
+	}
+}
+
+func TestRefineBatchMatchesSequentialRefine(t *testing.T) {
+	const k, d, n, epochs = 4, 512, 200, 6
+	hvs, labels := trainSet(k, d, n, 4)
+	build := func() *Classifier {
+		c := NewClassifier(k, d, 99)
+		for i, hv := range hvs {
+			c.Add(labels[i], hv)
+		}
+		return c
+	}
+	seq := build()
+	seqUpdates := seq.Refine(hvs, labels, epochs)
+	for _, workers := range batchWorkerCounts {
+		par := build()
+		parUpdates := par.RefineBatch(batch.New(workers), hvs, labels, epochs)
+		if len(parUpdates) != len(seqUpdates) {
+			t.Fatalf("workers=%d: %d epochs vs sequential %d", workers, len(parUpdates), len(seqUpdates))
+		}
+		for e := range seqUpdates {
+			if parUpdates[e] != seqUpdates[e] {
+				t.Fatalf("workers=%d epoch %d: %d updates vs sequential %d",
+					workers, e, parUpdates[e], seqUpdates[e])
+			}
+		}
+		for cl := 0; cl < k; cl++ {
+			if !par.ClassVector(cl).Equal(seq.ClassVector(cl)) {
+				t.Fatalf("workers=%d: refined class vector %d differs from sequential", workers, cl)
+			}
+		}
+	}
+}
+
+func TestAddBatchValidatesBeforeAccumulating(t *testing.T) {
+	c := NewClassifier(3, 64, 1)
+	hvs := []*bitvec.Vector{bitvec.New(64), bitvec.New(64)}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddBatch accepted an out-of-range class")
+			}
+		}()
+		c.AddBatch(batch.New(2), []int{0, 7}, hvs)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddBatch accepted a wrong-dimension sample")
+			}
+		}()
+		c.AddBatch(batch.New(2), []int{0, 1}, []*bitvec.Vector{bitvec.New(64), bitvec.New(65)})
+	}()
+	for cl := 0; cl < 3; cl++ {
+		if c.accs[cl].N() != 0 {
+			t.Errorf("class %d accumulated %d samples before the panic", cl, c.accs[cl].N())
+		}
+	}
+}

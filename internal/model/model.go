@@ -15,7 +15,6 @@ package model
 
 import (
 	"fmt"
-	"math"
 
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/embed"
@@ -90,18 +89,15 @@ func (c *Classifier) ClassVector(i int) *bitvec.Vector {
 }
 
 // Predict returns the class whose prototype is most similar to the query,
-// and the corresponding normalized distance.
+// and the corresponding normalized distance. The scan runs on the fused
+// nearest-neighbor kernel (no per-class allocation or float division, early
+// exit per candidate); ties resolve to the lowest class index.
 func (c *Classifier) Predict(q *bitvec.Vector) (class int, distance float64) {
 	if c.class == nil {
 		c.Finalize()
 	}
-	best, bestClass := math.Inf(1), 0
-	for i, m := range c.class {
-		if d := q.Distance(m); d < best {
-			best, bestClass = d, i
-		}
-	}
-	return bestClass, best
+	idx, hd := bitvec.Nearest(q, c.class)
+	return idx, float64(hd) / float64(c.d)
 }
 
 // Scores returns the similarity of the query to every class prototype.
@@ -109,9 +105,10 @@ func (c *Classifier) Scores(q *bitvec.Vector) []float64 {
 	if c.class == nil {
 		c.Finalize()
 	}
+	hds := bitvec.DistanceMany(q, c.class, make([]int, c.k))
 	out := make([]float64, c.k)
-	for i, m := range c.class {
-		out[i] = q.Similarity(m)
+	for i, hd := range hds {
+		out[i] = 1 - float64(hd)/float64(c.d)
 	}
 	return out
 }
@@ -216,7 +213,9 @@ func (r *Regressor) PredictVector(sampleHV *bitvec.Vector) *bitvec.Vector {
 }
 
 // Predict decodes the approximate label hypervector against the label
-// encoder and returns the value.
+// encoder and returns the value. The unbinding M ⊗ φ(x̂) and the
+// nearest-label scan run as one fused kernel; no intermediate vector is
+// allocated.
 func (r *Regressor) Predict(sampleHV *bitvec.Vector, labels *embed.ScalarEncoder) float64 {
-	return labels.Decode(r.PredictVector(sampleHV))
+	return labels.DecodeBound(r.Model(), sampleHV)
 }

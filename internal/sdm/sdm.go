@@ -24,7 +24,7 @@ type Memory struct {
 	d         int
 	radius    int
 	addresses []*bitvec.Vector
-	counters  [][]int32 // per hard location, per dimension bipolar counters
+	counters  []*bitvec.Accumulator // per hard location bipolar counters
 	writes    int
 }
 
@@ -103,11 +103,11 @@ func New(cfg Config) *Memory {
 		d:         cfg.Dim,
 		radius:    cfg.Radius,
 		addresses: make([]*bitvec.Vector, cfg.Locations),
-		counters:  make([][]int32, cfg.Locations),
+		counters:  make([]*bitvec.Accumulator, cfg.Locations),
 	}
 	for i := range m.addresses {
 		m.addresses[i] = bitvec.Random(cfg.Dim, src)
-		m.counters[i] = make([]int32, cfg.Dim)
+		m.counters[i] = bitvec.NewAccumulator(cfg.Dim)
 	}
 	return m
 }
@@ -125,10 +125,13 @@ func (m *Memory) Radius() int { return m.radius }
 func (m *Memory) Writes() int { return m.writes }
 
 // activated returns the indexes of hard locations within the radius of a.
+// The radius test uses the capped-popcount kernel: in the sparse regime
+// ~99% of locations miss, and almost all of them exceed the radius within
+// the first few words of the scan.
 func (m *Memory) activated(a *bitvec.Vector) []int {
 	var out []int
 	for i, addr := range m.addresses {
-		if addr.HammingDistance(a) <= m.radius {
+		if bitvec.WithinDistance(addr, a, m.radius) {
 			out = append(out, i)
 		}
 	}
@@ -140,19 +143,13 @@ func (m *Memory) activated(a *bitvec.Vector) []int {
 func (m *Memory) ActivationCount(a *bitvec.Vector) int { return len(m.activated(a)) }
 
 // Write stores data at address: every activated location's counters move
-// toward the data word (auto-association uses Write(x, x)).
+// toward the data word (auto-association uses Write(x, x)). Each update is
+// one word-parallel accumulator addition.
 func (m *Memory) Write(address, data *bitvec.Vector) {
 	m.check(address)
 	m.check(data)
 	for _, i := range m.activated(address) {
-		c := m.counters[i]
-		for k := 0; k < m.d; k++ {
-			if data.Bit(k) == 1 {
-				c[k]++
-			} else {
-				c[k]--
-			}
-		}
+		m.counters[i].Add(data)
 	}
 	m.writes++
 }
@@ -160,24 +157,39 @@ func (m *Memory) Write(address, data *bitvec.Vector) {
 // Read recalls the word stored at address by summing activated counters
 // and thresholding at zero (ties resolve to the address's own bit, the
 // customary symmetric choice). ok is false when no location activates.
+// The sum runs location-major (sequential counter reads, unlike the
+// dimension-major scan that strides across every location per dimension)
+// and the threshold packs output words in registers.
 func (m *Memory) Read(address *bitvec.Vector) (word *bitvec.Vector, ok bool) {
 	m.check(address)
 	act := m.activated(address)
 	if len(act) == 0 {
 		return nil, false
 	}
+	sums := make([]int64, m.d)
+	for _, i := range act {
+		for k, c := range m.counters[i].Counts() {
+			sums[k] += int64(c)
+		}
+	}
 	out := bitvec.New(m.d)
-	for k := 0; k < m.d; k++ {
-		var sum int64
-		for _, i := range act {
-			sum += int64(m.counters[i][k])
+	words := out.Words()
+	aw := address.Words()
+	for wi := range words {
+		base := wi << 6
+		n := m.d - base
+		if n > 64 {
+			n = 64
 		}
-		switch {
-		case sum > 0:
-			out.SetBit(k, 1)
-		case sum == 0:
-			out.SetBit(k, address.Bit(k))
+		var pos, ties uint64
+		for b, s := range sums[base : base+n : base+n] {
+			if s > 0 {
+				pos |= 1 << uint(b)
+			} else if s == 0 {
+				ties |= 1 << uint(b)
+			}
 		}
+		words[wi] = pos | ties&aw[wi]
 	}
 	return out, true
 }
