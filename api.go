@@ -9,6 +9,7 @@ import (
 	"hdcirc/internal/markov"
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
+	"hdcirc/internal/serve"
 )
 
 // ---------------------------------------------------------------------------
@@ -232,5 +233,56 @@ func NewRegressor(d int, seed uint64) *Regressor { return model.NewRegressor(d, 
 // positions (Hyperdimensional Hashing, Heddes et al. DAC 2022).
 type HashRing = hashring.Ring
 
-// NewHashRing creates a hash ring with m positions of dimension d.
-func NewHashRing(m, d int, seed uint64) *HashRing { return hashring.New(m, d, seed) }
+// NewHashRing creates a hash ring with m positions of dimension d. It
+// returns an error when m < 2 or d <= 0.
+func NewHashRing(m, d int, seed uint64) (*HashRing, error) { return hashring.New(m, d, seed) }
+
+// ---------------------------------------------------------------------------
+// Online serving
+// ---------------------------------------------------------------------------
+
+// Server is the concurrency-safe online inference layer: the models live
+// behind immutable versioned snapshots swapped through an atomic pointer,
+// so reads are lock-free at any fan-in while writes flow through a
+// single-writer apply path. Classes and item symbols are sharded across
+// sub-models by a consistent-hashing ring. See internal/serve for the full
+// contract; cmd/hdcserve is an HTTP front end over this API.
+type Server = serve.Server
+
+// ServerConfig parameterizes a Server: dimension, class count, shard and
+// worker fan-out, and the optional regression label encoder and SDM
+// cleanup memory.
+type ServerConfig = serve.Config
+
+// Snapshot is an immutable, versioned, finalized view of every model a
+// Server hosts. All methods are pure reads; a snapshot stays valid (and
+// frozen) for as long as it is held, no matter how many writes the server
+// applies afterwards. Snapshots serialize with WriteTo while the server
+// keeps serving, and warm-start a fresh server via Server.Restore.
+type Snapshot = serve.Snapshot
+
+// ServerBatch is one atomic unit of server writes — training samples,
+// un-training, regression pairs, item-memory membership churn, SDM writes
+// and an optional refinement pass — applied by Server.ApplyBatch, which
+// validates the whole batch before mutating anything and publishes (and
+// returns) the next snapshot.
+type ServerBatch = serve.Batch
+
+// ServerSample is one encoded classification example in a ServerBatch.
+type ServerSample = serve.Sample
+
+// ServerPair is one encoded regression pair in a ServerBatch.
+type ServerPair = serve.Pair
+
+// ServerMemWrite is one SDM cleanup-memory write in a ServerBatch.
+type ServerMemWrite = serve.MemWrite
+
+// ServerRefine requests retraining epochs as part of a ServerBatch.
+type ServerRefine = serve.Refine
+
+// ServerStats is the point-in-time operational summary from Server.Stats.
+type ServerStats = serve.Stats
+
+// NewServer builds a serving layer over k classes and dimension d with the
+// given sharding; config problems are errors, not panics.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) }

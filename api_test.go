@@ -137,7 +137,10 @@ func TestFacadeLearningEndToEnd(t *testing.T) {
 }
 
 func TestFacadeHashRing(t *testing.T) {
-	ring := NewHashRing(16, 2048, 13)
+	ring, err := NewHashRing(16, 2048, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := ring.Add("a"); err != nil {
 		t.Fatal(err)
 	}

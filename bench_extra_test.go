@@ -146,7 +146,10 @@ func BenchmarkCostModel(b *testing.B) {
 }
 
 func BenchmarkHashRingLookup(b *testing.B) {
-	ring := NewHashRing(64, benchDim, 36)
+	ring, err := NewHashRing(64, benchDim, 36)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, s := range []string{"a", "b", "c", "d", "e"} {
 		if _, err := ring.Add(s); err != nil {
 			b.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
+	"hdcirc/internal/serve"
 )
 
 type kernelResult struct {
@@ -76,6 +77,21 @@ func main() {
 	clf.Finalize()
 	pool := batch.New(0)
 
+	// Serving-layer fixture: the same 32-class workload behind snapshots.
+	srv, err := serve.NewServer(serve.Config{Dim: *d, Classes: k, Shards: 4, Seed: 7})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdcbench:", err)
+		os.Exit(1)
+	}
+	var sb serve.Batch
+	for i, hv := range queries {
+		sb.Train = append(sb.Train, serve.Sample{Class: i % k, HV: hv})
+	}
+	if _, err := srv.ApplyBatch(sb); err != nil {
+		fmt.Fprintln(os.Stderr, "hdcbench:", err)
+		os.Exit(1)
+	}
+
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -123,6 +139,32 @@ func main() {
 		{"predict_batch256", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, _ = clf.PredictBatch(pool, queries)
+			}
+		}},
+		{"serve_predict", func(b *testing.B) {
+			snap := srv.Snapshot()
+			for i := 0; i < b.N; i++ {
+				_, _ = snap.Predict(queries[i%len(queries)])
+			}
+		}},
+		{"serve_predict_par", func(b *testing.B) {
+			// GOMAXPROCS concurrent readers against the lock-free snapshot;
+			// ns/op here is aggregate wall time per prediction, so
+			// 1e9/ns_per_op is the served QPS at that fan-in.
+			b.RunParallel(func(pb *testing.PB) {
+				snap := srv.Snapshot()
+				i := 0
+				for pb.Next() {
+					_, _ = snap.Predict(queries[i%len(queries)])
+					i++
+				}
+			})
+		}},
+		{"serve_apply_batch256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.ApplyBatch(sb); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 	}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"hdcirc"
+)
+
+// appConfig sizes the served model and its record encoder.
+type appConfig struct {
+	Dim, Classes, Shards, Workers int
+	Fields                        int
+	Lo, Hi                        float64
+	Levels                        int
+	Seed                          uint64
+}
+
+// app owns the server plus the encoding stack requests pass through.
+type app struct {
+	cfg appConfig
+	srv *hdcirc.Server
+	rec *hdcirc.RecordEncoder
+	enc []hdcirc.FieldEncoder // the per-field scalar encoder, repeated
+}
+
+func newApp(cfg appConfig) (*app, error) {
+	if cfg.Fields <= 0 {
+		return nil, fmt.Errorf("need at least one record field, got %d", cfg.Fields)
+	}
+	if cfg.Levels < 1 {
+		return nil, fmt.Errorf("need at least one quantization level, got %d", cfg.Levels)
+	}
+	if cfg.Hi <= cfg.Lo {
+		return nil, fmt.Errorf("empty feature interval [%v,%v]", cfg.Lo, cfg.Hi)
+	}
+	srv, err := hdcirc.NewServer(hdcirc.ServerConfig{
+		Dim:     cfg.Dim,
+		Classes: cfg.Classes,
+		Shards:  cfg.Shards,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	basis := hdcirc.NewBasis(hdcirc.Level, cfg.Levels, cfg.Dim, 0, hdcirc.SubStream(cfg.Seed, "hdcserve/levels"))
+	scalar := hdcirc.NewScalarEncoder(basis, cfg.Lo, cfg.Hi)
+	enc := make([]hdcirc.FieldEncoder, cfg.Fields)
+	for i := range enc {
+		enc[i] = scalar
+	}
+	return &app{
+		cfg: cfg,
+		srv: srv,
+		rec: hdcirc.NewRecordEncoder(cfg.Dim, cfg.Fields, cfg.Seed),
+		enc: enc,
+	}, nil
+}
+
+// encode maps one feature record to its hypervector. The record encoder is
+// stateless per call (fixed keys, fixed tie vector), so encode is safe
+// from any number of request goroutines.
+func (a *app) encode(features []float64) (*hdcirc.Vector, error) {
+	if len(features) != a.cfg.Fields {
+		return nil, fmt.Errorf("record has %d features, server expects %d", len(features), a.cfg.Fields)
+	}
+	for i, f := range features {
+		if f != f { // NaN: the scalar encoder would panic
+			return nil, fmt.Errorf("feature %d is NaN", i)
+		}
+	}
+	return a.rec.EncodeRecord(features, a.enc), nil
+}
+
+// encodeBatch encodes many records across the server's worker pool.
+func (a *app) encodeBatch(records [][]float64) ([]*hdcirc.Vector, error) {
+	for i, rec := range records {
+		if len(rec) != a.cfg.Fields {
+			return nil, fmt.Errorf("record %d has %d features, server expects %d", i, len(rec), a.cfg.Fields)
+		}
+		for j, f := range rec {
+			if f != f {
+				return nil, fmt.Errorf("record %d feature %d is NaN", i, j)
+			}
+		}
+	}
+	return hdcirc.EncodeBatch(a.srv.Pool(), records, func(rec []float64) *hdcirc.Vector {
+		return a.rec.EncodeRecord(rec, a.enc)
+	}), nil
+}
+
+func (a *app) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/train", a.handleTrain)
+	m.HandleFunc("/predict", a.handlePredict)
+	m.HandleFunc("/lookup", a.handleLookup)
+	m.HandleFunc("/stats", a.handleStats)
+	m.HandleFunc("/snapshot", a.handleSnapshot)
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+type trainRequest struct {
+	Samples []struct {
+		Label    int       `json:"label"`
+		Features []float64 `json:"features"`
+	} `json:"samples"`
+	Symbols []string `json:"symbols"`
+}
+
+type trainResponse struct {
+	Version uint64 `json:"version"`
+	Trained int    `json:"trained"`
+	Samples uint64 `json:"samples"`
+	Items   int    `json:"items"`
+}
+
+// handleTrain applies one write batch: encoded training samples plus item
+// membership churn, published as one new snapshot version.
+func (a *app) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req trainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Samples) == 0 && len(req.Symbols) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	records := make([][]float64, len(req.Samples))
+	for i, s := range req.Samples {
+		records[i] = s.Features
+	}
+	hvs, err := a.encodeBatch(records)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	batch := hdcirc.ServerBatch{Items: req.Symbols}
+	for i, s := range req.Samples {
+		batch.Train = append(batch.Train, hdcirc.ServerSample{Class: s.Label, HV: hvs[i]})
+	}
+	snap, err := a.srv.ApplyBatch(batch)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, trainResponse{
+		Version: snap.Version(),
+		Trained: len(req.Samples),
+		Samples: snap.Samples(),
+		Items:   snap.NumItems(),
+	})
+}
+
+type predictRequest struct {
+	Queries [][]float64 `json:"queries"`
+}
+
+type predictResponse struct {
+	Version   uint64    `json:"version"`
+	Classes   []int     `json:"classes"`
+	Distances []float64 `json:"distances"`
+}
+
+// handlePredict classifies every query against one consistent snapshot.
+func (a *app) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no queries"))
+		return
+	}
+	hvs, err := a.encodeBatch(req.Queries)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := a.srv.Snapshot()
+	classes, dists := snap.PredictBatch(a.srv.Pool(), hvs)
+	a.srv.CountReads(len(hvs))
+	writeJSON(w, http.StatusOK, predictResponse{Version: snap.Version(), Classes: classes, Distances: dists})
+}
+
+type lookupResponse struct {
+	// Key-routing fields (GET ?key=).
+	Key    string `json:"key,omitempty"`
+	Shard  *int   `json:"shard,omitempty"`
+	Member string `json:"member,omitempty"`
+	Slot   *int   `json:"slot,omitempty"`
+	// Cleanup fields (POST features / GET ?symbol=).
+	Symbol     string  `json:"symbol,omitempty"`
+	Similarity float64 `json:"similarity,omitempty"`
+	Found      *bool   `json:"found,omitempty"`
+	Version    uint64  `json:"version"`
+}
+
+// handleLookup serves the HD-hashing surface: GET ?key=K routes an
+// arbitrary key through the consistent-hashing ring; GET ?symbol=S checks
+// item membership; POST {"features":[…]} runs nearest-symbol cleanup on
+// the encoded record.
+func (a *app) handleLookup(w http.ResponseWriter, r *http.Request) {
+	snap := a.srv.Snapshot()
+	switch r.Method {
+	case http.MethodGet:
+		if key := r.URL.Query().Get("key"); key != "" {
+			shard, member, slot := a.srv.Route(key)
+			writeJSON(w, http.StatusOK, lookupResponse{
+				Key: key, Shard: &shard, Member: member, Slot: &slot, Version: snap.Version(),
+			})
+			return
+		}
+		if sym := r.URL.Query().Get("symbol"); sym != "" {
+			_, ok := snap.Item(sym)
+			writeJSON(w, http.StatusOK, lookupResponse{Symbol: sym, Found: &ok, Version: snap.Version()})
+			return
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need ?key= or ?symbol="))
+	case http.MethodPost:
+		var req struct {
+			Features []float64 `json:"features"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		hv, err := a.encode(req.Features)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sym, sim, ok := snap.Lookup(hv)
+		a.srv.CountReads(1)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no items interned"))
+			return
+		}
+		writeJSON(w, http.StatusOK, lookupResponse{Symbol: sym, Similarity: sim, Version: snap.Version()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST only"))
+	}
+}
+
+// handleStats reports the operational summary of the current snapshot.
+func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, a.srv.Stats())
+}
+
+// handleSnapshot streams the current snapshot's binary serialization —
+// saving a live server without stopping reads or writes; feed the bytes
+// back through -load to warm-start a replacement.
+func (a *app) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	snap := a.srv.Snapshot()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snapshot-Version", fmt.Sprint(snap.Version()))
+	if _, err := snap.WriteTo(w); err != nil {
+		// Headers are gone; all we can do is log-level signal via close.
+		return
+	}
+}

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testApp(t *testing.T) *app {
+	t.Helper()
+	a, err := newApp(appConfig{
+		Dim: 1024, Classes: 3, Shards: 2, Workers: 2,
+		Fields: 2, Lo: 0, Hi: 1, Levels: 32, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if ct := rec.Header().Get("Content-Type"); ct == "application/json" {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: bad JSON response %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+	return rec, out
+}
+
+// trainBody builds a linearly separable workload: class i's features
+// cluster around distinct corners of the unit square.
+func trainBody(perClass int) map[string]any {
+	centers := [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}}
+	var samples []map[string]any
+	for class, c := range centers {
+		for j := 0; j < perClass; j++ {
+			jit := 0.02 * float64(j%5)
+			samples = append(samples, map[string]any{
+				"label":    class,
+				"features": []float64{c[0] + jit, c[1] - jit},
+			})
+		}
+	}
+	return map[string]any{"samples": samples, "symbols": []string{"sensor-a", "sensor-b"}}
+}
+
+func TestTrainPredictRoundTrip(t *testing.T) {
+	a := testApp(t)
+	m := a.mux()
+
+	rec, out := doJSON(t, m, http.MethodPost, "/train", trainBody(10))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/train = %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["version"].(float64) != 1 || out["trained"].(float64) != 30 || out["items"].(float64) != 2 {
+		t.Fatalf("train response: %v", out)
+	}
+
+	rec, out = doJSON(t, m, http.MethodPost, "/predict", map[string]any{
+		"queries": [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/predict = %d: %s", rec.Code, rec.Body.String())
+	}
+	classes := out["classes"].([]any)
+	for want, got := range classes {
+		if int(got.(float64)) != want {
+			t.Errorf("query %d classified as %v", want, got)
+		}
+	}
+	if out["version"].(float64) != 1 {
+		t.Errorf("predict version = %v", out["version"])
+	}
+	if len(out["distances"].([]any)) != 3 {
+		t.Errorf("distances = %v", out["distances"])
+	}
+}
+
+func TestLookupSurfaces(t *testing.T) {
+	a := testApp(t)
+	m := a.mux()
+	if rec, _ := doJSON(t, m, http.MethodPost, "/train", trainBody(4)); rec.Code != http.StatusOK {
+		t.Fatal("train failed")
+	}
+
+	// Key routing: deterministic, in range.
+	rec, out := doJSON(t, m, http.MethodGet, "/lookup?key=user-42", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/lookup?key = %d", rec.Code)
+	}
+	shard := out["shard"].(float64)
+	if shard < 0 || shard >= 2 {
+		t.Errorf("shard = %v", shard)
+	}
+	if out["member"].(string) != fmt.Sprintf("shard/%d", int(shard)) {
+		t.Errorf("member = %v", out["member"])
+	}
+	_, out2 := doJSON(t, m, http.MethodGet, "/lookup?key=user-42", nil)
+	if out2["shard"].(float64) != shard {
+		t.Error("routing not deterministic")
+	}
+
+	// Symbol membership.
+	rec, out = doJSON(t, m, http.MethodGet, "/lookup?symbol=sensor-a", nil)
+	if rec.Code != http.StatusOK || out["found"].(bool) != true {
+		t.Errorf("symbol lookup: %d %v", rec.Code, out)
+	}
+	_, out = doJSON(t, m, http.MethodGet, "/lookup?symbol=missing", nil)
+	if out["found"].(bool) != false {
+		t.Errorf("phantom symbol: %v", out)
+	}
+
+	// Cleanup by features returns some interned symbol with a similarity.
+	rec, out = doJSON(t, m, http.MethodPost, "/lookup", map[string]any{"features": []float64{0.3, 0.3}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/lookup POST = %d", rec.Code)
+	}
+	if s := out["symbol"].(string); s != "sensor-a" && s != "sensor-b" {
+		t.Errorf("cleanup symbol = %q", s)
+	}
+
+	// Neither key nor symbol → 400.
+	if rec, _ := doJSON(t, m, http.MethodGet, "/lookup", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bare /lookup = %d", rec.Code)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := testApp(t)
+	m := a.mux()
+	doJSON(t, m, http.MethodPost, "/train", trainBody(5))
+	doJSON(t, m, http.MethodPost, "/predict", map[string]any{"queries": [][]float64{{0.2, 0.2}}})
+
+	rec, out := doJSON(t, m, http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	if out["version"].(float64) != 1 || out["samples"].(float64) != 15 {
+		t.Errorf("stats: %v", out)
+	}
+	if out["shards"].(float64) != 2 || out["classes"].(float64) != 3 {
+		t.Errorf("stats shape: %v", out)
+	}
+	if out["reads_served"].(float64) < 1 {
+		t.Errorf("reads_served: %v", out["reads_served"])
+	}
+}
+
+func TestSnapshotDownloadWarmStart(t *testing.T) {
+	a := testApp(t)
+	m := a.mux()
+	doJSON(t, m, http.MethodPost, "/train", trainBody(8))
+
+	req := httptest.NewRequest(http.MethodGet, "/snapshot", nil)
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/snapshot = %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Snapshot-Version"); got != "1" {
+		t.Errorf("snapshot version header = %q", got)
+	}
+
+	// Warm-start a second app from the downloaded bytes (the -load path).
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := os.WriteFile(path, rec.Body.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := testApp(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := b.srv.Restore(f); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both apps must answer identically.
+	queries := map[string]any{"queries": [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}, {0.4, 0.6}}}
+	_, outA := doJSON(t, a.mux(), http.MethodPost, "/predict", queries)
+	_, outB := doJSON(t, b.mux(), http.MethodPost, "/predict", queries)
+	ca, cb := outA["classes"].([]any), outB["classes"].([]any)
+	for i := range ca {
+		if ca[i].(float64) != cb[i].(float64) {
+			t.Fatalf("warm-started app disagrees on query %d: %v vs %v", i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	a := testApp(t)
+	m := a.mux()
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{http.MethodGet, "/train", nil, http.StatusMethodNotAllowed},
+		{http.MethodGet, "/predict", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/stats", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/snapshot", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/train", map[string]any{}, http.StatusBadRequest},
+		{http.MethodPost, "/predict", map[string]any{}, http.StatusBadRequest},
+		{http.MethodPost, "/train", map[string]any{
+			"samples": []map[string]any{{"label": 0, "features": []float64{1}}}, // wrong arity
+		}, http.StatusBadRequest},
+		{http.MethodPost, "/train", map[string]any{
+			"samples": []map[string]any{{"label": 99, "features": []float64{0.1, 0.2}}}, // class range
+		}, http.StatusBadRequest},
+		{http.MethodPost, "/predict", map[string]any{"queries": [][]float64{{0.5}}}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		rec, _ := doJSON(t, m, c.method, c.path, c.body)
+		if rec.Code != c.want {
+			t.Errorf("case %d (%s %s): code %d, want %d — %s", i, c.method, c.path, rec.Code, c.want, rec.Body.String())
+		}
+	}
+	// Malformed JSON body.
+	req := httptest.NewRequest(http.MethodPost, "/train", bytes.NewReader([]byte("{nope")))
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON = %d", rec.Code)
+	}
+	// A failed batch must not advance the version.
+	_, out := doJSON(t, m, http.MethodGet, "/stats", nil)
+	if out["version"].(float64) != 0 {
+		t.Errorf("rejected requests advanced version to %v", out["version"])
+	}
+}
+
+// TestConcurrentTrafficThroughHandlers hammers predict from several
+// goroutines while training writes land — the HTTP-level smoke version of
+// the serving layer's race guarantee (run with -race in CI).
+func TestConcurrentTrafficThroughHandlers(t *testing.T) {
+	a := testApp(t)
+	m := a.mux()
+	doJSON(t, m, http.MethodPost, "/train", trainBody(5))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec, _ := doJSON(t, m, http.MethodPost, "/predict",
+					map[string]any{"queries": [][]float64{{0.1, 0.1}, {0.5, 0.9}}})
+				if rec.Code != http.StatusOK {
+					t.Errorf("predict under load = %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for b := 0; b < 10; b++ {
+		if rec, _ := doJSON(t, m, http.MethodPost, "/train", trainBody(3)); rec.Code != http.StatusOK {
+			t.Fatalf("train under load = %d", rec.Code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	_, out := doJSON(t, m, http.MethodGet, "/stats", nil)
+	if out["version"].(float64) != 11 {
+		t.Errorf("final version = %v, want 11", out["version"])
+	}
+}

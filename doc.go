@@ -23,6 +23,11 @@
 //     train and predict out across cores with results bit-identical to the
 //     sequential path for any worker count. See NewBatchPool, EncodeBatch,
 //     and the Classifier AddBatch/PredictBatch/RefineBatch methods.
+//   - Online serving: the models behind immutable, versioned snapshots —
+//     lock-free reads at any fan-in, a single-writer apply path for
+//     training/churn, consistent-hash sharding, and live snapshot
+//     persistence with warm start. See NewServer, ServerConfig, Snapshot,
+//     and the cmd/hdcserve HTTP front end.
 //
 // Every hot loop — bundling accumulation, majority thresholding, rotation,
 // nearest-prototype search — runs as a word-parallel kernel over the

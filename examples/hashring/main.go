@@ -14,7 +14,10 @@ import (
 )
 
 func main() {
-	ring := hdcirc.NewHashRing(64, 10000, 42)
+	ring, err := hdcirc.NewHashRing(64, 10000, 42)
+	if err != nil {
+		panic(err)
+	}
 	for _, s := range []string{"server-a", "server-b", "server-c", "server-d"} {
 		if _, err := ring.Add(s); err != nil {
 			panic(err)

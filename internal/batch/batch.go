@@ -59,24 +59,15 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		return
 	}
 	var (
-		cursor  atomic.Int64
-		wg      sync.WaitGroup
-		panicMu sync.Mutex
-		panicV  any
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		trap   panicTrap
 	)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicMu.Lock()
-					if panicV == nil {
-						panicV = r
-					}
-					panicMu.Unlock()
-				}
-			}()
+			defer trap.catch()
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
@@ -87,8 +78,34 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
-	if panicV != nil {
-		panic(panicV)
+	trap.reraise()
+}
+
+// panicTrap collects the first panic raised across a fleet of workers so it
+// can be re-raised on the calling goroutine after the fleet drains. Without
+// it a panic inside an anonymous worker goroutine is unrecoverable and
+// kills the whole process — fatal for a long-lived server.
+type panicTrap struct {
+	mu sync.Mutex
+	v  any
+}
+
+// catch records a recovered panic; call it in a deferred statement at the
+// top of each worker.
+func (t *panicTrap) catch() {
+	if r := recover(); r != nil {
+		t.mu.Lock()
+		if t.v == nil {
+			t.v = r
+		}
+		t.mu.Unlock()
+	}
+}
+
+// reraise panics on the caller with the first trapped value, if any.
+func (t *panicTrap) reraise() {
+	if t.v != nil {
+		panic(t.v)
 	}
 }
 
@@ -104,7 +121,10 @@ func Map[T, R any](p *Pool, in []T, fn func(T) R) []R {
 // Chunks invokes fn(lo, hi) over contiguous, non-overlapping index ranges
 // covering [0, n), one range per worker, sized as evenly as possible. Use
 // it when per-index dispatch is too fine-grained — e.g. merging per-worker
-// partial results that are themselves index-addressed.
+// partial results that are themselves index-addressed. Like ForEach, a
+// panic in any fn is re-raised on the calling goroutine after the
+// remaining workers drain; ranges claimed by other workers may or may not
+// have run.
 func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -117,7 +137,10 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg   sync.WaitGroup
+		trap panicTrap
+	)
 	wg.Add(w)
 	size, rem := n/w, n%w
 	lo := 0
@@ -128,9 +151,11 @@ func (p *Pool) Chunks(n int, fn func(lo, hi int)) {
 		}
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer trap.catch()
 			fn(lo, hi)
 		}(lo, hi)
 		lo = hi
 	}
 	wg.Wait()
+	trap.reraise()
 }

@@ -83,3 +83,55 @@ func TestForEachPropagatesPanic(t *testing.T) {
 		}
 	})
 }
+
+func TestForEachSingleWorkerPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	New(1).ForEach(10, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+// TestChunksPropagatesPanic pins the contract Chunks shares with ForEach:
+// a worker panic must surface on the calling goroutine instead of crashing
+// the process from an anonymous goroutine.
+func TestChunksPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		func() {
+			defer func() {
+				if r := recover(); r != "chunk-boom" {
+					t.Errorf("workers=%d: recovered %v, want chunk-boom", workers, r)
+				}
+			}()
+			New(workers).Chunks(100, func(lo, hi int) {
+				if lo <= 37 && 37 < hi {
+					panic("chunk-boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestChunksPanicStillDrains checks the non-panicking workers finish (the
+// call returns only after every goroutine is done) so no chunk goroutine
+// outlives the call.
+func TestChunksPanicStillDrains(t *testing.T) {
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		New(8).Chunks(8, func(lo, hi int) {
+			ran.Add(1)
+			if lo == 0 {
+				panic("x")
+			}
+		})
+	}()
+	if got := ran.Load(); got != 8 {
+		t.Errorf("only %d of 8 chunks ran before return", got)
+	}
+}

@@ -60,6 +60,17 @@ func (im *ItemMemory) Get(symbol string) *bitvec.Vector {
 	return v
 }
 
+// View returns the memory's symbols and their hypervectors in creation
+// order, as capacity-capped slices sharing the memory's storage. The
+// returned slices are a stable point-in-time view: later Gets only append
+// past their length, never move or mutate the vectors already handed out —
+// which is exactly what a snapshot-serving layer needs to publish an
+// immutable item-memory generation without copying it. Callers must not
+// modify the slices or the vectors.
+func (im *ItemMemory) View() (symbols []string, vectors []*bitvec.Vector) {
+	return im.syms[:len(im.syms):len(im.syms)], im.vecs[:len(im.vecs):len(im.vecs)]
+}
+
 // Lookup returns the stored symbol whose hypervector is most similar to q,
 // with its similarity; ok is false when the memory is empty. This is the
 // cleanup/associative-recall step of symbolic HDC. The scan runs on the
@@ -89,8 +100,16 @@ type ScalarEncoder struct {
 }
 
 // NewScalarEncoder wraps a basis set as an encoder of [lo, hi]. It panics
-// when hi <= lo or the set has fewer than 1 vector.
+// when the interval is degenerate — hi <= lo or a non-finite bound — or
+// the set has fewer than 1 vector. The bounds check matters: a zero-width
+// interval makes Index divide by zero and a NaN/Inf bound makes it feed
+// NaN into an int conversion, which Go leaves implementation-defined.
+// (Note `hi <= lo` alone would NOT reject NaN bounds: every comparison
+// with NaN is false.)
 func NewScalarEncoder(set *core.Set, lo, hi float64) *ScalarEncoder {
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		panic(fmt.Sprintf("embed: non-finite interval bound [%v,%v]", lo, hi))
+	}
 	if hi <= lo {
 		panic(fmt.Sprintf("embed: empty interval [%v,%v]", lo, hi))
 	}

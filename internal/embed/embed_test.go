@@ -82,6 +82,33 @@ func TestItemMemoryLookup(t *testing.T) {
 	}
 }
 
+func TestItemMemoryView(t *testing.T) {
+	im := NewItemMemory(256, 5)
+	for _, s := range []string{"a", "b", "c"} {
+		im.Get(s)
+	}
+	syms, vecs := im.View()
+	if len(syms) != 3 || len(vecs) != 3 {
+		t.Fatalf("view lengths %d/%d, want 3/3", len(syms), len(vecs))
+	}
+	// The view is a stable point in time: later Gets must not disturb it,
+	// and the vectors must be the exact stored ones.
+	im.Get("d")
+	im.Get("e")
+	for i, s := range []string{"a", "b", "c"} {
+		if syms[i] != s {
+			t.Errorf("view symbol %d = %q, want %q", i, syms[i], s)
+		}
+		if !vecs[i].Equal(im.Get(s)) {
+			t.Errorf("view vector for %q diverged from memory", s)
+		}
+	}
+	syms2, _ := im.View()
+	if len(syms2) != 5 {
+		t.Errorf("second view has %d symbols, want 5", len(syms2))
+	}
+}
+
 func TestItemMemoryPanicsOnBadDim(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -162,6 +189,26 @@ func TestScalarEncoderPanics(t *testing.T) {
 		}()
 		NewScalarEncoder(set, 5, 5)
 	}()
+	// Degenerate bounds that slip past a plain `hi <= lo` check: NaN
+	// compares false with everything, and ±Inf makes Index produce NaN
+	// before the int conversion.
+	for _, bad := range [][2]float64{
+		{math.NaN(), 1},
+		{0, math.NaN()},
+		{math.NaN(), math.NaN()},
+		{math.Inf(-1), math.Inf(1)},
+		{0, math.Inf(1)},
+		{7, 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("interval [%v,%v] did not panic", bad[0], bad[1])
+				}
+			}()
+			NewScalarEncoder(set, bad[0], bad[1])
+		}()
+	}
 	e := NewScalarEncoder(set, 0, 1)
 	func() {
 		defer func() {

@@ -20,7 +20,9 @@ import (
 )
 
 // Ring is a consistent-hashing ring over circular-hypervector positions.
-// It is not safe for concurrent mutation.
+// It is not safe for concurrent mutation; once membership stops changing,
+// Lookup and KeySlot are read-only and safe from any number of goroutines
+// (internal/serve relies on this for lock-free request routing).
 type Ring struct {
 	set     *core.Set
 	m       int
@@ -36,9 +38,15 @@ type Ring struct {
 }
 
 // New creates a ring with m positions (rounded up to even) of dimension d.
-func New(m, d int, seed uint64) *Ring {
+// It returns an error when m < 2 or d <= 0 — ring sizing often comes from
+// user or operator input in a server, so a bad size must be reportable, not
+// a panic.
+func New(m, d int, seed uint64) (*Ring, error) {
 	if m < 2 {
-		panic(fmt.Sprintf("hashring: need at least 2 positions, got %d", m))
+		return nil, fmt.Errorf("hashring: need at least 2 positions, got %d", m)
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("hashring: dimension must be positive, got %d", d)
 	}
 	if m%2 != 0 {
 		m++
@@ -51,7 +59,7 @@ func New(m, d int, seed uint64) *Ring {
 		slots:   make(map[int]string),
 		vectors: make(map[string]*bitvec.Vector),
 		seed:    seed,
-	}
+	}, nil
 }
 
 // Positions returns the number of ring positions m.
@@ -70,13 +78,15 @@ func (r *Ring) Members() []string {
 // Add places a member on the ring at the free slot that maximizes the
 // minimum circular distance to existing members (the even-spreading
 // strategy of HD hashing), and returns its slot. Adding an existing member
-// is an error; a full ring panics (capacity is a sizing decision).
+// or adding to a full ring is an error: membership churn is driven by
+// external events (fleet scale-up), and a server must be able to refuse an
+// overflowing join without crashing.
 func (r *Ring) Add(name string) (int, error) {
 	if _, ok := r.members[name]; ok {
 		return 0, fmt.Errorf("hashring: member %q already present", name)
 	}
 	if len(r.members) >= r.m {
-		panic(fmt.Sprintf("hashring: ring of %d positions is full", r.m))
+		return 0, fmt.Errorf("hashring: ring of %d positions is full", r.m)
 	}
 	slot := 0
 	if len(r.members) == 0 {

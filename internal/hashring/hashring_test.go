@@ -8,22 +8,48 @@ import (
 )
 
 func TestNewRoundsToEven(t *testing.T) {
-	r := New(9, 1024, 1)
+	r := mustNew(t, 9, 1024, 1)
 	if r.Positions() != 10 {
 		t.Errorf("positions = %d, want 10", r.Positions())
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("m<2 did not panic")
-			}
-		}()
-		New(1, 64, 1)
-	}()
+	if _, err := New(1, 64, 1); err == nil {
+		t.Error("m<2 accepted")
+	}
+	if _, err := New(8, 0, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func mustNew(t *testing.T, m, d int, seed uint64) *Ring {
+	t.Helper()
+	r, err := New(m, d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAddFullRingErrors(t *testing.T) {
+	r := mustNew(t, 2, 256, 11)
+	for i := 0; i < r.Positions(); i++ {
+		if _, err := r.Add(fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Add("overflow"); err == nil {
+		t.Fatal("full ring accepted another member")
+	}
+	// The failed join must not corrupt the ring: every key still routes.
+	if got := len(r.Members()); got != r.Positions() {
+		t.Errorf("members = %d after failed Add, want %d", got, r.Positions())
+	}
+	if _, ok := r.Lookup("some-key"); !ok {
+		t.Error("lookup failed after rejected Add")
+	}
 }
 
 func TestAddRemoveMembers(t *testing.T) {
-	r := New(16, 1024, 2)
+	r := mustNew(t, 16, 1024, 2)
 	if _, err := r.Add("a"); err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +74,7 @@ func TestAddRemoveMembers(t *testing.T) {
 }
 
 func TestAddSpreadsMembers(t *testing.T) {
-	r := New(16, 1024, 3)
+	r := mustNew(t, 16, 1024, 3)
 	slots := map[string]int{}
 	for _, n := range []string{"a", "b", "c", "d"} {
 		s, err := r.Add(n)
@@ -70,14 +96,14 @@ func TestAddSpreadsMembers(t *testing.T) {
 }
 
 func TestLookupEmpty(t *testing.T) {
-	r := New(8, 512, 4)
+	r := mustNew(t, 8, 512, 4)
 	if _, ok := r.Lookup("key"); ok {
 		t.Error("lookup on empty ring returned ok")
 	}
 }
 
 func TestLookupReturnsNearestMember(t *testing.T) {
-	r := New(32, 10000, 5)
+	r := mustNew(t, 32, 10000, 5)
 	for _, n := range []string{"a", "b", "c", "d"} {
 		if _, err := r.Add(n); err != nil {
 			t.Fatal(err)
@@ -117,7 +143,7 @@ func TestLookupReturnsNearestMember(t *testing.T) {
 }
 
 func TestLookupDeterministic(t *testing.T) {
-	r := New(16, 2048, 6)
+	r := mustNew(t, 16, 2048, 6)
 	for _, n := range []string{"x", "y", "z"} {
 		if _, err := r.Add(n); err != nil {
 			t.Fatal(err)
@@ -134,7 +160,7 @@ func TestConsistentHashingMinimalRemap(t *testing.T) {
 	// Removing one of four members must remap (essentially) only the keys
 	// it served — the defining consistent-hashing property.
 	build := func() *Ring {
-		r := New(64, 4096, 7)
+		r := mustNew(t, 64, 4096, 7)
 		for _, n := range []string{"a", "b", "c", "d"} {
 			if _, err := r.Add(n); err != nil {
 				t.Fatal(err)
@@ -169,7 +195,7 @@ func TestConsistentHashingMinimalRemap(t *testing.T) {
 func TestCorruptionRobustness(t *testing.T) {
 	// HD hashing's selling point: lookups survive significant bit
 	// corruption of the member vectors.
-	r := New(16, 10000, 8)
+	r := mustNew(t, 16, 10000, 8)
 	for _, n := range []string{"a", "b", "c", "d"} {
 		if _, err := r.Add(n); err != nil {
 			t.Fatal(err)
@@ -203,7 +229,7 @@ func TestCorruptionRobustness(t *testing.T) {
 }
 
 func TestCorruptPanicsOnBadFraction(t *testing.T) {
-	r := New(8, 512, 9)
+	r := mustNew(t, 8, 512, 9)
 	defer func() {
 		if recover() == nil {
 			t.Error("bad fraction did not panic")
@@ -213,7 +239,7 @@ func TestCorruptPanicsOnBadFraction(t *testing.T) {
 }
 
 func TestKeySlotStable(t *testing.T) {
-	r := New(32, 512, 10)
+	r := mustNew(t, 32, 512, 10)
 	if r.KeySlot("k") != r.KeySlot("k") {
 		t.Error("key slot not deterministic")
 	}

@@ -39,16 +39,14 @@ func (c *Classifier) AddBatch(p *batch.Pool, classes []int, hvs []*bitvec.Vector
 			acc.Add(hvs[i])
 		}
 	})
-	c.class = nil
+	c.class.Store(nil)
 }
 
 // PredictBatch classifies every sample across the pool, returning the
 // predicted classes and normalized distances in input order. The result is
 // bit-identical to calling Predict sequentially.
 func (c *Classifier) PredictBatch(p *batch.Pool, hvs []*bitvec.Vector) (classes []int, distances []float64) {
-	if c.class == nil {
-		c.Finalize()
-	}
+	c.finalized() // finalize once up front rather than racing in the workers
 	classes = make([]int, len(hvs))
 	distances = make([]float64, len(hvs))
 	p.ForEach(len(hvs), func(i int) {
@@ -83,7 +81,7 @@ func (c *Classifier) RefineBatch(p *batch.Pool, hvs []*bitvec.Vector, labels []i
 			}
 		}
 		updates = append(updates, n)
-		c.class = nil
+		c.class.Store(nil)
 		if n == 0 {
 			break
 		}

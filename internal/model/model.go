@@ -11,10 +11,24 @@
 // Regression (Section 2.3): a single model hypervector memorizes the bundle
 // of φ(x) ⊗ φℓ(y) pairs. Prediction unbinds the query (binding is its own
 // inverse), cleans up against the label basis and decodes.
+//
+// # Concurrency
+//
+// Reads (Predict, Scores, ClassVector, Model, PredictVector) are safe to
+// call from any number of goroutines, including the first read after
+// training: the lazily finalized prototypes live behind an atomic pointer
+// and the finalization itself is serialized by a mutex, so exactly one
+// goroutine thresholds the accumulators while the rest wait and then share
+// the published result. Writes (Add, Sub, Refine, the batch variants) are
+// NOT safe concurrently with each other or with reads — serve them through
+// a single writer (see internal/serve for the lock-free snapshot layer
+// built on top of this contract).
 package model
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/embed"
@@ -27,11 +41,14 @@ import (
 
 // Classifier is the centroid HDC classification model M = {M_1, …, M_k}.
 type Classifier struct {
-	k, d  int
-	accs  []*bitvec.Accumulator
-	class []*bitvec.Vector // thresholded prototypes; nil until Finalize
-	tie   bitvec.TieBreak
-	src   *rng.Stream
+	k, d    int
+	accs    []*bitvec.Accumulator
+	tie     bitvec.TieBreak
+	src     *rng.Stream
+	tieVecs []*bitvec.Vector // optional fixed per-class tie vectors; see SetTieVectors
+
+	mu    sync.Mutex                       // serializes finalization
+	class atomic.Pointer[[]*bitvec.Vector] // finalized prototypes; nil until finalize
 }
 
 // NewClassifier creates a classifier over k classes and dimension d. Ties
@@ -61,31 +78,90 @@ func (c *Classifier) NumClasses() int { return c.k }
 // Dim returns the hypervector dimension.
 func (c *Classifier) Dim() int { return c.d }
 
+// SetTieVectors switches finalization from the default random tie coins to
+// fixed per-class tie vectors: class i's prototype becomes
+// accs[i].ThresholdTieVector(tvs[i]). This makes Finalize a pure,
+// idempotent function of the accumulator state — the same accumulators
+// always threshold to the same prototypes, regardless of how many times or
+// in what order classes are finalized — which is what snapshot-based
+// serving (internal/serve) and cross-shard determinism need. Pass vectors
+// of the classifier's dimension, one per class; call before training.
+func (c *Classifier) SetTieVectors(tvs []*bitvec.Vector) {
+	if len(tvs) != c.k {
+		panic(fmt.Sprintf("model: %d tie vectors for %d classes", len(tvs), c.k))
+	}
+	for i, tv := range tvs {
+		if tv.Dim() != c.d {
+			panic(fmt.Sprintf("model: tie vector %d has dimension %d, classifier %d", i, tv.Dim(), c.d))
+		}
+	}
+	c.tieVecs = tvs
+	c.class.Store(nil)
+}
+
 // Add bundles one encoded training sample into its class accumulator and
 // invalidates the finalized prototypes.
 func (c *Classifier) Add(class int, hv *bitvec.Vector) {
 	c.checkClass(class)
 	c.accs[class].Add(hv)
-	c.class = nil
+	c.class.Store(nil)
+}
+
+// Sub removes one encoded sample's weight from a class accumulator — the
+// inverse of Add, used by online refinement (move a misclassified sample
+// out of the wrongly predicted class) and by serving-layer un-learning.
+func (c *Classifier) Sub(class int, hv *bitvec.Vector) {
+	c.checkClass(class)
+	c.accs[class].Sub(hv)
+	c.class.Store(nil)
 }
 
 // Finalize thresholds the accumulators into class-vectors. It must be
 // called after training (and after any refinement) before Predict; Predict
-// calls it implicitly when needed.
+// calls it implicitly when needed. Explicit calls always re-threshold
+// (consuming fresh tie coins unless SetTieVectors made finalization
+// deterministic).
 func (c *Classifier) Finalize() {
-	c.class = make([]*bitvec.Vector, c.k)
-	for i, acc := range c.accs {
-		c.class[i] = acc.Threshold(c.tie, c.src)
-	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.finalizeLocked()
 }
 
-// ClassVector returns class i's prototype, finalizing if necessary.
+// finalizeLocked thresholds under c.mu and publishes the prototype slice.
+func (c *Classifier) finalizeLocked() []*bitvec.Vector {
+	vs := make([]*bitvec.Vector, c.k)
+	for i, acc := range c.accs {
+		if c.tieVecs != nil {
+			vs[i] = acc.ThresholdTieVector(c.tieVecs[i])
+		} else {
+			vs[i] = acc.Threshold(c.tie, c.src)
+		}
+	}
+	c.class.Store(&vs)
+	return vs
+}
+
+// finalized returns the published prototypes, finalizing at most once when
+// the cache is empty. Safe for concurrent callers: the fast path is a
+// single atomic load, and the slow path double-checks under the mutex so
+// racing first readers agree on one finalization.
+func (c *Classifier) finalized() []*bitvec.Vector {
+	if p := c.class.Load(); p != nil {
+		return *p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.class.Load(); p != nil {
+		return *p
+	}
+	return c.finalizeLocked()
+}
+
+// ClassVector returns class i's prototype, finalizing if necessary. The
+// returned vector is shared — do not mutate it.
 func (c *Classifier) ClassVector(i int) *bitvec.Vector {
 	c.checkClass(i)
-	if c.class == nil {
-		c.Finalize()
-	}
-	return c.class[i]
+	return c.finalized()[i]
 }
 
 // Predict returns the class whose prototype is most similar to the query,
@@ -93,19 +169,13 @@ func (c *Classifier) ClassVector(i int) *bitvec.Vector {
 // nearest-neighbor kernel (no per-class allocation or float division, early
 // exit per candidate); ties resolve to the lowest class index.
 func (c *Classifier) Predict(q *bitvec.Vector) (class int, distance float64) {
-	if c.class == nil {
-		c.Finalize()
-	}
-	idx, hd := bitvec.Nearest(q, c.class)
+	idx, hd := bitvec.Nearest(q, c.finalized())
 	return idx, float64(hd) / float64(c.d)
 }
 
 // Scores returns the similarity of the query to every class prototype.
 func (c *Classifier) Scores(q *bitvec.Vector) []float64 {
-	if c.class == nil {
-		c.Finalize()
-	}
-	hds := bitvec.DistanceMany(q, c.class, make([]int, c.k))
+	hds := bitvec.DistanceMany(q, c.finalized(), make([]int, c.k))
 	out := make([]float64, c.k)
 	for i, hd := range hds {
 		out[i] = 1 - float64(hd)/float64(c.d)
@@ -137,7 +207,7 @@ func (c *Classifier) Refine(hvs []*bitvec.Vector, labels []int, epochs int) []in
 			}
 		}
 		updates = append(updates, n)
-		c.class = nil
+		c.class.Store(nil)
 		if n == 0 {
 			break
 		}
@@ -159,11 +229,14 @@ func (c *Classifier) checkClass(i int) {
 // Regressor is the single-hypervector regression model
 // M = ⊕_i φ(x_i) ⊗ φℓ(y_i).
 type Regressor struct {
-	d     int
-	acc   *bitvec.Accumulator
-	model *bitvec.Vector // thresholded; nil until Finalize
-	tie   bitvec.TieBreak
-	src   *rng.Stream
+	d      int
+	acc    *bitvec.Accumulator
+	tie    bitvec.TieBreak
+	src    *rng.Stream
+	tieVec *bitvec.Vector // optional fixed tie vector; see SetTieVector
+
+	mu    sync.Mutex                    // serializes finalization
+	model atomic.Pointer[bitvec.Vector] // thresholded; nil until finalize
 }
 
 // NewRegressor creates a regressor over dimension d; majority ties are
@@ -183,11 +256,22 @@ func NewRegressor(d int, seed uint64) *Regressor {
 // Dim returns the hypervector dimension.
 func (r *Regressor) Dim() int { return r.d }
 
+// SetTieVector switches finalization to a fixed tie vector, making it a
+// pure, idempotent function of the accumulator state (see
+// Classifier.SetTieVectors). Call before training.
+func (r *Regressor) SetTieVector(tv *bitvec.Vector) {
+	if tv.Dim() != r.d {
+		panic(fmt.Sprintf("model: tie vector has dimension %d, regressor %d", tv.Dim(), r.d))
+	}
+	r.tieVec = tv
+	r.model.Store(nil)
+}
+
 // Add memorizes one training pair: the binding of the encoded sample and
 // the encoded label is bundled into the model.
 func (r *Regressor) Add(sampleHV, labelHV *bitvec.Vector) {
 	r.acc.Add(sampleHV.Xor(labelHV))
-	r.model = nil
+	r.model.Store(nil)
 }
 
 // N returns the number of memorized pairs.
@@ -195,15 +279,34 @@ func (r *Regressor) N() int { return r.acc.N() }
 
 // Finalize thresholds the accumulator into the model hypervector.
 func (r *Regressor) Finalize() {
-	r.model = r.acc.Threshold(r.tie, r.src)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finalizeLocked()
 }
 
-// Model returns the model hypervector, finalizing if needed.
-func (r *Regressor) Model() *bitvec.Vector {
-	if r.model == nil {
-		r.Finalize()
+func (r *Regressor) finalizeLocked() *bitvec.Vector {
+	var m *bitvec.Vector
+	if r.tieVec != nil {
+		m = r.acc.ThresholdTieVector(r.tieVec)
+	} else {
+		m = r.acc.Threshold(r.tie, r.src)
 	}
-	return r.model
+	r.model.Store(m)
+	return m
+}
+
+// Model returns the model hypervector, finalizing if needed. Safe for
+// concurrent readers (shared — do not mutate the result).
+func (r *Regressor) Model() *bitvec.Vector {
+	if m := r.model.Load(); m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.model.Load(); m != nil {
+		return m
+	}
+	return r.finalizeLocked()
 }
 
 // PredictVector returns the approximate label hypervector M ⊗ φ(x̂); the

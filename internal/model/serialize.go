@@ -27,9 +27,7 @@ const (
 // (the accumulators) is intentionally not persisted; a loaded model serves
 // inference only.
 func (c *Classifier) WriteTo(w io.Writer) (int64, error) {
-	if c.class == nil {
-		c.Finalize()
-	}
+	class := c.finalized()
 	header := make([]byte, 4+4+8)
 	copy(header, classifierMagic)
 	binary.LittleEndian.PutUint32(header[4:], modelVersion)
@@ -40,7 +38,7 @@ func (c *Classifier) WriteTo(w io.Writer) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	for _, m := range c.class {
+	for _, m := range class {
 		kk, err := m.WriteTo(w)
 		n += kk
 		if err != nil {
@@ -51,8 +49,16 @@ func (c *Classifier) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadClassifier deserializes a classifier written by WriteTo. The result
-// predicts exactly like the saved model; it can also keep training (the
-// prototypes are re-seeded into fresh accumulators with unit weight).
+// predicts exactly like the saved model; it can also keep training, but
+// note the re-seeding caveat: the binary prototypes are loaded into fresh
+// accumulators with UNIT weight, because the integer training counts are
+// intentionally not persisted. A class trained on n samples therefore
+// resumes as if it had seen one sample, so continued Add/Refine moves the
+// prototype much faster than it would have moved the original model —
+// fine for fine-tuning on fresh data, skewed if you expect the old
+// training mass to keep anchoring the centroid. Keep the live accumulators
+// (or a serve.Server warm start, which documents the same property) when
+// refinement must continue exactly where it left off.
 func ReadClassifier(r io.Reader, seed uint64) (*Classifier, error) {
 	header := make([]byte, 4+4+8)
 	if _, err := io.ReadFull(r, header); err != nil {
@@ -86,7 +92,7 @@ func ReadClassifier(r io.Reader, seed uint64) (*Classifier, error) {
 	for i, v := range vecs {
 		c.accs[i].Add(v)
 	}
-	c.class = vecs
+	c.class.Store(&vecs)
 	return c, nil
 }
 
@@ -123,6 +129,6 @@ func ReadRegressor(rd io.Reader, seed uint64) (*Regressor, error) {
 	}
 	reg := NewRegressor(v.Dim(), seed)
 	reg.acc.Add(v)
-	reg.model = v
+	reg.model.Store(v)
 	return reg, nil
 }

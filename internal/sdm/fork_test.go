@@ -1,0 +1,117 @@
+package sdm
+
+import (
+	"sync"
+	"testing"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/rng"
+)
+
+// TestForkIsolatesParent writes to a fork and checks the parent's reads are
+// byte-identical to before the fork — the copy-on-write contract snapshot
+// serving depends on.
+func TestForkIsolatesParent(t *testing.T) {
+	m := testMemory(1)
+	src := rng.New(2)
+	stored := make([]*bitvec.Vector, 8)
+	for i := range stored {
+		stored[i] = bitvec.Random(256, src)
+		m.Write(stored[i], stored[i])
+	}
+	parentReads := make([]*bitvec.Vector, len(stored))
+	for i, v := range stored {
+		got, ok := m.Read(v)
+		if !ok {
+			t.Fatalf("parent read %d failed", i)
+		}
+		parentReads[i] = got
+	}
+
+	f := m.Fork()
+	if f.Writes() != m.Writes() {
+		t.Errorf("fork writes = %d, parent %d", f.Writes(), m.Writes())
+	}
+	// Fork starts identical.
+	for i, v := range stored {
+		got, ok := f.Read(v)
+		if !ok || !got.Equal(parentReads[i]) {
+			t.Fatalf("fork read %d differs from parent before any write", i)
+		}
+	}
+	// Hammer the fork; the parent must not move.
+	for i := 0; i < 16; i++ {
+		v := bitvec.Random(256, src)
+		f.Write(v, v)
+	}
+	for i, v := range stored {
+		got, ok := m.Read(v)
+		if !ok || !got.Equal(parentReads[i]) {
+			t.Fatalf("parent read %d changed after writes to fork", i)
+		}
+	}
+	if f.Writes() != m.Writes()+16 {
+		t.Errorf("fork writes = %d, want %d", f.Writes(), m.Writes()+16)
+	}
+}
+
+// TestForkChainMatchesDirectWrites checks a chain of forks (one per write
+// batch, the serving pattern) reads identically to a single memory given
+// the same writes in the same order.
+func TestForkChainMatchesDirectWrites(t *testing.T) {
+	direct := testMemory(3)
+	head := testMemory(3)
+	src := rng.New(4)
+	var cues []*bitvec.Vector
+	for batch := 0; batch < 5; batch++ {
+		head = head.Fork()
+		for j := 0; j < 4; j++ {
+			v := bitvec.Random(256, src)
+			cues = append(cues, v)
+			direct.Write(v, v)
+			head.Write(v, v)
+		}
+	}
+	for i, v := range cues {
+		a, aok := direct.Read(v)
+		b, bok := head.Read(v)
+		if aok != bok || (aok && !a.Equal(b)) {
+			t.Fatalf("fork-chain read %d diverged from direct memory", i)
+		}
+	}
+}
+
+// TestForkConcurrentReadsDuringForkWrites reads a published generation from
+// many goroutines while the writer mutates its fork — the -race exercise
+// for the COW contract.
+func TestForkConcurrentReadsDuringForkWrites(t *testing.T) {
+	m := testMemory(5)
+	src := rng.New(6)
+	stored := make([]*bitvec.Vector, 8)
+	for i := range stored {
+		stored[i] = bitvec.Random(256, src)
+		m.Write(stored[i], stored[i])
+	}
+	f := m.Fork()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				for _, v := range stored {
+					if _, ok := m.Read(v); !ok {
+						t.Error("read failed")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wsrc := rng.New(7)
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(256, wsrc)
+		f.Write(v, v)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/rng"
+)
+
+// TestConcurrentReadersBitIdenticalToSequential is the serving layer's
+// acceptance stress test, meant to run under -race: 8 readers hammer
+// Predict/Scores/Lookup while a writer streams training batches, item
+// churn and refinement through ApplyBatch. Every observation a reader
+// makes is tagged with the snapshot version it came from and checked —
+// after the fact — against a sequential replay of the same batches on the
+// unsharded reference model: reads must be bit-identical to the
+// sequential model at every published version.
+func TestConcurrentReadersBitIdenticalToSequential(t *testing.T) {
+	const (
+		readers   = 8
+		batches   = 24
+		batchSize = 12
+		nQueries  = 12
+	)
+	cfg := testConfig(4)
+	s := mustServer(t, cfg)
+
+	queries := randomSamples(nQueries, 7001)
+	trainBatches := make([][]Sample, batches)
+	for b := range trainBatches {
+		trainBatches[b] = randomSamples(batchSize, uint64(8000+b))
+	}
+
+	// Sequential replay first: record, per version, the expected
+	// prediction and distance for every probe query.
+	type expect struct {
+		class []int
+		dist  []float64
+	}
+	expected := make([]expect, batches+1)
+	ref := referenceClassifier(cfg)
+	record := func(v int) {
+		e := expect{class: make([]int, nQueries), dist: make([]float64, nQueries)}
+		for i, q := range queries {
+			e.class[i], e.dist[i] = ref.Predict(q.HV)
+		}
+		expected[v] = e
+	}
+	ref.Finalize()
+	record(0)
+	for b, samples := range trainBatches {
+		for _, smp := range samples {
+			ref.Add(smp.Class, smp.HV)
+		}
+		ref.Finalize()
+		record(b + 1)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		done      atomic.Bool
+		checks    atomic.Int64
+		mismatch  atomic.Int64
+		badDetail atomic.Value
+	)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for !done.Load() {
+				snap := s.Snapshot() // one consistent version for the whole pass
+				v := snap.Version()
+				for i, q := range queries {
+					class, dist := snap.Predict(q.HV)
+					e := expected[v]
+					if class != e.class[i] || dist != e.dist[i] {
+						mismatch.Add(1)
+						badDetail.Store([3]int{int(v), i, class})
+					}
+					checks.Add(1)
+				}
+				// Exercise the other read surfaces for race coverage.
+				_ = snap.Scores(queries[g%nQueries].HV)
+				_, _, _ = snap.Lookup(queries[g%nQueries].HV)
+				_, _ = snap.Item("warm/3")
+			}
+		}(g)
+	}
+
+	// The writer streams batches while the readers run; every published
+	// snapshot gets its prototypes checked against the replay too.
+	for b, samples := range trainBatches {
+		batch := Batch{Train: samples}
+		if b%5 == 1 {
+			batch.Items = []string{"warm/1", "warm/2", "warm/3"}
+		}
+		snap, err := s.ApplyBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := snap.Version(), uint64(b+1); got != want {
+			t.Fatalf("published version %d, want %d", got, want)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+
+	if checks.Load() < readers*nQueries {
+		t.Fatalf("readers made only %d checks", checks.Load())
+	}
+	if m := mismatch.Load(); m != 0 {
+		t.Fatalf("%d of %d concurrent reads diverged from the sequential model (first: version/query/class %v)",
+			m, checks.Load(), badDetail.Load())
+	}
+
+	// And the final state matches the replay exactly.
+	final := s.Snapshot()
+	for c := 0; c < cfg.Classes; c++ {
+		if !final.ClassVector(c).Equal(ref.ClassVector(c)) {
+			t.Fatalf("final prototype %d differs from sequential model", c)
+		}
+	}
+}
+
+// TestConcurrentWriters checks ApplyBatch is safe (serialized) for
+// concurrent callers: versions stay dense and the result equals a
+// sequential application of the same multiset of batches.
+func TestConcurrentWriters(t *testing.T) {
+	cfg := testConfig(3)
+	s := mustServer(t, cfg)
+	const writers = 6
+	batchesPerWriter := 4
+	all := make([][]Sample, writers*batchesPerWriter)
+	for i := range all {
+		all[i] = randomSamples(8, uint64(9000+i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batchesPerWriter; b++ {
+				if _, err := s.ApplyBatch(Batch{Train: all[w*batchesPerWriter+b]}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := s.Snapshot().Version(); v != uint64(len(all)) {
+		t.Fatalf("final version %d, want %d (dense single-writer ordering)", v, len(all))
+	}
+	// Accumulator addition commutes, so any interleaving must equal the
+	// sequential application.
+	ref := referenceClassifier(cfg)
+	for _, samples := range all {
+		for _, smp := range samples {
+			ref.Add(smp.Class, smp.HV)
+		}
+	}
+	final := s.Snapshot()
+	for c := 0; c < cfg.Classes; c++ {
+		if !final.ClassVector(c).Equal(ref.ClassVector(c)) {
+			t.Fatalf("prototype %d differs from sequential multiset application", c)
+		}
+	}
+}
+
+// TestSaveUnderConcurrentReadsAndWrites serializes snapshots while readers
+// and a writer are active, then warm-starts servers from the saved bytes
+// and checks each restore reproduces the exact version it captured.
+func TestSaveUnderConcurrentReadsAndWrites(t *testing.T) {
+	cfg := testConfig(2)
+	s := mustServer(t, cfg)
+	queries := randomSamples(8, 7100)
+
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				for _, q := range queries {
+					s.Predict(q.HV)
+				}
+			}
+		}()
+	}
+
+	type saved struct {
+		bytes []byte
+		snap  *Snapshot
+	}
+	var saves []saved
+	for b := 0; b < 10; b++ {
+		snap, err := s.ApplyBatch(Batch{Train: randomSamples(10, uint64(7200+b))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		saves = append(saves, saved{bytes: buf.Bytes(), snap: snap})
+	}
+	done.Store(true)
+	wg.Wait()
+
+	for i, sv := range saves {
+		fresh := mustServer(t, cfg)
+		if err := fresh.Restore(bytes.NewReader(sv.bytes)); err != nil {
+			t.Fatalf("restore of save %d: %v", i, err)
+		}
+		got := fresh.Snapshot()
+		if got.Version() != sv.snap.Version() {
+			t.Fatalf("save %d restored version %d, want %d", i, got.Version(), sv.snap.Version())
+		}
+		for c := 0; c < cfg.Classes; c++ {
+			if !got.ClassVector(c).Equal(sv.snap.ClassVector(c)) {
+				t.Fatalf("save %d: restored prototype %d differs", i, c)
+			}
+		}
+		for qi, q := range queries {
+			ac, ad := sv.snap.Predict(q.HV)
+			bc, bd := got.Predict(q.HV)
+			if ac != bc || ad != bd {
+				t.Fatalf("save %d query %d: restored predict differs", i, qi)
+			}
+		}
+	}
+}
+
+// TestSnapshotStableWhileHeld pins the immutability contract directly: a
+// held snapshot's observable state must not move, no matter how much the
+// server trains afterwards.
+func TestSnapshotStableWhileHeld(t *testing.T) {
+	s := mustServer(t, testConfig(3))
+	if _, err := s.ApplyBatch(Batch{Train: randomSamples(16, 7300)}); err != nil {
+		t.Fatal(err)
+	}
+	held := s.Snapshot()
+	queries := randomSamples(8, 7301)
+	before := make([]int, len(queries))
+	for i, q := range queries {
+		before[i], _ = held.Predict(q.HV)
+	}
+	protos := make([]*bitvec.Vector, s.Config().Classes)
+	for c := range protos {
+		protos[c] = held.ClassVector(c).Clone()
+	}
+	for b := 0; b < 8; b++ {
+		if _, err := s.ApplyBatch(Batch{Train: randomSamples(16, uint64(7400+b))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, q := range queries {
+		if got, _ := held.Predict(q.HV); got != before[i] {
+			t.Fatalf("held snapshot's prediction %d drifted", i)
+		}
+	}
+	for c := range protos {
+		if !held.ClassVector(c).Equal(protos[c]) {
+			t.Fatalf("held snapshot's prototype %d mutated", c)
+		}
+	}
+}
+
+// referenceClassifier equivalence also needs the tie vectors to be what the
+// server derives; this guards the derivation against accidental renames.
+func TestClassTieVectorDerivation(t *testing.T) {
+	a := classTieVector(5, 128, 3)
+	b := bitvec.Random(128, rng.Sub(5, "serve/ties/class/3"))
+	if !a.Equal(b) {
+		t.Fatal("classTieVector derivation changed; update referenceClassifier and persisted-snapshot docs")
+	}
+}

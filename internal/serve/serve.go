@@ -1,0 +1,590 @@
+// Package serve is the concurrency-safe online inference layer: it wraps
+// the mutable learning models (Classifier, Regressor, ItemMemory, SDM)
+// behind immutable, versioned snapshots swapped through an atomic pointer.
+//
+// The contract splits the world into two planes:
+//
+//   - Reads (Predict, Scores, Lookup, PredictValue, Cleanup) run against
+//     the current Snapshot: a frozen, finalized view that is never mutated
+//     after publication. Grabbing it is one atomic load, so reads are
+//     lock-free, race-free at any fan-in, and internally consistent — a
+//     request that loads snapshot v sees ALL of v and nothing of v+1.
+//
+//   - Writes (ApplyBatch: training samples, regression pairs, item-memory
+//     membership churn, SDM writes, refinement) go through a single-writer
+//     apply path. The writer validates the whole batch first (a rejected
+//     batch mutates nothing), applies it to the master models, rebuilds
+//     only the shard views the batch dirtied, and publishes a new snapshot
+//     with the next version number.
+//
+// Snapshots are deterministic: shard classifiers finalize with fixed
+// per-class tie vectors derived from (seed, global class id), so the
+// published prototypes are a pure function of the training multiset —
+// independent of worker count, shard count, apply interleaving, and how
+// many times finalization ran. That is what makes the serving layer
+// testable: a concurrent run must be bit-identical to a sequential replay
+// at every published version.
+//
+// Sharding follows the HD-hashing lineage the repo reproduces (Heddes et
+// al., DAC 2022): an internal/hashring ring routes class ids and item
+// symbols to per-shard sub-models, so k classes or large item memories
+// spread across shards, and the per-shard work (apply, finalize, scans)
+// fans out over the internal/batch pool.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hdcirc/internal/batch"
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/hashring"
+	"hdcirc/internal/model"
+	"hdcirc/internal/rng"
+	"hdcirc/internal/sdm"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Dim is the hypervector dimension (required, > 0).
+	Dim int
+	// Classes is the number of classifier classes (required, > 0).
+	Classes int
+	// Shards is the number of sub-model shards classes and item symbols
+	// are routed across; <= 0 selects 1.
+	Shards int
+	// Workers sizes the batch pool used for fan-out; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Seed derives every stream the server uses (tie vectors, item
+	// vectors, ring positions). Two servers with equal configs are
+	// bit-identical given equal write sequences.
+	Seed uint64
+	// Labels optionally enables the regression engine: pairs are decoded
+	// against this label encoder. Nil disables regression.
+	Labels *embed.ScalarEncoder
+	// Cleanup optionally enables the SDM cleanup memory. Nil disables it.
+	Cleanup *sdm.Config
+	// RingPositions sizes the consistent-hashing ring used for routing;
+	// <= 0 selects max(8, 2*Shards). Must be >= Shards.
+	RingPositions int
+}
+
+// shardState is one shard's mutable master models, guarded by the server's
+// writer mutex.
+type shardState struct {
+	classes []int             // global class ids in ascending order
+	local   map[int]int       // global class id → local index
+	cls     *model.Classifier // nil when the shard owns no classes
+	items   *embed.ItemMemory
+}
+
+// Server hosts the models behind versioned snapshots. All read methods are
+// safe for unbounded concurrent use; ApplyBatch and Restore are safe for
+// concurrent callers too but serialize internally (single-writer).
+type Server struct {
+	cfg     Config
+	pool    *batch.Pool
+	ring    *hashring.Ring
+	shardOf []int // global class id → shard
+
+	mu      sync.Mutex // the single-writer apply path
+	shards  []*shardState
+	reg     *model.Regressor
+	mem     *sdm.Memory // current COW head; published heads are never written again
+	samples uint64
+	pairs   uint64
+	nitems  int
+	version uint64
+
+	snap  atomic.Pointer[Snapshot]
+	reads atomic.Uint64
+}
+
+// shardMember returns shard i's ring member name.
+func shardMember(i int) string { return fmt.Sprintf("shard/%d", i) }
+
+// NewServer validates the config, builds the ring and shard masters, and
+// publishes snapshot version 0 (the empty model). Config problems are
+// errors, not panics: server sizing comes from operator input.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("serve: dimension must be positive, got %d", cfg.Dim)
+	}
+	if cfg.Classes <= 0 {
+		return nil, fmt.Errorf("serve: class count must be positive, got %d", cfg.Classes)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.RingPositions <= 0 {
+		cfg.RingPositions = 2 * cfg.Shards
+		if cfg.RingPositions < 8 {
+			cfg.RingPositions = 8
+		}
+	}
+	if cfg.RingPositions < cfg.Shards {
+		return nil, fmt.Errorf("serve: %d ring positions cannot hold %d shards", cfg.RingPositions, cfg.Shards)
+	}
+	if cfg.Labels != nil && cfg.Labels.Set().Dim() != cfg.Dim {
+		return nil, fmt.Errorf("serve: label encoder dimension %d, server %d", cfg.Labels.Set().Dim(), cfg.Dim)
+	}
+	ring, err := hashring.New(cfg.RingPositions, cfg.Dim, rng.Sub(cfg.Seed, "serve/ring").Uint64())
+	if err != nil {
+		return nil, fmt.Errorf("serve: building routing ring: %w", err)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		if _, err := ring.Add(shardMember(i)); err != nil {
+			return nil, fmt.Errorf("serve: placing shard %d: %w", i, err)
+		}
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		pool:    batch.New(cfg.Workers),
+		ring:    ring,
+		shardOf: make([]int, cfg.Classes),
+		shards:  make([]*shardState, cfg.Shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shardState{
+			local: make(map[int]int),
+			items: embed.NewItemMemory(cfg.Dim, cfg.Seed),
+		}
+	}
+	// Route classes to shards through the ring, in ascending class order so
+	// each shard's class list stays sorted (the global tie-break in Predict
+	// depends on that).
+	for c := 0; c < cfg.Classes; c++ {
+		sh, err := s.routeKey(fmt.Sprintf("class/%d", c))
+		if err != nil {
+			return nil, err
+		}
+		s.shardOf[c] = sh
+		st := s.shards[sh]
+		st.local[c] = len(st.classes)
+		st.classes = append(st.classes, c)
+	}
+	// Shard classifiers finalize with fixed tie vectors derived from the
+	// GLOBAL class id, so prototypes are identical no matter which shard a
+	// class lands on — the determinism the snapshot contract promises.
+	for _, st := range s.shards {
+		if len(st.classes) == 0 {
+			continue
+		}
+		st.cls = model.NewClassifier(len(st.classes), cfg.Dim, cfg.Seed)
+		tvs := make([]*bitvec.Vector, len(st.classes))
+		for i, c := range st.classes {
+			tvs[i] = classTieVector(cfg.Seed, cfg.Dim, c)
+		}
+		st.cls.SetTieVectors(tvs)
+	}
+	if cfg.Labels != nil {
+		s.reg = model.NewRegressor(cfg.Dim, cfg.Seed)
+		s.reg.SetTieVector(bitvec.Random(cfg.Dim, rng.Sub(cfg.Seed, "serve/ties/regressor")))
+	}
+	if cfg.Cleanup != nil {
+		s.mem = sdm.New(*cfg.Cleanup)
+		if s.mem.Dim() != cfg.Dim {
+			return nil, fmt.Errorf("serve: cleanup memory dimension %d, server %d", s.mem.Dim(), cfg.Dim)
+		}
+	}
+	s.snap.Store(s.buildSnapshotLocked(nil, nil))
+	return s, nil
+}
+
+// classTieVector derives the fixed finalization tie vector for a global
+// class id.
+func classTieVector(seed uint64, d, class int) *bitvec.Vector {
+	return bitvec.Random(d, rng.Sub(seed, fmt.Sprintf("serve/ties/class/%d", class)))
+}
+
+// routeKey maps an arbitrary routing key to a shard index via the ring.
+func (s *Server) routeKey(key string) (int, error) {
+	member, ok := s.ring.Lookup(key)
+	if !ok {
+		return 0, fmt.Errorf("serve: routing ring has no members")
+	}
+	var sh int
+	if _, err := fmt.Sscanf(member, "shard/%d", &sh); err != nil || sh < 0 || sh >= len(s.shards) {
+		return 0, fmt.Errorf("serve: ring returned foreign member %q", member)
+	}
+	return sh, nil
+}
+
+// Route reports which shard serves an arbitrary routing key, with the ring
+// member name and ring slot — the HD-hashing lookup as a service. Safe for
+// concurrent use (ring membership is fixed after construction).
+func (s *Server) Route(key string) (shard int, member string, slot int) {
+	member, _ = s.ring.Lookup(key)
+	fmt.Sscanf(member, "shard/%d", &shard)
+	return shard, member, s.ring.KeySlot(key)
+}
+
+// Config returns the server's (normalized) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Pool returns the server's batch pool, for callers that want to fan out
+// encoding next to serving.
+func (s *Server) Pool() *batch.Pool { return s.pool }
+
+// Snapshot returns the current published snapshot: one atomic load, safe
+// at any read fan-in. The result is immutable — hold it as long as needed;
+// later writes publish new snapshots instead of touching this one.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// ---------------------------------------------------------------------------
+// Write plane
+// ---------------------------------------------------------------------------
+
+// Sample is one encoded classification training example.
+type Sample struct {
+	Class int
+	HV    *bitvec.Vector
+}
+
+// Pair is one encoded regression pair (sample hypervector, label value).
+// The label is encoded through the server's label encoder at apply time.
+type Pair struct {
+	X     *bitvec.Vector
+	Value float64
+}
+
+// MemWrite is one SDM cleanup-memory write.
+type MemWrite struct {
+	Address *bitvec.Vector
+	Data    *bitvec.Vector
+}
+
+// Refine requests perceptron-style retraining epochs over a working set as
+// part of a batch: each misclassified sample moves from the (globally)
+// predicted class accumulator to its true one.
+type Refine struct {
+	HVs    []*bitvec.Vector
+	Labels []int
+	Epochs int
+}
+
+// Batch is one atomic unit of writes. ApplyBatch validates everything
+// before mutating anything, so a rejected batch leaves the server exactly
+// as it was.
+type Batch struct {
+	Train   []Sample   // classifier additions
+	Untrain []Sample   // classifier removals (exact inverse of Train)
+	Pairs   []Pair     // regression pairs (requires Config.Labels)
+	Items   []string   // item-memory membership churn: symbols to intern
+	Writes  []MemWrite // SDM writes (requires Config.Cleanup)
+	Refine  *Refine    // optional retraining pass, applied after Train
+}
+
+// validate checks the batch against the server shape without mutating.
+func (s *Server) validate(b *Batch) error {
+	checkSamples := func(kind string, samples []Sample) error {
+		for i, smp := range samples {
+			if smp.Class < 0 || smp.Class >= s.cfg.Classes {
+				return fmt.Errorf("serve: %s[%d] class %d outside [0,%d)", kind, i, smp.Class, s.cfg.Classes)
+			}
+			if smp.HV == nil || smp.HV.Dim() != s.cfg.Dim {
+				return fmt.Errorf("serve: %s[%d] has wrong dimension", kind, i)
+			}
+		}
+		return nil
+	}
+	if err := checkSamples("train", b.Train); err != nil {
+		return err
+	}
+	if err := checkSamples("untrain", b.Untrain); err != nil {
+		return err
+	}
+	if len(b.Pairs) > 0 && s.reg == nil {
+		return fmt.Errorf("serve: regression pairs but no label encoder configured")
+	}
+	for i, p := range b.Pairs {
+		if p.X == nil || p.X.Dim() != s.cfg.Dim {
+			return fmt.Errorf("serve: pair[%d] has wrong dimension", i)
+		}
+	}
+	if len(b.Writes) > 0 && s.mem == nil {
+		return fmt.Errorf("serve: cleanup writes but no cleanup memory configured")
+	}
+	for i, w := range b.Writes {
+		if w.Address == nil || w.Address.Dim() != s.cfg.Dim || w.Data == nil || w.Data.Dim() != s.cfg.Dim {
+			return fmt.Errorf("serve: write[%d] has wrong dimension", i)
+		}
+	}
+	if r := b.Refine; r != nil {
+		if len(r.HVs) != len(r.Labels) {
+			return fmt.Errorf("serve: refine has %d samples but %d labels", len(r.HVs), len(r.Labels))
+		}
+		if r.Epochs < 0 {
+			return fmt.Errorf("serve: refine epochs must be non-negative, got %d", r.Epochs)
+		}
+		for i, hv := range r.HVs {
+			if hv == nil || hv.Dim() != s.cfg.Dim {
+				return fmt.Errorf("serve: refine sample %d has wrong dimension", i)
+			}
+			if r.Labels[i] < 0 || r.Labels[i] >= s.cfg.Classes {
+				return fmt.Errorf("serve: refine label %d outside [0,%d)", r.Labels[i], s.cfg.Classes)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyBatch validates and applies one write batch through the
+// single-writer path, rebuilds the dirtied shard views, and publishes (and
+// returns) the new snapshot. Readers switch to it on their next Snapshot
+// load; snapshots already held stay valid and frozen. On error nothing is
+// mutated and the current snapshot remains published.
+func (s *Server) ApplyBatch(b Batch) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.validate(&b); err != nil {
+		return nil, err
+	}
+
+	dirtyCls := make([]bool, len(s.shards))
+	dirtyItems := make([]bool, len(s.shards))
+
+	// Classifier train/untrain, grouped by shard so the pool can fan the
+	// accumulator updates out with each shard owned by exactly one worker
+	// (bit-identical to sequential application — integer adds commute).
+	type upd struct {
+		local int
+		hv    *bitvec.Vector
+		sub   bool
+	}
+	byShard := make([][]upd, len(s.shards))
+	route := func(samples []Sample, sub bool) {
+		for _, smp := range samples {
+			sh := s.shardOf[smp.Class]
+			byShard[sh] = append(byShard[sh], upd{local: s.shards[sh].local[smp.Class], hv: smp.HV, sub: sub})
+			dirtyCls[sh] = true
+		}
+	}
+	route(b.Train, false)
+	route(b.Untrain, true)
+	s.pool.ForEach(len(s.shards), func(sh int) {
+		st := s.shards[sh]
+		for _, u := range byShard[sh] {
+			if u.sub {
+				st.cls.Sub(u.local, u.hv)
+			} else {
+				st.cls.Add(u.local, u.hv)
+			}
+		}
+	})
+	s.samples += uint64(len(b.Train))
+
+	// Item-memory membership churn, routed by symbol.
+	for _, sym := range b.Items {
+		sh, err := s.routeKey("item/" + sym)
+		if err != nil {
+			return nil, err
+		}
+		st := s.shards[sh]
+		before := st.items.Len()
+		st.items.Get(sym)
+		if st.items.Len() != before {
+			s.nitems++
+			dirtyItems[sh] = true
+		}
+	}
+
+	// Regression pairs.
+	for _, p := range b.Pairs {
+		s.reg.Add(p.X, s.cfg.Labels.Encode(p.Value))
+	}
+	s.pairs += uint64(len(b.Pairs))
+
+	// SDM writes go to a fresh fork so every published snapshot keeps an
+	// immutable cleanup-memory generation (copy-on-write: only the counters
+	// this batch's writes activate are cloned).
+	if len(b.Writes) > 0 {
+		s.mem = s.mem.Fork()
+		for _, w := range b.Writes {
+			s.mem.Write(w.Address, w.Data)
+		}
+	}
+
+	// Refinement, after the batch's own additions (global predictions:
+	// a misclassified sample is moved out of the class the WHOLE model
+	// predicts, which may live on another shard).
+	if b.Refine != nil && len(b.Refine.HVs) > 0 {
+		s.refineLocked(b.Refine, dirtyCls)
+	}
+
+	s.version++
+	snap := s.buildSnapshotLocked(dirtyCls, dirtyItems)
+	s.snap.Store(snap)
+	return snap, nil
+}
+
+// refineLocked runs the refinement epochs under the writer lock. Epoch
+// structure mirrors model.Classifier.Refine: predictions within an epoch
+// all use the epoch-start prototypes, then the accumulator moves apply in
+// sample order. dirtyCls accumulates every shard the batch has touched so
+// far, so each epoch's view only re-finalizes those and shares the rest
+// from the published snapshot.
+func (s *Server) refineLocked(r *Refine, dirtyCls []bool) {
+	for e := 0; e < r.Epochs; e++ {
+		view := s.buildSnapshotLocked(dirtyCls, nil) // finalized epoch-start prototypes
+		n := 0
+		preds := make([]int, len(r.HVs))
+		s.pool.ForEach(len(r.HVs), func(i int) {
+			preds[i], _ = view.Predict(r.HVs[i])
+		})
+		for i, hv := range r.HVs {
+			label := r.Labels[i]
+			if preds[i] == label {
+				continue
+			}
+			lsh, psh := s.shardOf[label], s.shardOf[preds[i]]
+			s.shards[lsh].cls.Add(s.shards[lsh].local[label], hv)
+			s.shards[psh].cls.Sub(s.shards[psh].local[preds[i]], hv)
+			dirtyCls[lsh], dirtyCls[psh] = true, true
+			n++
+		}
+		if n == 0 {
+			break
+		}
+	}
+}
+
+// buildSnapshotLocked assembles the next snapshot under the writer lock.
+// Shards not marked dirty reuse their previous view unchanged (the slices
+// are immutable, so sharing is free); classifier-dirty shards re-finalize
+// across the pool, item-dirty shards only refresh the item view. A nil
+// slice means "all dirty" for that aspect.
+func (s *Server) buildSnapshotLocked(dirtyCls, dirtyItems []bool) *Snapshot {
+	prev := s.snap.Load()
+	snap := &Snapshot{
+		version: s.version,
+		dim:     s.cfg.Dim,
+		classes: s.cfg.Classes,
+		shardOf: s.shardOf,
+		shards:  make([]shardView, len(s.shards)),
+		labels:  s.cfg.Labels,
+		mem:     s.mem,
+		samples: s.samples,
+		pairs:   s.pairs,
+		items:   s.nitems,
+	}
+	s.pool.ForEach(len(s.shards), func(i int) {
+		clsDirty := prev == nil || dirtyCls == nil || dirtyCls[i]
+		itemsDirty := prev == nil || dirtyItems == nil || dirtyItems[i]
+		if !clsDirty && !itemsDirty {
+			snap.shards[i] = prev.shards[i]
+			return
+		}
+		st := s.shards[i]
+		view := shardView{classes: st.classes}
+		if !clsDirty {
+			view.proto = prev.shards[i].proto
+		} else if st.cls != nil {
+			st.cls.Finalize() // deterministic: fixed tie vectors
+			view.proto = make([]*bitvec.Vector, len(st.classes))
+			for l := range st.classes {
+				view.proto[l] = st.cls.ClassVector(l)
+			}
+		}
+		if !itemsDirty {
+			view.syms, view.vecs = prev.shards[i].syms, prev.shards[i].vecs
+		} else {
+			view.syms, view.vecs = st.items.View()
+		}
+		snap.shards[i] = view
+	})
+	if s.reg != nil && s.pairs > 0 {
+		snap.reg = s.reg.Model()
+	}
+	return snap
+}
+
+// ---------------------------------------------------------------------------
+// Read plane conveniences (stats-counted)
+// ---------------------------------------------------------------------------
+
+// Predict classifies against the current snapshot.
+func (s *Server) Predict(q *bitvec.Vector) (class int, distance float64) {
+	s.reads.Add(1)
+	return s.Snapshot().Predict(q)
+}
+
+// PredictBatch classifies every query against ONE consistent snapshot,
+// fanning out over the server pool; results are bit-identical to
+// sequential Predict calls against that snapshot.
+func (s *Server) PredictBatch(qs []*bitvec.Vector) (classes []int, distances []float64) {
+	s.reads.Add(uint64(len(qs)))
+	return s.Snapshot().PredictBatch(s.pool, qs)
+}
+
+// Lookup runs item-memory cleanup against the current snapshot.
+func (s *Server) Lookup(q *bitvec.Vector) (symbol string, sim float64, ok bool) {
+	s.reads.Add(1)
+	return s.Snapshot().Lookup(q)
+}
+
+// PredictValue decodes a regression prediction against the current
+// snapshot.
+func (s *Server) PredictValue(q *bitvec.Vector) (value float64, ok bool) {
+	s.reads.Add(1)
+	return s.Snapshot().PredictValue(q)
+}
+
+// Cleanup reads the SDM cleanup memory of the current snapshot,
+// iterating at most maxIters times.
+func (s *Server) Cleanup(q *bitvec.Vector, maxIters int) (word *bitvec.Vector, iters int, ok bool) {
+	s.reads.Add(1)
+	return s.Snapshot().Cleanup(q, maxIters)
+}
+
+// CountReads adds n to the served-reads counter. Front ends that read
+// through a held Snapshot (to keep one consistent version per request)
+// rather than the Server convenience methods use this to keep the stats
+// honest.
+func (s *Server) CountReads(n int) {
+	if n > 0 {
+		s.reads.Add(uint64(n))
+	}
+}
+
+// Stats is a point-in-time operational summary.
+type Stats struct {
+	Version     uint64 `json:"version"`
+	Dim         int    `json:"dim"`
+	Classes     int    `json:"classes"`
+	Shards      int    `json:"shards"`
+	Workers     int    `json:"workers"`
+	Samples     uint64 `json:"samples"`
+	Pairs       uint64 `json:"pairs"`
+	Items       int    `json:"items"`
+	ReadsServed uint64 `json:"reads_served"`
+	MemWrites   int    `json:"mem_writes"`
+	Regression  bool   `json:"regression"`
+	HasCleanup  bool   `json:"cleanup"`
+}
+
+// Stats summarizes the current snapshot plus served-read counters.
+func (s *Server) Stats() Stats {
+	snap := s.Snapshot()
+	st := Stats{
+		Version:     snap.version,
+		Dim:         s.cfg.Dim,
+		Classes:     s.cfg.Classes,
+		Shards:      len(s.shards),
+		Workers:     s.pool.Workers(),
+		Samples:     snap.samples,
+		Pairs:       snap.pairs,
+		Items:       snap.items,
+		ReadsServed: s.reads.Load(),
+		Regression:  s.cfg.Labels != nil,
+		HasCleanup:  snap.mem != nil,
+	}
+	if snap.mem != nil {
+		st.MemWrites = snap.mem.Writes()
+	}
+	return st
+}

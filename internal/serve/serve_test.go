@@ -1,0 +1,520 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/core"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/model"
+	"hdcirc/internal/rng"
+	"hdcirc/internal/sdm"
+)
+
+const (
+	testDim     = 512
+	testClasses = 10
+)
+
+func testConfig(shards int) Config {
+	return Config{Dim: testDim, Classes: testClasses, Shards: shards, Workers: 4, Seed: 77}
+}
+
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// referenceClassifier builds the unsharded sequential model the snapshot
+// contract promises bit-identity with: same seed-derived per-class tie
+// vectors, classes 0..k-1 in order.
+func referenceClassifier(cfg Config) *model.Classifier {
+	c := model.NewClassifier(cfg.Classes, cfg.Dim, cfg.Seed)
+	tvs := make([]*bitvec.Vector, cfg.Classes)
+	for i := range tvs {
+		tvs[i] = classTieVector(cfg.Seed, cfg.Dim, i)
+	}
+	c.SetTieVectors(tvs)
+	return c
+}
+
+func randomSamples(n int, seed uint64) []Sample {
+	src := rng.New(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{Class: src.Intn(testClasses), HV: bitvec.Random(testDim, src)}
+	}
+	return out
+}
+
+func TestNewServerValidation(t *testing.T) {
+	bad := []Config{
+		{Dim: 0, Classes: 3},
+		{Dim: -5, Classes: 3},
+		{Dim: 64, Classes: 0},
+		{Dim: 64, Classes: 2, Shards: 4, RingPositions: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewServer(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Mismatched label-encoder dimension.
+	labels := embed.NewScalarEncoder(core.Config{Kind: core.KindLevel, M: 8, D: 128}.Build(rng.New(1)), 0, 7)
+	if _, err := NewServer(Config{Dim: 64, Classes: 2, Labels: labels}); err == nil {
+		t.Error("label encoder with wrong dimension accepted")
+	}
+}
+
+// TestSnapshotMatchesSequentialModel trains through ApplyBatch and checks
+// every published version is bit-identical to the sequential reference
+// model replaying the same batches — for 1 shard and for many, so the
+// sharded routing provably changes nothing about results.
+func TestSnapshotMatchesSequentialModel(t *testing.T) {
+	for _, shards := range []int{1, 3, 4} {
+		cfg := testConfig(shards)
+		s := mustServer(t, cfg)
+		ref := referenceClassifier(cfg)
+		queries := randomSamples(32, 99)
+
+		for b := 0; b < 6; b++ {
+			batchSamples := randomSamples(20, uint64(1000+b))
+			snap, err := s.ApplyBatch(Batch{Train: batchSamples})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Version() != uint64(b+1) {
+				t.Fatalf("shards=%d: version %d after batch %d", shards, snap.Version(), b)
+			}
+			for _, smp := range batchSamples {
+				ref.Add(smp.Class, smp.HV)
+			}
+			ref.Finalize()
+			for c := 0; c < cfg.Classes; c++ {
+				if !snap.ClassVector(c).Equal(ref.ClassVector(c)) {
+					t.Fatalf("shards=%d v%d: prototype %d differs from sequential model", shards, snap.Version(), c)
+				}
+			}
+			for qi, q := range queries {
+				gotC, gotD := snap.Predict(q.HV)
+				wantC, wantD := ref.Predict(q.HV)
+				if gotC != wantC || gotD != wantD {
+					t.Fatalf("shards=%d v%d query %d: got (%d,%v), sequential (%d,%v)",
+						shards, snap.Version(), qi, gotC, gotD, wantC, wantD)
+				}
+				scores := snap.Scores(q.HV)
+				refScores := ref.Scores(q.HV)
+				for c := range scores {
+					if scores[c] != refScores[c] {
+						t.Fatalf("shards=%d v%d query %d: score %d differs", shards, snap.Version(), qi, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUntrainInvertsTrain applies a batch and its inverse and expects the
+// original prototypes back.
+func TestUntrainInvertsTrain(t *testing.T) {
+	s := mustServer(t, testConfig(3))
+	base := randomSamples(30, 5)
+	snap1, err := s.ApplyBatch(Batch{Train: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := randomSamples(10, 6)
+	if _, err := s.ApplyBatch(Batch{Train: extra}); err != nil {
+		t.Fatal(err)
+	}
+	snap3, err := s.ApplyBatch(Batch{Untrain: extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < testClasses; c++ {
+		if !snap3.ClassVector(c).Equal(snap1.ClassVector(c)) {
+			t.Fatalf("prototype %d not restored after Untrain", c)
+		}
+	}
+}
+
+// TestRefineMatchesAcrossShardCounts runs the same train+refine workload
+// on 1-shard and 4-shard servers: global refinement must produce identical
+// prototypes because predictions and tie vectors are shard-independent.
+func TestRefineMatchesAcrossShardCounts(t *testing.T) {
+	train := randomSamples(60, 11)
+	hvs := make([]*bitvec.Vector, len(train))
+	labels := make([]int, len(train))
+	for i, smp := range train {
+		hvs[i], labels[i] = smp.HV, smp.Class
+	}
+	var first *Snapshot
+	for _, shards := range []int{1, 4} {
+		s := mustServer(t, testConfig(shards))
+		snap, err := s.ApplyBatch(Batch{Train: train, Refine: &Refine{HVs: hvs, Labels: labels, Epochs: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = snap
+			continue
+		}
+		for c := 0; c < testClasses; c++ {
+			if !snap.ClassVector(c).Equal(first.ClassVector(c)) {
+				t.Fatalf("refined prototype %d differs between 1 and %d shards", c, shards)
+			}
+		}
+	}
+}
+
+// TestItemsAndLookup checks membership churn: interned symbols route to
+// shards, vectors match the seed derivation, and cleanup lookup recovers a
+// noisy member.
+func TestItemsAndLookup(t *testing.T) {
+	cfg := testConfig(4)
+	s := mustServer(t, cfg)
+	syms := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	snap, err := s.ApplyBatch(Batch{Items: syms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumItems() != len(syms) {
+		t.Fatalf("items = %d, want %d", snap.NumItems(), len(syms))
+	}
+	// Re-interning is a no-op.
+	snap, err = s.ApplyBatch(Batch{Items: []string{"beta", "zeta"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumItems() != len(syms)+1 {
+		t.Fatalf("items = %d after churn, want %d", snap.NumItems(), len(syms)+1)
+	}
+	for _, sym := range syms {
+		hv, ok := snap.Item(sym)
+		if !ok {
+			t.Fatalf("symbol %q lost", sym)
+		}
+		want := embed.NewItemMemory(cfg.Dim, cfg.Seed).Get(sym)
+		if !hv.Equal(want) {
+			t.Fatalf("symbol %q vector differs from seed derivation", sym)
+		}
+		// Corrupt 10% of bits; cleanup must still find it.
+		noisy := hv.Clone()
+		src := rng.New(123)
+		for i := 0; i < cfg.Dim/10; i++ {
+			noisy.FlipBit(src.Intn(cfg.Dim))
+		}
+		got, sim, ok := snap.Lookup(noisy)
+		if !ok || got != sym {
+			t.Fatalf("lookup(%q+noise) = %q, %v", sym, got, ok)
+		}
+		if sim < 0.7 {
+			t.Errorf("lookup similarity %v suspiciously low", sim)
+		}
+	}
+	if _, ok := snap.Item("missing"); ok {
+		t.Error("phantom item")
+	}
+}
+
+// TestRegression trains pairs through the server and decodes them back.
+func TestRegression(t *testing.T) {
+	cfg := testConfig(2)
+	labelSet := core.Config{Kind: core.KindLevel, M: 32, D: cfg.Dim}.Build(rng.Sub(cfg.Seed, "test/labels"))
+	cfg.Labels = embed.NewScalarEncoder(labelSet, 0, 31)
+	s := mustServer(t, cfg)
+
+	// Uncorrelated sample encodings keep the memorized pairs
+	// quasi-orthogonal so the unbind-decode recall is clean.
+	sampleSet := core.Config{Kind: core.KindRandom, M: 32, D: cfg.Dim}.Build(rng.Sub(cfg.Seed, "test/samples"))
+	enc := embed.NewScalarEncoder(sampleSet, 0, 31)
+
+	if _, ok := s.Snapshot().PredictValue(enc.Encode(3)); ok {
+		t.Error("untrained regressor claimed a prediction")
+	}
+	var batch Batch
+	for x := 0; x < 32; x += 2 {
+		batch.Pairs = append(batch.Pairs, Pair{X: enc.Encode(float64(x)), Value: float64(x)})
+	}
+	snap, err := s.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Pairs() != uint64(len(batch.Pairs)) {
+		t.Fatalf("pairs = %d", snap.Pairs())
+	}
+	got, ok := snap.PredictValue(enc.Encode(10))
+	if !ok {
+		t.Fatal("trained regressor returned !ok")
+	}
+	if got < 6 || got > 14 {
+		t.Errorf("decode(10) = %v, want ≈10", got)
+	}
+}
+
+// TestCleanupMemory writes through the server and reads back through the
+// snapshot, checking the COW generations isolate published snapshots.
+func TestCleanupMemory(t *testing.T) {
+	cfg := testConfig(2)
+	mc := sdm.DefaultConfig(cfg.Dim)
+	mc.Locations = 2000
+	cfg.Cleanup = &mc
+	s := mustServer(t, cfg)
+
+	src := rng.New(9)
+	stored := make([]*bitvec.Vector, 6)
+	var b Batch
+	for i := range stored {
+		stored[i] = bitvec.Random(cfg.Dim, src)
+		b.Writes = append(b.Writes, MemWrite{Address: stored[i], Data: stored[i]})
+	}
+	snapA, err := s.ApplyBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readsA := make([]*bitvec.Vector, len(stored))
+	for i, v := range stored {
+		got, _, ok := snapA.Cleanup(v, 4)
+		if !ok {
+			t.Fatalf("cleanup read %d failed", i)
+		}
+		readsA[i] = got
+	}
+	// A second generation of writes must not disturb snapshot A.
+	var b2 Batch
+	for i := 0; i < 20; i++ {
+		v := bitvec.Random(cfg.Dim, src)
+		b2.Writes = append(b2.Writes, MemWrite{Address: v, Data: v})
+	}
+	if _, err := s.ApplyBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range stored {
+		got, _, ok := snapA.Cleanup(v, 4)
+		if !ok || !got.Equal(readsA[i]) {
+			t.Fatalf("snapshot A cleanup read %d changed after later writes", i)
+		}
+	}
+}
+
+// TestApplyBatchValidation checks a rejected batch mutates nothing.
+func TestApplyBatchValidation(t *testing.T) {
+	s := mustServer(t, testConfig(2))
+	good := randomSamples(10, 21)
+	before, err := s.ApplyBatch(Batch{Train: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	bad := []Batch{
+		{Train: []Sample{{Class: testClasses, HV: bitvec.Random(testDim, src)}}},
+		{Train: []Sample{{Class: -1, HV: bitvec.Random(testDim, src)}}},
+		{Train: []Sample{{Class: 0, HV: bitvec.Random(64, src)}}},
+		{Train: []Sample{{Class: 0, HV: nil}}},
+		{Pairs: []Pair{{X: bitvec.Random(testDim, src), Value: 1}}},                                     // no label encoder
+		{Writes: []MemWrite{{Address: bitvec.Random(testDim, src), Data: bitvec.Random(testDim, src)}}}, // no cleanup
+		{Refine: &Refine{HVs: []*bitvec.Vector{bitvec.Random(testDim, src)}, Labels: []int{0, 1}, Epochs: 1}},
+		{Refine: &Refine{HVs: []*bitvec.Vector{bitvec.Random(testDim, src)}, Labels: []int{testClasses}, Epochs: 1}},
+		{Refine: &Refine{HVs: []*bitvec.Vector{bitvec.Random(testDim, src)}, Labels: []int{0}, Epochs: -1}},
+	}
+	for i, b := range bad {
+		if _, err := s.ApplyBatch(b); err == nil {
+			t.Errorf("bad batch %d accepted", i)
+		}
+	}
+	after := s.Snapshot()
+	if after.Version() != before.Version() {
+		t.Fatalf("rejected batches moved the version: %d → %d", before.Version(), after.Version())
+	}
+	for c := 0; c < testClasses; c++ {
+		if !after.ClassVector(c).Equal(before.ClassVector(c)) {
+			t.Fatalf("rejected batches mutated prototype %d", c)
+		}
+	}
+}
+
+// TestRouteAndStats sanity-checks the routing and stats surfaces.
+func TestRouteAndStats(t *testing.T) {
+	s := mustServer(t, testConfig(4))
+	shard, member, slot := s.Route("some-key")
+	if shard < 0 || shard >= 4 {
+		t.Errorf("route shard = %d", shard)
+	}
+	if member != shardMember(shard) {
+		t.Errorf("member %q for shard %d", member, shard)
+	}
+	if slot < 0 || slot >= s.Config().RingPositions {
+		t.Errorf("slot = %d", slot)
+	}
+	sh2, _, _ := s.Route("some-key")
+	if sh2 != shard {
+		t.Error("routing not deterministic")
+	}
+
+	if _, err := s.ApplyBatch(Batch{Train: randomSamples(8, 31), Items: []string{"x", "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	qs := randomSamples(5, 32)
+	for _, q := range qs {
+		s.Predict(q.HV)
+	}
+	st := s.Stats()
+	if st.Version != 1 || st.Samples != 8 || st.Items != 2 || st.Shards != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ReadsServed < 5 {
+		t.Errorf("reads served = %d", st.ReadsServed)
+	}
+}
+
+// TestPredictBatchMatchesSequential checks the pooled batch predict is
+// bit-identical to one-by-one prediction on the same snapshot.
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	s := mustServer(t, testConfig(3))
+	if _, err := s.ApplyBatch(Batch{Train: randomSamples(40, 41)}); err != nil {
+		t.Fatal(err)
+	}
+	qs := randomSamples(64, 42)
+	hvs := make([]*bitvec.Vector, len(qs))
+	for i, q := range qs {
+		hvs[i] = q.HV
+	}
+	classes, dists := s.PredictBatch(hvs)
+	snap := s.Snapshot()
+	for i, hv := range hvs {
+		wc, wd := snap.Predict(hv)
+		if classes[i] != wc || dists[i] != wd {
+			t.Fatalf("batched predict %d = (%d,%v), sequential (%d,%v)", i, classes[i], dists[i], wc, wd)
+		}
+	}
+}
+
+// TestPersistRoundTrip saves a trained server's snapshot and warm-starts a
+// fresh server from it: every read surface must be bit-identical.
+func TestPersistRoundTrip(t *testing.T) {
+	cfg := testConfig(3)
+	labelSet := core.Config{Kind: core.KindLevel, M: 16, D: cfg.Dim}.Build(rng.Sub(cfg.Seed, "test/labels"))
+	cfg.Labels = embed.NewScalarEncoder(labelSet, 0, 15)
+	a := mustServer(t, cfg)
+	var b Batch
+	b.Train = randomSamples(50, 51)
+	b.Items = []string{"one", "two", "three"}
+	src := rng.New(52)
+	for i := 0; i < 10; i++ {
+		b.Pairs = append(b.Pairs, Pair{X: bitvec.Random(cfg.Dim, src), Value: float64(i)})
+	}
+	snapA, err := a.ApplyBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := snapA.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := mustServer(t, cfg)
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	snapB := fresh.Snapshot()
+	if snapB.Version() != snapA.Version() || snapB.Samples() != snapA.Samples() ||
+		snapB.Pairs() != snapA.Pairs() || snapB.NumItems() != snapA.NumItems() {
+		t.Fatalf("restored counters differ: %d/%d/%d/%d vs %d/%d/%d/%d",
+			snapB.Version(), snapB.Samples(), snapB.Pairs(), snapB.NumItems(),
+			snapA.Version(), snapA.Samples(), snapA.Pairs(), snapA.NumItems())
+	}
+	for c := 0; c < cfg.Classes; c++ {
+		if !snapB.ClassVector(c).Equal(snapA.ClassVector(c)) {
+			t.Fatalf("restored prototype %d differs", c)
+		}
+	}
+	if !snapB.RegressorModel().Equal(snapA.RegressorModel()) {
+		t.Fatal("restored regressor model differs")
+	}
+	for qi, q := range randomSamples(16, 53) {
+		ac, ad := snapA.Predict(q.HV)
+		bc, bd := snapB.Predict(q.HV)
+		if ac != bc || ad != bd {
+			t.Fatalf("query %d: restored predict differs", qi)
+		}
+		av, _ := snapA.PredictValue(q.HV)
+		bv, _ := snapB.PredictValue(q.HV)
+		if av != bv {
+			t.Fatalf("query %d: restored regression differs", qi)
+		}
+		as, _, aok := snapA.Lookup(q.HV)
+		bs, _, bok := snapB.Lookup(q.HV)
+		if as != bs || aok != bok {
+			t.Fatalf("query %d: restored lookup differs", qi)
+		}
+	}
+
+	// Restore refuses a non-fresh server and foreign bytes.
+	if err := a.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Restore into a written server accepted")
+	}
+	fresh2 := mustServer(t, cfg)
+	if err := fresh2.Restore(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("Restore accepted garbage")
+	}
+	// Shape mismatch: different class count.
+	other := testConfig(2)
+	other.Classes = testClasses + 1
+	fresh3 := mustServer(t, other)
+	if err := fresh3.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("Restore accepted mismatched class count")
+	}
+}
+
+// TestWarmStartContinuedTraining checks a warm-started server keeps
+// accepting writes and stays consistent with its own sequential reference
+// going forward.
+func TestWarmStartContinuedTraining(t *testing.T) {
+	cfg := testConfig(2)
+	a := mustServer(t, cfg)
+	if _, err := a.ApplyBatch(Batch{Train: randomSamples(30, 61)}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := a.Snapshot().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := mustServer(t, cfg)
+	if err := loaded.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	more := randomSamples(20, 62)
+	snap, err := loaded.ApplyBatch(Batch{Train: more})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 2 {
+		t.Errorf("version after warm-start write = %d, want 2", snap.Version())
+	}
+	if snap.Samples() != 50 {
+		t.Errorf("samples = %d, want 50", snap.Samples())
+	}
+	// Predictions still well-formed over every class.
+	for _, q := range more {
+		c, dist := snap.Predict(q.HV)
+		if c < 0 || c >= cfg.Classes || dist < 0 || dist > 1 {
+			t.Fatalf("degenerate prediction (%d, %v) after warm start", c, dist)
+		}
+	}
+}
+
+func TestShardMemberName(t *testing.T) {
+	if shardMember(3) != "shard/3" {
+		t.Errorf("shardMember(3) = %q", shardMember(3))
+	}
+	if fmt.Sprintf("%s", shardMember(0)) != "shard/0" {
+		t.Error("shardMember(0)")
+	}
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"sort"
+
+	"hdcirc/internal/batch"
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/sdm"
+)
+
+// shardView is one shard's frozen contribution to a snapshot: finalized
+// class prototypes (in ascending global-class order) and the item-memory
+// generation. All slices and vectors are immutable once published.
+type shardView struct {
+	classes []int            // global class ids, ascending
+	proto   []*bitvec.Vector // finalized prototypes, parallel to classes
+	syms    []string         // item symbols in creation order
+	vecs    []*bitvec.Vector // item vectors, parallel to syms
+}
+
+// Snapshot is an immutable, versioned, finalized view of every model the
+// server hosts. All methods are pure reads, safe from any number of
+// goroutines, and mutually consistent: everything observed through one
+// snapshot reflects exactly the write batches up to its version.
+type Snapshot struct {
+	version uint64
+	dim     int
+	classes int
+	shardOf []int // global class id → shard (shared, fixed at server birth)
+	shards  []shardView
+	reg     *bitvec.Vector       // finalized regressor model; nil until pairs exist
+	labels  *embed.ScalarEncoder // label decoder; nil when regression disabled
+	mem     *sdm.Memory          // frozen cleanup-memory generation; nil when disabled
+	samples uint64
+	pairs   uint64
+	items   int
+}
+
+// Version returns the snapshot's publication number; version 0 is the
+// empty model published by NewServer.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Dim returns the hypervector dimension.
+func (s *Snapshot) Dim() int { return s.dim }
+
+// Classes returns the number of classifier classes.
+func (s *Snapshot) Classes() int { return s.classes }
+
+// Samples returns the cumulative number of classifier training samples.
+func (s *Snapshot) Samples() uint64 { return s.samples }
+
+// Pairs returns the cumulative number of regression pairs.
+func (s *Snapshot) Pairs() uint64 { return s.pairs }
+
+// NumItems returns the number of interned item symbols.
+func (s *Snapshot) NumItems() int { return s.items }
+
+// Predict returns the class whose prototype is most similar to the query
+// and the normalized distance. Each shard scans its own prototypes with
+// the fused nearest-neighbor kernel; across shards, exact ties resolve to
+// the lowest global class id — bit-identical to an unsharded classifier
+// scanning classes 0..k-1 in order.
+func (s *Snapshot) Predict(q *bitvec.Vector) (class int, distance float64) {
+	bestClass, bestHD := -1, 1<<62
+	for i := range s.shards {
+		v := &s.shards[i]
+		if len(v.proto) == 0 {
+			continue
+		}
+		idx, hd := bitvec.Nearest(q, v.proto)
+		c := v.classes[idx]
+		if hd < bestHD || (hd == bestHD && c < bestClass) {
+			bestClass, bestHD = c, hd
+		}
+	}
+	return bestClass, float64(bestHD) / float64(s.dim)
+}
+
+// PredictBatch classifies every query against this one snapshot across the
+// pool, bit-identical to sequential Predict calls.
+func (s *Snapshot) PredictBatch(p *batch.Pool, qs []*bitvec.Vector) (classes []int, distances []float64) {
+	classes = make([]int, len(qs))
+	distances = make([]float64, len(qs))
+	p.ForEach(len(qs), func(i int) {
+		classes[i], distances[i] = s.Predict(qs[i])
+	})
+	return classes, distances
+}
+
+// Scores returns the query's similarity to every class prototype, indexed
+// by global class id.
+func (s *Snapshot) Scores(q *bitvec.Vector) []float64 {
+	out := make([]float64, s.classes)
+	for i := range s.shards {
+		v := &s.shards[i]
+		if len(v.proto) == 0 {
+			continue
+		}
+		hds := bitvec.DistanceMany(q, v.proto, make([]int, len(v.proto)))
+		for l, hd := range hds {
+			out[v.classes[l]] = 1 - float64(hd)/float64(s.dim)
+		}
+	}
+	return out
+}
+
+// ClassVector returns the finalized prototype of a global class id. The
+// vector is shared and immutable.
+func (s *Snapshot) ClassVector(class int) *bitvec.Vector {
+	if class < 0 || class >= s.classes {
+		return nil
+	}
+	v := &s.shards[s.shardOf[class]]
+	l := sort.SearchInts(v.classes, class)
+	return v.proto[l]
+}
+
+// Lookup runs item-memory cleanup: the interned symbol whose vector is
+// most similar to q, with its similarity. Within a shard exact ties
+// resolve to the earliest-created symbol; across shards, to the
+// lexicographically smallest one. ok is false when no items are interned.
+func (s *Snapshot) Lookup(q *bitvec.Vector) (symbol string, sim float64, ok bool) {
+	bestHD := 1 << 62
+	for i := range s.shards {
+		v := &s.shards[i]
+		if len(v.vecs) == 0 {
+			continue
+		}
+		idx, hd := bitvec.Nearest(q, v.vecs)
+		if hd < bestHD || (hd == bestHD && v.syms[idx] < symbol) {
+			symbol, bestHD, ok = v.syms[idx], hd, true
+		}
+	}
+	if !ok {
+		return "", -1, false
+	}
+	return symbol, 1 - float64(bestHD)/float64(s.dim), true
+}
+
+// Item returns the vector interned for a symbol, or ok=false when the
+// symbol is not a member. The scan is linear in the shard's item count.
+func (s *Snapshot) Item(symbol string) (hv *bitvec.Vector, ok bool) {
+	for i := range s.shards {
+		v := &s.shards[i]
+		for j, sym := range v.syms {
+			if sym == symbol {
+				return v.vecs[j], true
+			}
+		}
+	}
+	return nil, false
+}
+
+// PredictValue decodes the regression prediction for an encoded sample
+// against the label encoder: the fused unbind-then-decode step on the
+// snapshot's finalized regressor model. ok is false when regression is
+// disabled or no pairs have been learned.
+func (s *Snapshot) PredictValue(q *bitvec.Vector) (value float64, ok bool) {
+	if s.reg == nil || s.labels == nil {
+		return 0, false
+	}
+	return s.labels.DecodeBound(s.reg, q), true
+}
+
+// RegressorModel returns the finalized regression model hypervector, or
+// nil when regression is disabled or untrained.
+func (s *Snapshot) RegressorModel() *bitvec.Vector { return s.reg }
+
+// Cleanup reads the snapshot's cleanup-memory generation, iterating reads
+// to a fixed point (at most maxIters). ok is false when the memory is
+// disabled or no hard location activates.
+func (s *Snapshot) Cleanup(q *bitvec.Vector, maxIters int) (word *bitvec.Vector, iters int, ok bool) {
+	if s.mem == nil {
+		return nil, 0, false
+	}
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	return s.mem.ReadIterative(q, maxIters)
+}
