@@ -6,6 +6,7 @@ import (
 	"hdcirc/internal/core"
 	"hdcirc/internal/embed"
 	"hdcirc/internal/hashring"
+	"hdcirc/internal/index"
 	"hdcirc/internal/markov"
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
@@ -62,6 +63,59 @@ func DistanceMany(q *Vector, vs []*Vector, dst []int) []int {
 // XorDistance returns the Hamming distance between the binding x ⊗ y and z
 // without materializing the bound vector.
 func XorDistance(x, y, z *Vector) int { return bitvec.XorDistance(x, y, z) }
+
+// DistanceBounded computes the Hamming distance between a and b with early
+// abandon: it bails out of the word loop as soon as the running distance
+// exceeds bound, returning (distance, true) when the true distance is at
+// most bound and (partial, false) otherwise.
+func DistanceBounded(a, b *Vector, bound int) (hd int, within bool) {
+	return bitvec.DistanceBounded(a, b, bound)
+}
+
+// NearestPruned scans vs for the vector nearest to q among those with
+// Hamming distance strictly below bound (ties resolve to the lowest index);
+// it returns (-1, bound) when no candidate beats the bound.
+func NearestPruned(q *Vector, vs []*Vector, bound int) (idx, hamming int) {
+	return bitvec.NearestPruned(q, vs, bound)
+}
+
+// ---------------------------------------------------------------------------
+// Sublinear associative lookup
+// ---------------------------------------------------------------------------
+
+// IndexConfig tunes the bit-sampling sketch indexes (internal/index) that
+// serve associative lookups sublinearly past a size threshold: signature
+// width, exact-re-rank candidate count, auto-enable threshold, sampling
+// seed, radius-screen slack, and Disabled for exact-only operation. The
+// zero value selects the defaults (256-bit signatures, auto candidates,
+// threshold 2048). Candidates >= collection size makes indexed lookups
+// bit-identical to the exact linear scan.
+type IndexConfig = index.Config
+
+// AssocIndex is an immutable bit-sampling sketch index over a fixed slice
+// of hypervectors: Nearest runs sublinear candidate generation plus exact
+// re-rank; WithinRadius screens by signature before exact verification.
+// Safe for any number of concurrent readers.
+type AssocIndex = index.Index
+
+// DefaultIndexConfig returns the default sketch-index configuration.
+func DefaultIndexConfig() IndexConfig { return index.DefaultConfig() }
+
+// NewAssocIndex builds a sketch index over vs (shared, not copied; do not
+// mutate the vectors while the index lives). It panics on an empty slice
+// or mismatched dimensions.
+func NewAssocIndex(vs []*Vector, cfg IndexConfig) *AssocIndex { return index.New(vs, cfg) }
+
+// NewIndexedItemMemory returns an empty item memory whose Lookup is served
+// through a sketch index under the given configuration once it grows past
+// cfg.MinSize. NewItemMemory already auto-indexes with the defaults; use
+// this to tune the recall/latency trade-off or to pin exact mode
+// (Candidates >= expected size, or Disabled: true).
+func NewIndexedItemMemory(d int, seed uint64, cfg IndexConfig) *ItemMemory {
+	im := embed.NewItemMemory(d, seed)
+	im.SetIndexConfig(cfg)
+	return im
+}
 
 // ---------------------------------------------------------------------------
 // Batch pipeline

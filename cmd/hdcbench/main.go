@@ -1,10 +1,22 @@
 // Command hdcbench measures the kernel hot paths — bind, distance,
-// accumulate, threshold, rotate, majority, nearest and predict — and emits
-// the ns/op numbers as JSON (BENCH_kernels.json by default) so the
-// performance trajectory can be tracked across changes:
+// accumulate, threshold, rotate, majority, nearest, predict, serve and the
+// sketch-indexed lookups — and emits the ns/op numbers as JSON
+// (BENCH_kernels.json by default) so the performance trajectory can be
+// tracked across changes:
 //
 //	go run ./cmd/hdcbench            # d=10000, writes BENCH_kernels.json
 //	go run ./cmd/hdcbench -d 4096 -o -   # custom dimension, JSON to stdout
+//
+// It is also the CI bench-regression gate: -compare diffs a freshly
+// measured report against a committed baseline and fails on any kernel
+// that regressed past the threshold:
+//
+//	go run ./cmd/hdcbench -o current.json
+//	go run ./cmd/hdcbench -compare BENCH_kernels.json current.json
+//
+// Rows whose recorded worker counts differ between baseline and current
+// (the parallel benches on machines of different width) are reported but
+// not gated — their ns/op are not comparable across core counts.
 package main
 
 import (
@@ -17,6 +29,8 @@ import (
 
 	"hdcirc/internal/batch"
 	"hdcirc/internal/bitvec"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/index"
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
 	"hdcirc/internal/serve"
@@ -27,6 +41,22 @@ type kernelResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Workers is the number of goroutines actually doing the work for this
+	// row: 1 for the serial kernels, the batch-pool width for pooled
+	// benches, GOMAXPROCS for the RunParallel benches. ns/op for rows with
+	// Workers > 1 is aggregate wall time per op at that fan-in, so it is
+	// only comparable between runs with equal Workers.
+	Workers int `json:"workers"`
+}
+
+type indexReport struct {
+	N          int     `json:"n"`
+	Noise      float64 `json:"noise"`
+	Queries    int     `json:"queries"`
+	Recall     float64 `json:"recall"`      // indexed lookup returns the exact-scan symbol
+	SpeedupX   float64 `json:"speedup_x"`   // linear ns/op ÷ indexed ns/op
+	Candidates int     `json:"candidates"`  // resolved re-rank candidate count
+	Signature  int     `json:"signature_m"` // resolved signature bits
 }
 
 type report struct {
@@ -34,12 +64,26 @@ type report struct {
 	GoVersion  string         `json:"go_version"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Kernels    []kernelResult `json:"kernels"`
+	Index      *indexReport   `json:"index,omitempty"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdcbench: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 func main() {
 	d := flag.Int("d", 10000, "hypervector dimension")
 	out := flag.String("o", "BENCH_kernels.json", "output path, or - for stdout")
+	compare := flag.String("compare", "", "baseline report to diff against; the positional argument is the current report (compare-only mode, no benchmarks run)")
+	maxRegress := flag.Float64("max-regress", 0.35, "with -compare: maximum tolerated ns/op regression per kernel (0.35 = +35%)")
 	flag.Parse()
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fatalf("-compare needs exactly one positional argument (the current report), got %d", flag.NArg())
+		}
+		os.Exit(runCompare(*compare, flag.Arg(0), *maxRegress))
+	}
 	if *d <= 0 {
 		fmt.Fprintf(os.Stderr, "hdcbench: -d must be positive, got %d\n", *d)
 		os.Exit(2)
@@ -80,74 +124,105 @@ func main() {
 	// Serving-layer fixture: the same 32-class workload behind snapshots.
 	srv, err := serve.NewServer(serve.Config{Dim: *d, Classes: k, Shards: 4, Seed: 7})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hdcbench:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	var sb serve.Batch
 	for i, hv := range queries {
 		sb.Train = append(sb.Train, serve.Sample{Class: i % k, HV: hv})
 	}
 	if _, err := srv.ApplyBatch(sb); err != nil {
-		fmt.Fprintln(os.Stderr, "hdcbench:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 
+	// Associative-lookup fixture: a 10k-symbol item memory, probed with
+	// noisy (30% flipped) copies of stored items — the cleanup workload the
+	// sketch index accelerates. One exact-scan twin, one auto-indexed.
+	const (
+		itemN       = 10000
+		itemNoise   = 0.3
+		itemQueries = 500
+	)
+	imLinear := embed.NewItemMemory(*d, 13)
+	imLinear.SetIndexConfig(index.Config{Disabled: true})
+	imIndexed := embed.NewItemMemory(*d, 13)
+	itemSyms := make([]string, itemN)
+	for i := range itemSyms {
+		itemSyms[i] = fmt.Sprintf("item/%d", i)
+		imLinear.Get(itemSyms[i])
+		imIndexed.Get(itemSyms[i])
+	}
+	_, itemVecs := imIndexed.View()
+	noiseSrc := rng.Sub(17, "bench/item-noise")
+	itemProbes := make([]*bitvec.Vector, itemQueries)
+	for i := range itemProbes {
+		q := imIndexed.Get(itemSyms[(i*31)%itemN]).Clone()
+		for b := 0; b < *d; b++ {
+			if noiseSrc.Float64() < itemNoise {
+				q.FlipBit(b)
+			}
+		}
+		itemProbes[i] = q
+	}
+	imIndexed.Lookup(itemProbes[0]) // warm: build the index outside the timed loop
+
+	gmp := runtime.GOMAXPROCS(0)
 	benches := []struct {
-		name string
-		fn   func(b *testing.B)
+		name    string
+		workers int
+		fn      func(b *testing.B)
 	}{
-		{"bind", func(b *testing.B) {
+		{"bind", 1, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				x.XorInto(y, dst)
 			}
 		}},
-		{"distance", func(b *testing.B) {
+		{"distance", 1, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = x.HammingDistance(y)
 			}
 		}},
-		{"accumulate", func(b *testing.B) {
+		{"accumulate", 1, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				acc.Add(x)
 			}
 		}},
-		{"threshold", func(b *testing.B) {
+		{"threshold", 1, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = acc.Threshold(bitvec.TieZero, nil)
 			}
 		}},
-		{"rotate", func(b *testing.B) {
+		{"rotate", 1, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = x.RotateBits(1)
 			}
 		}},
-		{"majority9_csa", func(b *testing.B) {
+		{"majority9_csa", 1, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = bitvec.Majority(nine, bitvec.TieZero, nil)
 			}
 		}},
-		{"nearest64", func(b *testing.B) {
+		{"nearest64", 1, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, _ = bitvec.Nearest(x, cands)
 			}
 		}},
-		{"predict_k32", func(b *testing.B) {
+		{"predict_k32", 1, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, _ = clf.Predict(queries[i%len(queries)])
 			}
 		}},
-		{"predict_batch256", func(b *testing.B) {
+		{"predict_batch256", pool.Workers(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, _ = clf.PredictBatch(pool, queries)
 			}
 		}},
-		{"serve_predict", func(b *testing.B) {
+		{"serve_predict", 1, func(b *testing.B) {
 			snap := srv.Snapshot()
 			for i := 0; i < b.N; i++ {
 				_, _ = snap.Predict(queries[i%len(queries)])
 			}
 		}},
-		{"serve_predict_par", func(b *testing.B) {
+		{"serve_predict_par", gmp, func(b *testing.B) {
 			// GOMAXPROCS concurrent readers against the lock-free snapshot;
 			// ns/op here is aggregate wall time per prediction, so
 			// 1e9/ns_per_op is the served QPS at that fan-in.
@@ -160,33 +235,74 @@ func main() {
 				}
 			})
 		}},
-		{"serve_apply_batch256", func(b *testing.B) {
+		{"serve_apply_batch256", srv.Pool().Workers(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := srv.ApplyBatch(sb); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}},
+		{"index_build_n10k", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = index.New(itemVecs, index.Config{})
+			}
+		}},
+		{"index_lookup_linear_n10k", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, _ = imLinear.Lookup(itemProbes[i%len(itemProbes)])
+			}
+		}},
+		{"index_lookup_indexed_n10k", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, _ = imIndexed.Lookup(itemProbes[i%len(itemProbes)])
+			}
+		}},
 	}
 
-	rep := report{Dimension: *d, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := report{Dimension: *d, GoVersion: runtime.Version(), GOMAXPROCS: gmp}
+	ns := make(map[string]float64, len(benches))
 	for _, bench := range benches {
 		res := testing.Benchmark(bench.fn)
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		ns[bench.name] = nsPerOp
 		rep.Kernels = append(rep.Kernels, kernelResult{
 			Name:        bench.name,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			NsPerOp:     nsPerOp,
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			AllocsPerOp: res.AllocsPerOp(),
+			Workers:     bench.workers,
 		})
-		fmt.Fprintf(os.Stderr, "%-18s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			bench.name, float64(res.T.Nanoseconds())/float64(res.N),
-			res.AllocedBytesPerOp(), res.AllocsPerOp())
+		fmt.Fprintf(os.Stderr, "%-26s %12.1f ns/op %8d B/op %6d allocs/op %4d workers\n",
+			bench.name, nsPerOp, res.AllocedBytesPerOp(), res.AllocsPerOp(), bench.workers)
 	}
+
+	// Measured recall of the indexed lookup against the exact scan over
+	// the same probes — the accuracy side of the latency trade the rows
+	// above quantify.
+	ix := index.New(itemVecs, index.Config{})
+	hits := 0
+	for _, q := range itemProbes {
+		ws, _, _ := imLinear.Lookup(q)
+		gs, _, _ := imIndexed.Lookup(q)
+		if gs == ws {
+			hits++
+		}
+	}
+	rep.Index = &indexReport{
+		N:          itemN,
+		Noise:      itemNoise,
+		Queries:    itemQueries,
+		Recall:     float64(hits) / itemQueries,
+		SpeedupX:   ns["index_lookup_linear_n10k"] / ns["index_lookup_indexed_n10k"],
+		Candidates: ix.Candidates(),
+		Signature:  ix.SignatureBits(),
+	}
+	fmt.Fprintf(os.Stderr, "indexed lookup: recall %.4f, speedup %.1fx (n=%d, noise=%.2f, C=%d, m=%d)\n",
+		rep.Index.Recall, rep.Index.SpeedupX, itemN, itemNoise, ix.Candidates(), ix.SignatureBits())
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hdcbench:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 	enc = append(enc, '\n')
 	if *out == "-" {
@@ -194,7 +310,74 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "hdcbench:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
+}
+
+// loadReport reads and decodes a benchmark report.
+func loadReport(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runCompare diffs current against baseline and returns the process exit
+// code: 0 when no gated kernel regressed more than maxRegress, 1 otherwise.
+// Kernels present in only one report are informational (new benches appear,
+// old ones retire); kernels whose worker counts differ are reported but not
+// gated, since aggregate parallel ns/op is machine-width-dependent.
+func runCompare(basePath, curPath string, maxRegress float64) int {
+	base, err := loadReport(basePath)
+	if err != nil {
+		fatalf("baseline: %v", err)
+	}
+	cur, err := loadReport(curPath)
+	if err != nil {
+		fatalf("current: %v", err)
+	}
+	if base.Dimension != cur.Dimension {
+		fmt.Fprintf(os.Stderr, "note: dimension mismatch (baseline d=%d, current d=%d); comparing anyway\n",
+			base.Dimension, cur.Dimension)
+	}
+	baseBy := make(map[string]kernelResult, len(base.Kernels))
+	for _, kr := range base.Kernels {
+		baseBy[kr.Name] = kr
+	}
+	failed := 0
+	fmt.Printf("%-26s %14s %14s %9s  %s\n", "kernel", "baseline ns/op", "current ns/op", "delta", "verdict")
+	for _, kc := range cur.Kernels {
+		kb, ok := baseBy[kc.Name]
+		if !ok {
+			fmt.Printf("%-26s %14s %14.1f %9s  new (not gated)\n", kc.Name, "-", kc.NsPerOp, "-")
+			continue
+		}
+		delete(baseBy, kc.Name)
+		delta := kc.NsPerOp/kb.NsPerOp - 1
+		switch {
+		case kb.Workers != kc.Workers:
+			fmt.Printf("%-26s %14.1f %14.1f %+8.1f%%  workers %d→%d (not gated)\n",
+				kc.Name, kb.NsPerOp, kc.NsPerOp, 100*delta, kb.Workers, kc.Workers)
+		case delta > maxRegress:
+			fmt.Printf("%-26s %14.1f %14.1f %+8.1f%%  REGRESSION (limit +%.0f%%)\n",
+				kc.Name, kb.NsPerOp, kc.NsPerOp, 100*delta, 100*maxRegress)
+			failed++
+		default:
+			fmt.Printf("%-26s %14.1f %14.1f %+8.1f%%  ok\n", kc.Name, kb.NsPerOp, kc.NsPerOp, 100*delta)
+		}
+	}
+	for name := range baseBy {
+		fmt.Printf("%-26s %14.1f %14s %9s  missing from current (not gated)\n", name, baseBy[name].NsPerOp, "-", "-")
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "hdcbench: %d kernel(s) regressed beyond +%.0f%%\n", failed, 100*maxRegress)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "hdcbench: no kernel regressed beyond +%.0f%%\n", 100*maxRegress)
+	return 0
 }

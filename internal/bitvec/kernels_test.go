@@ -50,7 +50,10 @@ func TestDifferentialAddWeighted(t *testing.T) {
 func TestAddWeightedRejectsOverflowingWeight(t *testing.T) {
 	weights := []int{math.MinInt32} // −w wraps; the sign kernels cannot classify it
 	if ^uint(0)>>32 != 0 {
-		weights = append(weights, 1<<40, -(1 << 40))
+		// Out-of-int32 weights only exist on 64-bit ints; build them from a
+		// non-constant so the expression also type-checks under GOARCH=386.
+		big := int64(1) << 40
+		weights = append(weights, int(big), int(-big))
 	}
 	for _, w := range weights {
 		func() {

@@ -1,0 +1,57 @@
+package bitvec
+
+import "math/bits"
+
+// Threshold-pruned Hamming kernels. The fused scans in nearest.go abandon a
+// candidate once it exceeds the best distance seen so far; the kernels here
+// additionally let the CALLER supply the bound. Candidate-generation indexes
+// (internal/index) depend on that: after a sketch pass has produced a short
+// candidate list and a provisional best, the exact re-rank only ever needs
+// "is this candidate strictly better than what I already have", which in
+// high dimension is answered within the first few words for almost every
+// candidate — pairwise Hamming distances concentrate tightly around d/2, so
+// a running popcount crosses a below-typical bound long before the scan
+// finishes.
+
+// DistanceBounded computes the Hamming distance between a and b, bailing
+// out of the word loop as soon as the running distance exceeds bound. When
+// the true distance is at most bound it returns (distance, true); otherwise
+// it returns (partial, false) where partial is the running count at the
+// word that crossed the bound — a value strictly greater than bound but NOT
+// the true distance. A negative bound always returns (partial, false).
+func DistanceBounded(a, b *Vector, bound int) (hd int, within bool) {
+	a.mustMatch(b)
+	bw := b.words
+	n := 0
+	for i, w := range a.words {
+		n += bits.OnesCount64(w ^ bw[i])
+		if n > bound {
+			return n, false
+		}
+	}
+	return n, true
+}
+
+// NearestPruned scans vs for the vector nearest to q among those with
+// Hamming distance strictly below bound, returning its index and distance.
+// Ties resolve to the lowest index; when no candidate beats the bound it
+// returns (-1, bound). NearestPruned(q, vs, q.Dim()+1) is exactly Nearest.
+// Unlike Nearest it accepts an empty candidate list (returning -1, bound).
+func NearestPruned(q *Vector, vs []*Vector, bound int) (idx, hd int) {
+	qw := q.words
+	best, bestIdx := bound, -1
+	for i, v := range vs {
+		q.mustMatch(v)
+		n := 0
+		for j, w := range v.words {
+			n += bits.OnesCount64(qw[j] ^ w)
+			if n >= best {
+				break
+			}
+		}
+		if n < best {
+			best, bestIdx = n, i
+		}
+	}
+	return bestIdx, best
+}

@@ -1,0 +1,98 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDistanceBoundedAgreesWithReference(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for _, d := range kernelDims {
+		a := Random(d, newTestSource(r.Int63()))
+		b := Random(d, newTestSource(r.Int63()))
+		want := referenceHammingDistance(a, b)
+		for _, bound := range []int{-1, 0, want - 1, want, want + 1, d, d + 1} {
+			hd, within := DistanceBounded(a, b, bound)
+			if within != (want <= bound) {
+				t.Fatalf("d=%d bound=%d: within=%v, true distance %d", d, bound, within, want)
+			}
+			if within && hd != want {
+				t.Fatalf("d=%d bound=%d: hd=%d, reference %d", d, bound, hd, want)
+			}
+			if !within && hd <= bound {
+				t.Fatalf("d=%d bound=%d: abandoned with hd=%d <= bound", d, bound, hd)
+			}
+		}
+	}
+}
+
+func TestDistanceBoundedSelf(t *testing.T) {
+	v := Random(777, newTestSource(7))
+	if hd, within := DistanceBounded(v, v, 0); !within || hd != 0 {
+		t.Fatalf("self distance: hd=%d within=%v", hd, within)
+	}
+}
+
+func TestNearestPrunedAgreesWithReference(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for _, d := range kernelDims {
+		q := Random(d, newTestSource(r.Int63()))
+		vs := make([]*Vector, 33)
+		for i := range vs {
+			// Mix of near and far candidates so the bound actually prunes.
+			if i%5 == 0 {
+				vs[i] = q.Clone()
+				for f := 0; f < d/10+i; f++ {
+					vs[i].FlipBit(r.Intn(d))
+				}
+			} else {
+				vs[i] = Random(d, newTestSource(r.Int63()))
+			}
+		}
+		for _, bound := range []int{0, 1, d / 4, d / 2, d, d + 1} {
+			gi, gh := NearestPruned(q, vs, bound)
+			wi, wh := referenceNearestPruned(q, vs, bound)
+			if gi != wi || gh != wh {
+				t.Fatalf("d=%d bound=%d: got (%d,%d), reference (%d,%d)", d, bound, gi, gh, wi, wh)
+			}
+		}
+	}
+}
+
+func TestNearestPrunedMatchesNearestAtFullBound(t *testing.T) {
+	r := rand.New(rand.NewSource(505))
+	for _, d := range []int{65, 1000, 10000} {
+		q := Random(d, newTestSource(r.Int63()))
+		vs := make([]*Vector, 50)
+		for i := range vs {
+			vs[i] = Random(d, newTestSource(r.Int63()))
+		}
+		ni, nh := Nearest(q, vs)
+		pi, ph := NearestPruned(q, vs, d+1)
+		if ni != pi || nh != ph {
+			t.Fatalf("d=%d: Nearest (%d,%d) vs NearestPruned (%d,%d)", d, ni, nh, pi, ph)
+		}
+	}
+}
+
+func TestNearestPrunedEmptyAndNoWinner(t *testing.T) {
+	q := Random(100, newTestSource(1))
+	if idx, hd := NearestPruned(q, nil, 10); idx != -1 || hd != 10 {
+		t.Fatalf("empty list: got (%d,%d), want (-1,10)", idx, hd)
+	}
+	far := q.Not()
+	if idx, hd := NearestPruned(q, []*Vector{far}, 5); idx != -1 || hd != 5 {
+		t.Fatalf("no winner: got (%d,%d), want (-1,5)", idx, hd)
+	}
+}
+
+func TestNearestPrunedTieResolvesToLowestIndex(t *testing.T) {
+	q := Random(257, newTestSource(9))
+	a := q.Clone()
+	a.FlipBit(3)
+	b := q.Clone()
+	b.FlipBit(200)
+	if idx, hd := NearestPruned(q, []*Vector{a, b}, 258); idx != 0 || hd != 1 {
+		t.Fatalf("tie: got (%d,%d), want (0,1)", idx, hd)
+	}
+}

@@ -90,6 +90,34 @@ func referenceMajority(vs []*Vector, tie TieBreak, src Source) *Vector {
 	return acc.referenceThreshold(tie, src)
 }
 
+// referenceHammingDistance is the per-bit distance loop — the spec for
+// HammingDistance, DistanceBounded and the pruned nearest scans.
+func referenceHammingDistance(a, b *Vector) int {
+	if a.Dim() != b.Dim() {
+		panic("bitvec: dimension mismatch")
+	}
+	n := 0
+	for i := 0; i < a.d; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// referenceNearestPruned is the per-bit spec for NearestPruned: full
+// distances, strict improvement over the running bound, lowest index wins
+// ties.
+func referenceNearestPruned(q *Vector, vs []*Vector, bound int) (idx, hd int) {
+	best, bestIdx := bound, -1
+	for i, v := range vs {
+		if n := referenceHammingDistance(q, v); n < best {
+			best, bestIdx = n, i
+		}
+	}
+	return bestIdx, best
+}
+
 // referenceRotateBits is the per-bit cyclic rotation: output bit
 // (i+k) mod d equals input bit i. k must already be reduced to [0, d).
 func (v *Vector) referenceRotateBits(k int) *Vector {

@@ -9,9 +9,11 @@ package embed
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/core"
+	"hdcirc/internal/index"
 	"hdcirc/internal/rng"
 )
 
@@ -30,15 +32,33 @@ type ItemMemory struct {
 	m    map[string]int // symbol → index into syms/vecs
 	syms []string
 	vecs []*bitvec.Vector
+
+	ixCfg index.Config // sketch-index knobs; zero value = defaults, auto-enable past MinSize
+	ixMu  sync.Mutex   // guards ix/ixLen rebuilds (Lookup stays safe with Lookup)
+	ix    *index.Index // sketch index over vecs[:ixLen]; nil until first large Lookup
+	ixLen int
 }
 
 // NewItemMemory returns an empty item memory over dimension d seeded by
-// seed.
+// seed. Associative Lookup is automatically served through a bit-sampling
+// sketch index (internal/index) once the memory grows past the default
+// index threshold; SetIndexConfig tunes or disables that.
 func NewItemMemory(d int, seed uint64) *ItemMemory {
 	if d <= 0 {
 		panic(fmt.Sprintf("embed: dimension must be positive, got %d", d))
 	}
 	return &ItemMemory{d: d, seed: seed, m: make(map[string]int)}
+}
+
+// SetIndexConfig replaces the memory's sketch-index configuration (see
+// index.Config: signature width, candidate count, auto-enable threshold,
+// Disabled for exact-only operation) and invalidates any index built so
+// far. Call it before concurrent Lookups start.
+func (im *ItemMemory) SetIndexConfig(cfg index.Config) {
+	im.ixMu.Lock()
+	im.ixCfg = cfg
+	im.ix, im.ixLen = nil, 0
+	im.ixMu.Unlock()
 }
 
 // Dim returns the hypervector dimension.
@@ -73,16 +93,57 @@ func (im *ItemMemory) View() (symbols []string, vectors []*bitvec.Vector) {
 
 // Lookup returns the stored symbol whose hypervector is most similar to q,
 // with its similarity; ok is false when the memory is empty. This is the
-// cleanup/associative-recall step of symbolic HDC. The scan runs on the
-// fused nearest-neighbor kernel over the creation-ordered vector list, so
-// it allocates nothing and — unlike a map iteration — resolves exact
-// similarity ties deterministically, to the earliest-created symbol.
+// cleanup/associative-recall step of symbolic HDC.
+//
+// Below the configured index threshold (or with indexing disabled) the
+// scan runs on the fused nearest-neighbor kernel over the creation-ordered
+// vector list: no allocation, and exact similarity ties resolve
+// deterministically to the earliest-created symbol. Past the threshold the
+// bulk of the memory is served through the bit-sampling sketch index —
+// sublinear candidate generation plus exact re-rank — with symbols interned
+// since the last index build covered by an exact pruned scan, so a trickle
+// of Gets between Lookups never forces a rebuild. The index is rebuilt
+// (and the stale one discarded) once the un-indexed tail grows past a
+// fraction of the indexed prefix. Lookup is safe for concurrent Lookup
+// callers; it is not safe concurrently with Get (which was already true of
+// the plain scan — Get mutates the backing slices).
 func (im *ItemMemory) Lookup(q *bitvec.Vector) (symbol string, sim float64, ok bool) {
-	if len(im.vecs) == 0 {
+	n := len(im.vecs)
+	if n == 0 {
 		return "", -1, false
 	}
-	idx, hd := bitvec.Nearest(q, im.vecs)
+	var idx, hd int
+	if ix := im.lookupIndex(n); ix != nil {
+		idx, hd = ix.Nearest(q)
+		if tail := im.vecs[ix.Len():n:n]; len(tail) > 0 {
+			// Exact scan of the recently interned tail; strict improvement
+			// only, so the (lower-index) prefix winner keeps exact ties.
+			if ti, th := bitvec.NearestPruned(q, tail, hd); ti >= 0 {
+				idx, hd = ix.Len()+ti, th
+			}
+		}
+	} else {
+		idx, hd = bitvec.Nearest(q, im.vecs[:n:n])
+	}
 	return im.syms[idx], 1 - float64(hd)/float64(im.d), true
+}
+
+// lookupIndex returns the sketch index serving a Lookup over the first n
+// vectors, or nil when the memory should stay on the exact linear scan.
+// The index covers the prefix that existed at its build; it is invalidated
+// and rebuilt here once Gets have appended more than index.MaxTail(ixLen)
+// vectors past it.
+func (im *ItemMemory) lookupIndex(n int) *index.Index {
+	if !im.ixCfg.Enabled(n) {
+		return nil
+	}
+	im.ixMu.Lock()
+	defer im.ixMu.Unlock()
+	if im.ix == nil || n-im.ixLen > index.MaxTail(im.ixLen) {
+		im.ix = index.New(im.vecs[:n:n], im.ixCfg)
+		im.ixLen = n
+	}
+	return im.ix
 }
 
 // ---------------------------------------------------------------------------

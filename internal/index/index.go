@@ -1,0 +1,356 @@
+// Package index provides sublinear associative lookup over collections of
+// binary hypervectors: a bit-sampling sketch index with exact re-ranking.
+//
+// Every recall path in the reproduction — item-memory cleanup, classifier
+// nearest-class, SDM activation — is "scan n vectors for the smallest (or a
+// bounded) Hamming distance to a query". The exact scan costs n·d/64 word
+// operations; past a few thousand stored vectors it dominates serving
+// latency. This package trades a tunable, measurable amount of recall for a
+// large constant-factor win by exploiting the concentration of pairwise
+// Hamming distances in high dimension (the codeword-spectrum effect): for a
+// query correlated with one stored vector and quasi-orthogonal to the rest,
+// the distance gap is Θ(d) while the estimation error of an m-bit sample is
+// Θ(√m·d/m), so a small signature separates the true neighbor from the bulk
+// with overwhelming probability.
+//
+// The structure is deliberately simple and allocation-conscious:
+//
+//   - Build: sample m distinct bit positions (deterministically from a
+//     seed), extract each stored vector's m-bit signature, pack the
+//     signatures into contiguous uint64 words. O(n·m) bit extracts, done
+//     once per generation (serving snapshots build one index per published
+//     snapshot, so reads stay lock-free).
+//
+//   - Nearest(q): extract q's signature, compute the n signature distances
+//     (m/64-word popcounts — the sublinear pass), select the C candidates
+//     with the smallest signature distance via an O(n + m) counting
+//     selection, then exactly re-rank only those C with the
+//     threshold-pruned kernel bitvec.NearestPruned. No false positives are
+//     possible — the winner's reported distance is exact — and the miss
+//     probability decays exponentially in m and C.
+//
+//   - WithinRadius(q, r): screen by signature distance against a
+//     conservatively slack-widened scaled radius, then verify every
+//     survivor with the capped-popcount kernel bitvec.WithinDistance.
+//     Results contain no false positives; false negatives are bounded by
+//     the configured slack (RadiusSlack standard deviations). When the
+//     screen has no discriminative power (radius near d/2, the sparse-SDM
+//     operating point), it detects that and falls back to the exact scan.
+//
+// Exactness contract: with Candidates >= Len() the candidate set is every
+// stored vector in index order, so Nearest is bit-identical to the linear
+// scan bitvec.Nearest — including tie resolution to the lowest index. With
+// a negative RadiusSlack, WithinRadius is the exact scan. The differential
+// tests in index_test.go pin both, and measure recall floors for the
+// approximate modes.
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/rng"
+)
+
+// Config parameterizes an Index. The zero value selects the defaults below
+// (it is NOT disabled); set Disabled to opt out of auto-indexing in the
+// layers that embed one.
+type Config struct {
+	// Disabled turns auto-indexing off in consumers (ItemMemory,
+	// Classifier, serve snapshots); they fall back to the exact linear
+	// scan regardless of size.
+	Disabled bool
+	// SignatureBits is m, the number of sampled bit positions per stored
+	// vector; <= 0 selects 256. Larger m sharpens the sketch estimate
+	// (recall) and slows the candidate pass; m >= d degenerates to a full
+	// permuted copy and is clamped to d at build time.
+	SignatureBits int
+	// Candidates is C, the number of sketch candidates re-ranked exactly;
+	// <= 0 selects max(64, n/32). C >= n makes Nearest bit-identical to
+	// the exact linear scan.
+	Candidates int
+	// MinSize is the collection size below which consumers keep the plain
+	// linear scan (the sketch pass only pays for itself past a few
+	// thousand vectors); <= 0 selects 2048.
+	MinSize int
+	// Seed derives the sampled bit positions. Equal (Seed, SignatureBits,
+	// dimension) always sample the same positions, so index builds are
+	// reproducible.
+	Seed uint64
+	// RadiusSlack widens the WithinRadius signature screen by this many
+	// standard deviations of the signature-distance estimator. Zero
+	// selects the default 5 — conservatively near-lossless; each unit of
+	// slack cuts the false-negative tail by roughly an order of
+	// magnitude. A NEGATIVE value disables screening entirely (exact
+	// radius scan).
+	RadiusSlack float64
+}
+
+// DefaultConfig returns the default index configuration: 256-bit
+// signatures, auto candidate count, auto-enable at 2048 vectors, radius
+// slack 5.
+func DefaultConfig() Config {
+	return Config{SignatureBits: 256, MinSize: 2048, RadiusSlack: 5}
+}
+
+// normalized fills zero fields with defaults.
+func (c Config) normalized() Config {
+	if c.SignatureBits <= 0 {
+		c.SignatureBits = 256
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 2048
+	}
+	if c.RadiusSlack == 0 {
+		c.RadiusSlack = 5
+	}
+	return c
+}
+
+// Enabled reports whether a collection of n vectors should be indexed
+// under this configuration: not disabled and at least MinSize (after
+// defaulting) vectors.
+func (c Config) Enabled(n int) bool {
+	return !c.Disabled && n >= c.normalized().MinSize
+}
+
+// MaxTail is how many un-indexed vectors may accumulate behind an index of
+// the given size before a consumer should rebuild rather than serve the
+// tail with an exact pruned scan: an eighth of the indexed prefix, at
+// least 64. Below this the tail scan stays cheap relative to the indexed
+// prefix, and steady add/lookup interleavings amortize rebuild cost.
+func MaxTail(indexed int) int {
+	if s := indexed / 8; s > 64 {
+		return s
+	}
+	return 64
+}
+
+// Index is a bit-sampling sketch index over a fixed slice of vectors. It
+// shares (does not copy) the indexed vectors; they must not be mutated for
+// the index's lifetime. All methods are pure reads after New, safe for any
+// number of concurrent goroutines.
+type Index struct {
+	d          int
+	m          int   // signature bits
+	candidates int   // resolved C
+	positions  []int // sampled bit positions, ascending
+	sigWords   int   // words per signature
+	sigs       []uint64
+	vecs       []*bitvec.Vector
+	slack      float64
+}
+
+// New builds an index over vs with the given configuration. It panics on an
+// empty collection or mismatched dimensions — indexing nothing is a
+// programming error, and the consumers all gate on MinSize first.
+func New(vs []*bitvec.Vector, cfg Config) *Index {
+	if len(vs) == 0 {
+		panic("index: cannot index zero vectors")
+	}
+	cfg = cfg.normalized()
+	d := vs[0].Dim()
+	m := cfg.SignatureBits
+	if m > d {
+		m = d
+	}
+	c := cfg.Candidates
+	if c <= 0 {
+		c = len(vs) / 32
+		if c < 64 {
+			c = 64
+		}
+	}
+	if c > len(vs) {
+		c = len(vs)
+	}
+	ix := &Index{
+		d:          d,
+		m:          m,
+		candidates: c,
+		positions:  samplePositions(d, m, cfg.Seed),
+		sigWords:   (m + 63) / 64,
+		vecs:       vs,
+		slack:      cfg.RadiusSlack,
+	}
+	ix.sigs = make([]uint64, len(vs)*ix.sigWords)
+	for i, v := range vs {
+		if v.Dim() != d {
+			panic(fmt.Sprintf("index: vector %d has dimension %d, index %d", i, v.Dim(), d))
+		}
+		ix.signatureInto(v, ix.sigs[i*ix.sigWords:(i+1)*ix.sigWords])
+	}
+	return ix
+}
+
+// samplePositions draws m distinct positions from [0, d) via Floyd's
+// algorithm on a named substream and returns them ascending (sequential
+// word access when extracting signatures, and a canonical order for
+// reproducibility).
+func samplePositions(d, m int, seed uint64) []int {
+	src := rng.Sub(seed, "index/positions")
+	taken := make(map[int]struct{}, m)
+	out := make([]int, 0, m)
+	for i := d - m; i < d; i++ {
+		j := src.Intn(i + 1)
+		if _, dup := taken[j]; dup {
+			j = i
+		}
+		taken[j] = struct{}{}
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// signatureInto extracts the sampled bits of v into dst (sigWords words).
+func (ix *Index) signatureInto(v *bitvec.Vector, dst []uint64) {
+	words := v.Words()
+	for w := range dst {
+		dst[w] = 0
+	}
+	for j, p := range ix.positions {
+		bit := words[p>>6] >> (uint(p) & 63) & 1
+		dst[j>>6] |= bit << (uint(j) & 63)
+	}
+}
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.vecs) }
+
+// Dim returns the indexed hypervector dimension.
+func (ix *Index) Dim() int { return ix.d }
+
+// SignatureBits returns the resolved signature width m.
+func (ix *Index) SignatureBits() int { return ix.m }
+
+// Candidates returns the resolved exact-re-rank candidate count C.
+func (ix *Index) Candidates() int { return ix.candidates }
+
+// Exact reports whether Nearest is bit-identical to the linear scan
+// (C == n).
+func (ix *Index) Exact() bool { return ix.candidates >= len(ix.vecs) }
+
+// Nearest returns the index and exact Hamming distance of the
+// (approximate) nearest stored vector: candidate generation by signature
+// distance, exact re-rank of the top C candidates with the pruned kernel.
+// Ties — in signature distance during selection and in exact distance
+// during re-rank — resolve toward the lowest index, so exact mode (C == n)
+// reproduces bitvec.Nearest bit for bit.
+func (ix *Index) Nearest(q *bitvec.Vector) (idx, hd int) {
+	if q.Dim() != ix.d {
+		panic(fmt.Sprintf("index: query dimension %d, index %d", q.Dim(), ix.d))
+	}
+	n := len(ix.vecs)
+	sw := ix.sigWords
+	qsig := make([]uint64, sw)
+	ix.signatureInto(q, qsig)
+
+	// Signature-distance pass: the sublinear bulk of the work, m/64 words
+	// per stored vector instead of d/64. int32 holds any signature
+	// distance (m is clamped to d, and dimensions are ints).
+	ds := make([]int32, n)
+	hist := make([]int, ix.m+1)
+	for i := 0; i < n; i++ {
+		base := i * sw
+		sd := 0
+		for w := 0; w < sw; w++ {
+			sd += bits.OnesCount64(qsig[w] ^ ix.sigs[base+w])
+		}
+		ds[i] = int32(sd)
+		hist[sd]++
+	}
+
+	// Counting selection of the C smallest signature distances: find the
+	// threshold t such that everything strictly below t is in, and fill
+	// the remaining quota with distance-t candidates in index order.
+	c := ix.candidates
+	cum, t := 0, 0
+	for t <= ix.m && cum+hist[t] <= c {
+		cum += hist[t]
+		t++
+	}
+	quota := c - cum // how many distance-t candidates still fit
+
+	// Exact re-rank, ascending index order so distance ties resolve low.
+	best, bestIdx := ix.d+1, -1
+	for i := 0; i < n; i++ {
+		sd := int(ds[i])
+		if sd > t || (sd == t && quota == 0) {
+			continue
+		}
+		if sd == t {
+			quota--
+		}
+		if nhd, within := bitvec.DistanceBounded(q, ix.vecs[i], best-1); within && nhd < best {
+			best, bestIdx = nhd, i
+		}
+	}
+	return bestIdx, best
+}
+
+// radiusThreshold returns the signature screen threshold for full-distance
+// radius r: the expected signature distance of a vector AT the radius plus
+// slack standard deviations of the Binomial(m, r/d) estimator, and whether
+// the screen has any discriminative power at all (a threshold at or past
+// the quasi-orthogonal bulk mean m/2 keeps essentially every stored vector,
+// so screening would only add overhead).
+func (ix *Index) radiusThreshold(r int) (t int, useful bool) {
+	if ix.slack <= 0 {
+		return ix.m, false
+	}
+	p := float64(r) / float64(ix.d)
+	if p >= 1 {
+		return ix.m, false
+	}
+	mean := float64(ix.m) * p
+	sd := math.Sqrt(float64(ix.m) * p * (1 - p))
+	t = int(math.Ceil(mean + ix.slack*sd))
+	if t >= ix.m {
+		t = ix.m
+	}
+	return t, float64(t) < float64(ix.m)/2
+}
+
+// WithinRadius appends to out the indexes of every stored vector within
+// Hamming radius r of q (ascending, no false positives) and returns out.
+// Vectors whose signature distance exceeds the slack-widened scaled radius
+// are screened out before the exact check; with the default slack the
+// per-vector miss probability at the radius boundary is below 1e-6, and
+// vectors well inside the radius are safer still. When the screen cannot
+// separate the radius from the quasi-orthogonal bulk (r near d/2 or
+// RadiusSlack <= 0) the scan is exact.
+func (ix *Index) WithinRadius(q *bitvec.Vector, r int, out []int) []int {
+	if q.Dim() != ix.d {
+		panic(fmt.Sprintf("index: query dimension %d, index %d", q.Dim(), ix.d))
+	}
+	t, useful := ix.radiusThreshold(r)
+	if !useful {
+		for i, v := range ix.vecs {
+			if bitvec.WithinDistance(v, q, r) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	sw := ix.sigWords
+	qsig := make([]uint64, sw)
+	ix.signatureInto(q, qsig)
+	for i, v := range ix.vecs {
+		base := i * sw
+		sd := 0
+		for w := 0; w < sw; w++ {
+			sd += bits.OnesCount64(qsig[w] ^ ix.sigs[base+w])
+		}
+		if sd > t {
+			continue
+		}
+		if bitvec.WithinDistance(v, q, r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -32,6 +32,7 @@ import (
 
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/embed"
+	"hdcirc/internal/index"
 	"hdcirc/internal/rng"
 )
 
@@ -46,9 +47,19 @@ type Classifier struct {
 	tie     bitvec.TieBreak
 	src     *rng.Stream
 	tieVecs []*bitvec.Vector // optional fixed per-class tie vectors; see SetTieVectors
+	ixCfg   index.Config     // sketch-index knobs for large-k Predict; see SetIndexConfig
 
-	mu    sync.Mutex                       // serializes finalization
-	class atomic.Pointer[[]*bitvec.Vector] // finalized prototypes; nil until finalize
+	mu    sync.Mutex                // serializes finalization
+	class atomic.Pointer[classView] // finalized prototypes (+ index); nil until finalize
+}
+
+// classView is one finalized generation of the prototypes: the thresholded
+// class vectors plus, past the index threshold, the sketch index Predict
+// scans instead of the full list. Published as a unit through the atomic
+// pointer so readers never see a prototype/index mismatch.
+type classView struct {
+	protos []*bitvec.Vector
+	ix     *index.Index // nil below the threshold or when disabled
 }
 
 // NewClassifier creates a classifier over k classes and dimension d. Ties
@@ -99,6 +110,17 @@ func (c *Classifier) SetTieVectors(tvs []*bitvec.Vector) {
 	c.class.Store(nil)
 }
 
+// SetIndexConfig replaces the classifier's sketch-index configuration (see
+// index.Config). With the defaults, Predict switches from the exact linear
+// scan to sublinear indexed search once the class count reaches
+// index.DefaultConfig().MinSize; set Disabled for exact-only prediction at
+// any k, or Candidates >= k for an indexed-but-exact scan. Invalidates the
+// finalized prototypes; call before concurrent reads start.
+func (c *Classifier) SetIndexConfig(cfg index.Config) {
+	c.ixCfg = cfg
+	c.class.Store(nil)
+}
+
 // Add bundles one encoded training sample into its class accumulator and
 // invalidates the finalized prototypes.
 func (c *Classifier) Add(class int, hv *bitvec.Vector) {
@@ -127,8 +149,10 @@ func (c *Classifier) Finalize() {
 	c.finalizeLocked()
 }
 
-// finalizeLocked thresholds under c.mu and publishes the prototype slice.
-func (c *Classifier) finalizeLocked() []*bitvec.Vector {
+// finalizeLocked thresholds under c.mu and publishes the prototype view,
+// building the sketch index when the class count is past the configured
+// threshold.
+func (c *Classifier) finalizeLocked() *classView {
 	vs := make([]*bitvec.Vector, c.k)
 	for i, acc := range c.accs {
 		if c.tieVecs != nil {
@@ -137,24 +161,33 @@ func (c *Classifier) finalizeLocked() []*bitvec.Vector {
 			vs[i] = acc.Threshold(c.tie, c.src)
 		}
 	}
-	c.class.Store(&vs)
-	return vs
+	view := &classView{protos: vs}
+	if c.ixCfg.Enabled(c.k) {
+		view.ix = index.New(vs, c.ixCfg)
+	}
+	c.class.Store(view)
+	return view
 }
 
-// finalized returns the published prototypes, finalizing at most once when
-// the cache is empty. Safe for concurrent callers: the fast path is a
-// single atomic load, and the slow path double-checks under the mutex so
-// racing first readers agree on one finalization.
-func (c *Classifier) finalized() []*bitvec.Vector {
+// finalizedView returns the published prototype view, finalizing at most
+// once when the cache is empty. Safe for concurrent callers: the fast path
+// is a single atomic load, and the slow path double-checks under the mutex
+// so racing first readers agree on one finalization.
+func (c *Classifier) finalizedView() *classView {
 	if p := c.class.Load(); p != nil {
-		return *p
+		return p
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p := c.class.Load(); p != nil {
-		return *p
+		return p
 	}
 	return c.finalizeLocked()
+}
+
+// finalized returns the published prototype slice (see finalizedView).
+func (c *Classifier) finalized() []*bitvec.Vector {
+	return c.finalizedView().protos
 }
 
 // ClassVector returns class i's prototype, finalizing if necessary. The
@@ -165,11 +198,20 @@ func (c *Classifier) ClassVector(i int) *bitvec.Vector {
 }
 
 // Predict returns the class whose prototype is most similar to the query,
-// and the corresponding normalized distance. The scan runs on the fused
-// nearest-neighbor kernel (no per-class allocation or float division, early
-// exit per candidate); ties resolve to the lowest class index.
+// and the corresponding normalized distance. Below the index threshold the
+// scan runs on the fused nearest-neighbor kernel (no per-class allocation
+// or float division, early exit per candidate); for large class counts it
+// goes through the sketch index built at finalization (sublinear candidate
+// generation, exact re-rank — see SetIndexConfig). Ties resolve to the
+// lowest class index in both paths.
 func (c *Classifier) Predict(q *bitvec.Vector) (class int, distance float64) {
-	idx, hd := bitvec.Nearest(q, c.finalized())
+	view := c.finalizedView()
+	var idx, hd int
+	if view.ix != nil {
+		idx, hd = view.ix.Nearest(q)
+	} else {
+		idx, hd = bitvec.Nearest(q, view.protos)
+	}
 	return idx, float64(hd) / float64(c.d)
 }
 

@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"hdcirc/internal/bitvec"
+	"hdcirc/internal/index"
 )
 
 const (
@@ -92,7 +93,11 @@ func ReadClassifier(r io.Reader, seed uint64) (*Classifier, error) {
 	for i, v := range vecs {
 		c.accs[i].Add(v)
 	}
-	c.class.Store(&vecs)
+	view := &classView{protos: vecs}
+	if c.ixCfg.Enabled(c.k) {
+		view.ix = index.New(vecs, c.ixCfg)
+	}
+	c.class.Store(view)
 	return c, nil
 }
 

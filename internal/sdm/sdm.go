@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"hdcirc/internal/bitvec"
+	"hdcirc/internal/index"
 	"hdcirc/internal/rng"
 )
 
@@ -28,6 +29,7 @@ type Memory struct {
 	d         int
 	radius    int
 	addresses []*bitvec.Vector      // shared across forks, never mutated
+	addrIx    *index.Index          // optional sketch index over addresses; shared across forks
 	counters  []*bitvec.Accumulator // per hard location bipolar counters
 	owned     []bool                // nil: all counters owned; else copy-on-write markers
 	writes    int
@@ -40,6 +42,18 @@ type Config struct {
 	Radius    int // activation Hamming radius r
 
 	Seed uint64
+
+	// Index optionally routes the activation scan through a bit-sampling
+	// sketch index over the hard-location addresses (built once at New —
+	// the addresses never change — and shared by every Fork). Candidates
+	// are screened by signature distance against the slack-widened scaled
+	// radius, then verified exactly, so activations contain no false
+	// positives; misses are bounded by the configured RadiusSlack. Note
+	// the screen only has power when the radius sits well below d/2: at
+	// the classic sparse operating point (activation probability ~1%,
+	// radius just under d/2) the index detects that and falls back to the
+	// exact capped-popcount scan. Nil keeps activation exact.
+	Index *index.Config
 }
 
 // DefaultConfig returns an operating point scaled to the given dimension:
@@ -114,6 +128,9 @@ func New(cfg Config) *Memory {
 		m.addresses[i] = bitvec.Random(cfg.Dim, src)
 		m.counters[i] = bitvec.NewAccumulator(cfg.Dim)
 	}
+	if cfg.Index != nil && cfg.Index.Enabled(len(m.addresses)) {
+		m.addrIx = index.New(m.addresses, *cfg.Index)
+	}
 	return m
 }
 
@@ -129,11 +146,16 @@ func (m *Memory) Radius() int { return m.radius }
 // Writes returns the number of Write calls so far.
 func (m *Memory) Writes() int { return m.writes }
 
-// activated returns the indexes of hard locations within the radius of a.
-// The radius test uses the capped-popcount kernel: in the sparse regime
-// ~99% of locations miss, and almost all of them exceed the radius within
-// the first few words of the scan.
+// activated returns the indexes of hard locations within the radius of a,
+// ascending. With an address index configured, candidates come from the
+// signature screen plus exact verification; otherwise (and whenever the
+// screen has no power at this radius) the scan is the exact capped-popcount
+// kernel: in the sparse regime ~99% of locations miss, and almost all of
+// them exceed the radius within the first few words.
 func (m *Memory) activated(a *bitvec.Vector) []int {
+	if m.addrIx != nil {
+		return m.addrIx.WithinRadius(a, m.radius, nil)
+	}
 	var out []int
 	for i, addr := range m.addresses {
 		if bitvec.WithinDistance(addr, a, m.radius) {
@@ -159,6 +181,7 @@ func (m *Memory) Fork() *Memory {
 		d:         m.d,
 		radius:    m.radius,
 		addresses: m.addresses,
+		addrIx:    m.addrIx,
 		counters:  make([]*bitvec.Accumulator, len(m.counters)),
 		owned:     make([]bool, len(m.counters)),
 		writes:    m.writes,

@@ -41,6 +41,7 @@ import (
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/embed"
 	"hdcirc/internal/hashring"
+	"hdcirc/internal/index"
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
 	"hdcirc/internal/sdm"
@@ -70,6 +71,12 @@ type Config struct {
 	// RingPositions sizes the consistent-hashing ring used for routing;
 	// <= 0 selects max(8, 2*Shards). Must be >= Shards.
 	RingPositions int
+	// Index tunes the per-snapshot sketch indexes over each shard's item
+	// vectors and class prototypes (see index.Config). Nil selects
+	// index.DefaultConfig(): auto-indexed once a shard's collection
+	// reaches the default threshold, exact below it. Set
+	// &index.Config{Disabled: true} for exact-only lookups at any size.
+	Index *index.Config
 }
 
 // shardState is one shard's mutable master models, guarded by the server's
@@ -86,6 +93,7 @@ type shardState struct {
 // concurrent callers too but serialize internally (single-writer).
 type Server struct {
 	cfg     Config
+	ixCfg   index.Config // resolved snapshot-index configuration
 	pool    *batch.Pool
 	ring    *hashring.Ring
 	shardOf []int // global class id → shard
@@ -141,8 +149,13 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 
+	ixCfg := index.DefaultConfig()
+	if cfg.Index != nil {
+		ixCfg = *cfg.Index
+	}
 	s := &Server{
 		cfg:     cfg,
+		ixCfg:   ixCfg,
 		pool:    batch.New(cfg.Workers),
 		ring:    ring,
 		shardOf: make([]int, cfg.Classes),
@@ -482,18 +495,38 @@ func (s *Server) buildSnapshotLocked(dirtyCls, dirtyItems []bool) *Snapshot {
 		st := s.shards[i]
 		view := shardView{classes: st.classes}
 		if !clsDirty {
-			view.proto = prev.shards[i].proto
+			view.proto, view.protoIx = prev.shards[i].proto, prev.shards[i].protoIx
 		} else if st.cls != nil {
 			st.cls.Finalize() // deterministic: fixed tie vectors
 			view.proto = make([]*bitvec.Vector, len(st.classes))
 			for l := range st.classes {
 				view.proto[l] = st.cls.ClassVector(l)
 			}
+			if s.ixCfg.Enabled(len(view.proto)) {
+				view.protoIx = index.New(view.proto, s.ixCfg)
+			}
 		}
 		if !itemsDirty {
-			view.syms, view.vecs = prev.shards[i].syms, prev.shards[i].vecs
+			view.syms, view.vecs, view.itemIx = prev.shards[i].syms, prev.shards[i].vecs, prev.shards[i].itemIx
 		} else {
 			view.syms, view.vecs = st.items.View()
+			if s.ixCfg.Enabled(len(view.vecs)) {
+				// Item memories only append, so the previous snapshot's
+				// index still covers a prefix of this view; keep it and let
+				// Lookup scan the new tail exactly (same amortization as
+				// embed.ItemMemory) until the tail outgrows the rebuild
+				// bound — small item batches then cost O(batch), not
+				// O(items × signature).
+				var prevIx *index.Index
+				if prev != nil {
+					prevIx = prev.shards[i].itemIx
+				}
+				if prevIx != nil && len(view.vecs)-prevIx.Len() <= index.MaxTail(prevIx.Len()) {
+					view.itemIx = prevIx
+				} else {
+					view.itemIx = index.New(view.vecs, s.ixCfg)
+				}
+			}
 		}
 		snap.shards[i] = view
 	})
