@@ -338,5 +338,30 @@ type ServerRefine = serve.Refine
 type ServerStats = serve.Stats
 
 // NewServer builds a serving layer over k classes and dimension d with the
-// given sharding; config problems are errors, not panics.
+// given sharding; config problems are errors, not panics. The server is
+// purely in-memory — see OpenDurableServer for crash safety.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) }
+
+// ---------------------------------------------------------------------------
+// Durability
+// ---------------------------------------------------------------------------
+
+// WALConfig enables durable serving through OpenDurableServer: every
+// applied batch is written ahead to a CRC-framed segmented log in Dir
+// before it mutates anything, checkpoints persist the exact model state
+// and bound recovery cost, and fully-covered log segments are dropped.
+// Knobs: SyncEvery (fsync cadence in batches; 1 = every batch),
+// SegmentBytes (log rotation threshold), CheckpointEvery (automatic
+// background checkpoint cadence in batches; negative = manual only),
+// KeepCheckpoints (retained checkpoint files).
+type WALConfig = serve.WALConfig
+
+// OpenDurableServer builds a Server backed by a write-ahead log when
+// cfg.WAL is set (and is exactly NewServer when it is nil): existing state
+// in cfg.WAL.Dir is recovered — newest loadable checkpoint plus the log
+// suffix, yielding a snapshot bit-identical to the pre-crash one — and
+// every subsequent ApplyBatch is logged before it is applied. Use the
+// Server methods Checkpoint (persist state now and compact the log) and
+// Close (flush and stop writes; reads keep serving) to manage the
+// durability lifecycle.
+func OpenDurableServer(cfg ServerConfig) (*Server, error) { return serve.Open(cfg) }

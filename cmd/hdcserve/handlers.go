@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -15,6 +16,12 @@ type appConfig struct {
 	Lo, Hi                        float64
 	Levels                        int
 	Seed                          uint64
+	// DataDir enables durability: write-ahead log plus checkpoints live
+	// here and existing state is recovered at startup. Empty keeps the
+	// server in-memory only.
+	DataDir         string
+	FsyncEvery      int
+	CheckpointEvery int
 }
 
 // app owns the server plus the encoding stack requests pass through.
@@ -35,13 +42,21 @@ func newApp(cfg appConfig) (*app, error) {
 	if cfg.Hi <= cfg.Lo {
 		return nil, fmt.Errorf("empty feature interval [%v,%v]", cfg.Lo, cfg.Hi)
 	}
-	srv, err := hdcirc.NewServer(hdcirc.ServerConfig{
+	scfg := hdcirc.ServerConfig{
 		Dim:     cfg.Dim,
 		Classes: cfg.Classes,
 		Shards:  cfg.Shards,
 		Workers: cfg.Workers,
 		Seed:    cfg.Seed,
-	})
+	}
+	if cfg.DataDir != "" {
+		scfg.WAL = &hdcirc.WALConfig{
+			Dir:             cfg.DataDir,
+			SyncEvery:       cfg.FsyncEvery,
+			CheckpointEvery: cfg.CheckpointEvery,
+		}
+	}
+	srv, err := hdcirc.OpenDurableServer(scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +73,10 @@ func newApp(cfg appConfig) (*app, error) {
 		enc: enc,
 	}, nil
 }
+
+// close flushes and releases the serving layer: in-flight checkpoints
+// finish and the write-ahead log is synced and closed. Idempotent.
+func (a *app) close() error { return a.srv.Close() }
 
 // encode maps one feature record to its hypervector. The record encoder is
 // stateless per call (fixed keys, fixed tie vector), so encode is safe
@@ -130,7 +149,7 @@ type trainResponse struct {
 // membership churn, published as one new snapshot version.
 func (a *app) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
 	var req trainRequest
@@ -139,7 +158,7 @@ func (a *app) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Samples) == 0 && len(req.Symbols) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		writeErr(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
 	}
 	records := make([][]float64, len(req.Samples))
@@ -181,7 +200,7 @@ type predictResponse struct {
 // handlePredict classifies every query against one consistent snapshot.
 func (a *app) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
 	var req predictRequest
@@ -190,7 +209,7 @@ func (a *app) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("no queries"))
+		writeErr(w, http.StatusBadRequest, errors.New("no queries"))
 		return
 	}
 	hvs, err := a.encodeBatch(req.Queries)
@@ -237,7 +256,7 @@ func (a *app) handleLookup(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, lookupResponse{Symbol: sym, Found: &ok, Version: snap.Version()})
 			return
 		}
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("need ?key= or ?symbol="))
+		writeErr(w, http.StatusBadRequest, errors.New("need ?key= or ?symbol="))
 	case http.MethodPost:
 		var req struct {
 			Features []float64 `json:"features"`
@@ -254,19 +273,19 @@ func (a *app) handleLookup(w http.ResponseWriter, r *http.Request) {
 		sym, sim, ok := snap.Lookup(hv)
 		a.srv.CountReads(1)
 		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("no items interned"))
+			writeErr(w, http.StatusNotFound, errors.New("no items interned"))
 			return
 		}
 		writeJSON(w, http.StatusOK, lookupResponse{Symbol: sym, Similarity: sim, Version: snap.Version()})
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST only"))
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET or POST only"))
 	}
 }
 
 // handleStats reports the operational summary of the current snapshot.
 func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
 	writeJSON(w, http.StatusOK, a.srv.Stats())
@@ -277,7 +296,7 @@ func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
 // back through -load to warm-start a replacement.
 func (a *app) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
 	snap := a.srv.Snapshot()

@@ -21,15 +21,34 @@
 // level-encoded over the interval [lo, hi] given by the -lo and -hi flags
 // and bound to its field key (the paper's record encoding ⊕ᵢ Kᵢ ⊗ Vᵢ).
 // Training and prediction both encode across the server's worker pool.
+//
+// # Durability
+//
+// With -data-dir the server is durable: every training batch is written
+// ahead to a CRC-framed log in that directory before it is applied (fsync
+// cadence set by -fsync-every), background checkpoints persist the exact
+// model state every -checkpoint-every batches and compact the log, and a
+// restart recovers the pre-crash state bit for bit. On SIGINT/SIGTERM the
+// server shuts down gracefully: in-flight requests (including training
+// batches) complete, then the log is flushed and closed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 )
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before giving up and closing anyway.
+const shutdownGrace = 15 * time.Second
 
 func main() {
 	var (
@@ -44,12 +63,16 @@ func main() {
 		levels  = flag.Int("levels", 64, "quantization levels per feature")
 		seed    = flag.Uint64("seed", 1, "master seed")
 		load    = flag.String("load", "", "warm-start from a snapshot file")
+		dataDir = flag.String("data-dir", "", "durability directory (write-ahead log + checkpoints); empty = in-memory only")
+		fsync   = flag.Int("fsync-every", 1, "with -data-dir: fsync the log once per this many batches (negative = never)")
+		ckpt    = flag.Int("checkpoint-every", 256, "with -data-dir: background checkpoint cadence in batches (negative = manual only)")
 	)
 	flag.Parse()
 
 	app, err := newApp(appConfig{
 		Dim: *d, Classes: *k, Shards: *shards, Workers: *workers,
 		Fields: *fields, Lo: *lo, Hi: *hi, Levels: *levels, Seed: *seed,
+		DataDir: *dataDir, FsyncEvery: *fsync, CheckpointEvery: *ckpt,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hdcserve: %v\n", err)
@@ -69,8 +92,46 @@ func main() {
 		}
 		log.Printf("warm-started from %s at version %d", *load, app.srv.Snapshot().Version())
 	}
-	log.Printf("hdcserve listening on %s (d=%d k=%d shards=%d fields=%d)", *addr, *d, *k, *shards, *fields)
-	if err := http.ListenAndServe(*addr, app.mux()); err != nil {
+	if *dataDir != "" {
+		log.Printf("durable: data-dir %s, recovered at version %d", *dataDir, app.srv.Snapshot().Version())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdcserve: %v\n", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("hdcserve listening on %s (d=%d k=%d shards=%d fields=%d)", ln.Addr(), *d, *k, *shards, *fields)
+	if err := serveHTTP(ctx, ln, app); err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("hdcserve: clean shutdown at version %d", app.srv.Snapshot().Version())
+}
+
+// serveHTTP serves the app's mux on ln until ctx is canceled (SIGINT or
+// SIGTERM in production), then shuts down gracefully: http.Server.Shutdown
+// waits for in-flight requests — a training batch that reached ApplyBatch
+// finishes and lands in the write-ahead log — and only then is the
+// durability layer flushed and closed.
+func serveHTTP(ctx context.Context, ln net.Listener, a *app) error {
+	srv := &http.Server{Handler: a.mux()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc: // listener failed outright
+		a.close()
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	shutdownErr := srv.Shutdown(sctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	if err := a.close(); err != nil {
+		return fmt.Errorf("closing durability layer: %w", err)
+	}
+	return shutdownErr
 }

@@ -28,6 +28,14 @@
 //     training/churn, consistent-hash sharding, and live snapshot
 //     persistence with warm start. See NewServer, ServerConfig, Snapshot,
 //     and the cmd/hdcserve HTTP front end.
+//   - Durability: a CRC-framed, fsync-batched write-ahead log plus
+//     exact-state checkpoints make the serving layer crash-safe — every
+//     acknowledged batch is logged before it is applied, recovery replays
+//     the surviving prefix into a bit-identical snapshot (a torn tail is
+//     truncated, a partial record never replayed), and checkpoints bound
+//     recovery cost to one state file plus the log suffix. See
+//     OpenDurableServer, WALConfig, and the Server Checkpoint/Close
+//     methods; cmd/hdcserve exposes it as -data-dir.
 //
 // Every hot loop — bundling accumulation, majority thresholding, rotation,
 // nearest-prototype search — runs as a word-parallel kernel over the

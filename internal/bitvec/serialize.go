@@ -54,8 +54,10 @@ func ReadVector(r io.Reader) (*Vector, error) {
 	if ver := binary.LittleEndian.Uint32(header[4:]); ver != vectorVersion {
 		return nil, fmt.Errorf("bitvec: unsupported version %d", ver)
 	}
+	// Bounded like ReadAccumulator: the dimension sizes an allocation from
+	// untrusted input and must stay clear of 32-bit int wraparound.
 	d64 := binary.LittleEndian.Uint64(header[8:])
-	if d64 == 0 || d64 > 1<<32 {
+	if d64 == 0 || d64 > 1<<27 {
 		return nil, fmt.Errorf("bitvec: implausible dimension %d", d64)
 	}
 	d := int(d64)
@@ -71,6 +73,75 @@ func ReadVector(r io.Reader) (*Vector, error) {
 		return nil, errors.New("bitvec: corrupt stream: tail bits set beyond dimension")
 	}
 	return v, nil
+}
+
+const (
+	accMagic   = "HACC"
+	accVersion = 1
+)
+
+// WriteTo serializes the accumulator — the EXACT training state, counters
+// and addition count, not the thresholded prototype. This is what durable
+// checkpoints (internal/serve) persist so that replaying a write-ahead-log
+// suffix on the restored state stays bit-identical to a full sequential
+// replay; the finalized-prototype formats (HVEC/HCLS/HREG) cannot promise
+// that because they re-seed at unit weight.
+//
+//	stream: magic "HACC" | uint32 version | uint64 dimension | int64 n
+//	        | dimension × int32 counts
+func (a *Accumulator) WriteTo(w io.Writer) (int64, error) {
+	header := make([]byte, 4+4+8+8)
+	copy(header, accMagic)
+	binary.LittleEndian.PutUint32(header[4:], accVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(a.d))
+	binary.LittleEndian.PutUint64(header[16:], uint64(a.n))
+	var n int64
+	k, err := w.Write(header)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	buf := make([]byte, 4*len(a.counts))
+	for i, c := range a.counts {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(c))
+	}
+	k, err = w.Write(buf)
+	n += int64(k)
+	return n, err
+}
+
+// ReadAccumulator deserializes an accumulator written by WriteTo. The
+// result is state-identical to the saved one: it thresholds to the same
+// prototype and continues training exactly where the original would have.
+func ReadAccumulator(r io.Reader) (*Accumulator, error) {
+	header := make([]byte, 4+4+8+8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("bitvec: reading accumulator header: %w", err)
+	}
+	if string(header[:4]) != accMagic {
+		return nil, errors.New("bitvec: bad magic (not an accumulator stream)")
+	}
+	if ver := binary.LittleEndian.Uint32(header[4:]); ver != accVersion {
+		return nil, fmt.Errorf("bitvec: unsupported accumulator version %d", ver)
+	}
+	// The bound is deliberately far below what int can hold: the dimension
+	// drives a 4-byte-per-dimension allocation from untrusted input, and on
+	// 32-bit builds anything past 1<<31 would wrap int negative and panic
+	// in NewAccumulator instead of erroring.
+	d64 := binary.LittleEndian.Uint64(header[8:])
+	if d64 == 0 || d64 > 1<<27 {
+		return nil, fmt.Errorf("bitvec: implausible accumulator dimension %d", d64)
+	}
+	a := NewAccumulator(int(d64))
+	a.n = int(int64(binary.LittleEndian.Uint64(header[16:])))
+	buf := make([]byte, 4*len(a.counts))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("bitvec: reading accumulator counts: %w", err)
+	}
+	for i := range a.counts {
+		a.counts[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return a, nil
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.

@@ -100,6 +100,68 @@ func TestReadVectorRejectsTailBits(t *testing.T) {
 	}
 }
 
+func TestAccumulatorSerializeRoundTrip(t *testing.T) {
+	src := newTestSource(91)
+	for _, d := range []int{1, 63, 64, 65, 1000} {
+		a := NewAccumulator(d)
+		for i := 0; i < 7; i++ {
+			a.Add(Random(d, src))
+		}
+		a.Sub(Random(d, src)) // negative counters and n != adds
+		var buf bytes.Buffer
+		n, err := a.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("d=%d: WriteTo reported %d bytes, wrote %d", d, n, buf.Len())
+		}
+		got, err := ReadAccumulator(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dim() != d || got.N() != a.N() {
+			t.Fatalf("d=%d: shape (%d,%d), want (%d,%d)", d, got.Dim(), got.N(), d, a.N())
+		}
+		for i, c := range a.Counts() {
+			if got.Counts()[i] != c {
+				t.Fatalf("d=%d: counter %d is %d, want %d", d, i, got.Counts()[i], c)
+			}
+		}
+		// The restored state must keep training identically: same addition,
+		// same threshold output.
+		extra := Random(d, newTestSource(int64(d)))
+		a.Add(extra)
+		got.Add(extra)
+		tv := Random(d, newTestSource(int64(d)+1))
+		if !a.ThresholdTieVector(tv).Equal(got.ThresholdTieVector(tv)) {
+			t.Errorf("d=%d: restored accumulator diverged after continued training", d)
+		}
+	}
+}
+
+func TestReadAccumulatorRejectsGarbage(t *testing.T) {
+	for _, raw := range [][]byte{
+		nil,
+		[]byte("HACCxxxx"),
+		append([]byte("HVEC"), make([]byte, 20)...), // wrong magic
+	} {
+		if _, err := ReadAccumulator(bytes.NewReader(raw)); err == nil {
+			t.Errorf("garbage %q accepted", raw)
+		}
+	}
+	// Truncated counts section.
+	var buf bytes.Buffer
+	a := NewAccumulator(100)
+	a.Add(Random(100, newTestSource(5)))
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAccumulator(bytes.NewReader(buf.Bytes()[:buf.Len()-10])); err == nil {
+		t.Error("truncated accumulator stream accepted")
+	}
+}
+
 func TestSliceReaderSemantics(t *testing.T) {
 	r := &sliceReader{data: []byte{1, 2, 3}}
 	p := make([]byte, 2)

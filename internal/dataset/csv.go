@@ -16,6 +16,7 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -82,7 +83,7 @@ func LoadBeijingCSV(r io.Reader) ([]TempSample, error) {
 		})
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("dataset: Beijing CSV contains no usable rows")
+		return nil, errors.New("dataset: Beijing CSV contains no usable rows")
 	}
 	return out, nil
 }
@@ -139,7 +140,7 @@ func LoadOrbitCSV(r io.Reader) ([]OrbitSample, error) {
 		}
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("dataset: orbit CSV contains no usable rows")
+		return nil, errors.New("dataset: orbit CSV contains no usable rows")
 	}
 	// Degrees vs radians heuristic: anomalies are angles in [0, 2π) or
 	// [0, 360).

@@ -19,6 +19,7 @@
 package markov
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -40,7 +41,7 @@ func SolveTridiagonal(lower, diag, upper, rhs []float64) ([]float64, error) {
 	cp := make([]float64, n) // modified super-diagonal
 	dp := make([]float64, n) // modified rhs
 	if diag[0] == 0 {
-		return nil, fmt.Errorf("markov: zero pivot at row 0")
+		return nil, errors.New("markov: zero pivot at row 0")
 	}
 	cp[0] = upper[0] / diag[0]
 	dp[0] = rhs[0] / diag[0]
@@ -129,7 +130,7 @@ func ExpectedFlipsRecurrence(d, targetK int) (float64, error) {
 		// d − k hits zero at k = d−1 only when targetK == d; the final
 		// difference then comes from the pure backward step balance. The
 		// scatter generator never asks for Δ = 1, so treat it as invalid.
-		return 0, fmt.Errorf("markov: target distance 1.0 is unreachable in expectation")
+		return 0, errors.New("markov: target distance 1.0 is unreachable in expectation")
 	}
 	fd := float64(d)
 	w := 1.0

@@ -19,9 +19,11 @@ import (
 )
 
 const (
-	classifierMagic = "HCLS"
-	regressorMagic  = "HREG"
-	modelVersion    = 1
+	classifierMagic      = "HCLS"
+	classifierStateMagic = "HCST"
+	regressorMagic       = "HREG"
+	regressorStateMagic  = "HRST"
+	modelVersion         = 1
 )
 
 // WriteTo serializes the finalized classifier prototypes. Training state
@@ -101,6 +103,69 @@ func ReadClassifier(r io.Reader, seed uint64) (*Classifier, error) {
 	return c, nil
 }
 
+// WriteStateTo serializes the classifier's EXACT training state: every
+// class's integer accumulator (counters plus addition count), as k framed
+// HACC streams after a small header. Unlike WriteTo, a state restored from
+// this stream continues training — Add, Sub, Refine — bit-identically to
+// the original model, which is what durable checkpoints (internal/serve)
+// need so that replaying a write-ahead-log suffix equals a full replay.
+//
+//	stream: magic "HCST" | uint32 version | uint64 k | k HACC accumulators
+func (c *Classifier) WriteStateTo(w io.Writer) (int64, error) {
+	header := make([]byte, 4+4+8)
+	copy(header, classifierStateMagic)
+	binary.LittleEndian.PutUint32(header[4:], modelVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(c.k))
+	var n int64
+	k, err := w.Write(header)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, acc := range c.accs {
+		kk, err := acc.WriteTo(w)
+		n += kk
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// RestoreStateFrom replaces the classifier's accumulators with the exact
+// training state written by WriteStateTo and invalidates the finalized
+// prototypes. The stream must carry the same class count and dimension the
+// classifier was built with. On error the classifier is unchanged.
+func (c *Classifier) RestoreStateFrom(r io.Reader) error {
+	header := make([]byte, 4+4+8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return fmt.Errorf("model: reading classifier state header: %w", err)
+	}
+	if string(header[:4]) != classifierStateMagic {
+		return errors.New("model: bad magic (not a classifier state stream)")
+	}
+	if ver := binary.LittleEndian.Uint32(header[4:]); ver != modelVersion {
+		return fmt.Errorf("model: unsupported classifier state version %d", ver)
+	}
+	if k := binary.LittleEndian.Uint64(header[8:]); k != uint64(c.k) {
+		return fmt.Errorf("model: state stream carries %d classes, classifier has %d", k, c.k)
+	}
+	accs := make([]*bitvec.Accumulator, c.k)
+	for i := range accs {
+		acc, err := bitvec.ReadAccumulator(r)
+		if err != nil {
+			return fmt.Errorf("model: reading class %d accumulator: %w", i, err)
+		}
+		if acc.Dim() != c.d {
+			return fmt.Errorf("model: class %d accumulator dimension %d, classifier %d", i, acc.Dim(), c.d)
+		}
+		accs[i] = acc
+	}
+	c.accs = accs
+	c.class.Store(nil)
+	return nil
+}
+
 // WriteTo serializes the finalized regression model hypervector.
 func (r *Regressor) WriteTo(w io.Writer) (int64, error) {
 	header := make([]byte, 4+4)
@@ -114,6 +179,50 @@ func (r *Regressor) WriteTo(w io.Writer) (int64, error) {
 	}
 	kk, err := r.Model().WriteTo(w)
 	return n + kk, err
+}
+
+// WriteStateTo serializes the regressor's exact training state (its
+// accumulator) — the regression counterpart of Classifier.WriteStateTo.
+//
+//	stream: magic "HRST" | uint32 version | 1 HACC accumulator
+func (r *Regressor) WriteStateTo(w io.Writer) (int64, error) {
+	header := make([]byte, 4+4)
+	copy(header, regressorStateMagic)
+	binary.LittleEndian.PutUint32(header[4:], modelVersion)
+	var n int64
+	k, err := w.Write(header)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	kk, err := r.acc.WriteTo(w)
+	return n + kk, err
+}
+
+// RestoreStateFrom replaces the regressor's accumulator with the exact
+// state written by WriteStateTo and invalidates the finalized model. On
+// error the regressor is unchanged.
+func (r *Regressor) RestoreStateFrom(rd io.Reader) error {
+	header := make([]byte, 4+4)
+	if _, err := io.ReadFull(rd, header); err != nil {
+		return fmt.Errorf("model: reading regressor state header: %w", err)
+	}
+	if string(header[:4]) != regressorStateMagic {
+		return errors.New("model: bad magic (not a regressor state stream)")
+	}
+	if ver := binary.LittleEndian.Uint32(header[4:]); ver != modelVersion {
+		return fmt.Errorf("model: unsupported regressor state version %d", ver)
+	}
+	acc, err := bitvec.ReadAccumulator(rd)
+	if err != nil {
+		return fmt.Errorf("model: reading regressor accumulator: %w", err)
+	}
+	if acc.Dim() != r.d {
+		return fmt.Errorf("model: regressor accumulator dimension %d, regressor %d", acc.Dim(), r.d)
+	}
+	r.acc = acc
+	r.model.Store(nil)
+	return nil
 }
 
 // ReadRegressor deserializes a regressor written by WriteTo.

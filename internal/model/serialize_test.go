@@ -118,6 +118,92 @@ func TestModelDeserializeRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestClassifierStateRoundTrip pins the property the durable serving layer
+// depends on: a classifier restored from WriteStateTo continues training
+// bit-identically to the original — the unit-weight caveat of the HCLS
+// prototype format does not apply to the exact-state format.
+func TestClassifierStateRoundTrip(t *testing.T) {
+	const k, d = 4, 512
+	src := rng.New(31)
+	a := NewClassifier(k, d, 9)
+	tvs := make([]*bitvec.Vector, k)
+	for i := range tvs {
+		tvs[i] = bitvec.Random(d, src)
+	}
+	a.SetTieVectors(tvs)
+	for i := 0; i < 40; i++ {
+		a.Add(i%k, bitvec.Random(d, src))
+	}
+
+	var buf bytes.Buffer
+	if _, err := a.WriteStateTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewClassifier(k, d, 9)
+	b.SetTieVectors(tvs)
+	if err := b.RestoreStateFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Continue training both identically — including Sub, which is where
+	// unit-weight restores diverge — and compare every prototype.
+	extra := bitvec.Random(d, rng.New(77))
+	a.Add(1, extra)
+	b.Add(1, extra)
+	a.Sub(2, extra)
+	b.Sub(2, extra)
+	for c := 0; c < k; c++ {
+		if !a.ClassVector(c).Equal(b.ClassVector(c)) {
+			t.Fatalf("class %d diverged after restored training", c)
+		}
+	}
+}
+
+func TestRegressorStateRoundTrip(t *testing.T) {
+	const d = 512
+	src := rng.New(33)
+	a := NewRegressor(d, 5)
+	a.SetTieVector(bitvec.Random(d, src))
+	for i := 0; i < 9; i++ {
+		a.Add(bitvec.Random(d, src), bitvec.Random(d, src))
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteStateTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewRegressor(d, 5)
+	b.SetTieVector(a.tieVec)
+	if err := b.RestoreStateFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() {
+		t.Fatalf("restored pair count %d, want %d", b.N(), a.N())
+	}
+	pair := bitvec.Random(d, rng.New(78))
+	a.Add(pair, pair)
+	b.Add(pair, pair)
+	if !a.Model().Equal(b.Model()) {
+		t.Fatal("regressor model diverged after restored training")
+	}
+}
+
+func TestRestoreStateRejectsShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	a := NewClassifier(3, 256, 1)
+	if _, err := a.WriteStateTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewClassifier(4, 256, 1).RestoreStateFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("class-count mismatch accepted")
+	}
+	if err := NewClassifier(3, 128, 1).RestoreStateFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := NewClassifier(3, 256, 1).RestoreStateFrom(bytes.NewReader(buf.Bytes()[:8])); err == nil {
+		t.Error("truncated state stream accepted")
+	}
+}
+
 func TestClassifierCrossStreamRoundTrip(t *testing.T) {
 	// Classifier → Regressor reader must fail cleanly, not misparse.
 	d := 512

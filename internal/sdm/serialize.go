@@ -1,0 +1,124 @@
+package sdm
+
+// Exact-state serialization for durable checkpoints (internal/serve). The
+// hard-location addresses are a pure function of the Config seed and are
+// not persisted; only the written counters are, sparsely — in the sparse
+// operating regime a write touches ~1% of locations, so a checkpoint of a
+// lightly written memory is far smaller than locations × dimension.
+//
+//	stream: magic "HSDM" | uint32 version | uint64 dim | uint64 locations
+//	        | uint64 radius | uint64 writes | uint64 touched
+//	        | touched × (uint32 location | HACC accumulator)
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hdcirc/internal/bitvec"
+)
+
+const (
+	sdmMagic   = "HSDM"
+	sdmVersion = 1
+)
+
+// WriteStateTo serializes the memory's exact counter state. A memory
+// restored from this stream reads, writes and forks bit-identically to the
+// original. Safe to call on a published (never-again-written) generation
+// while newer forks keep taking writes.
+func (m *Memory) WriteStateTo(w io.Writer) (int64, error) {
+	touched := make([]int, 0, 64)
+	for i, acc := range m.counters {
+		if acc.N() != 0 {
+			touched = append(touched, i)
+		}
+	}
+	header := make([]byte, 4+4+8+8+8+8+8)
+	copy(header, sdmMagic)
+	binary.LittleEndian.PutUint32(header[4:], sdmVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(m.d))
+	binary.LittleEndian.PutUint64(header[16:], uint64(len(m.addresses)))
+	binary.LittleEndian.PutUint64(header[24:], uint64(m.radius))
+	binary.LittleEndian.PutUint64(header[32:], uint64(m.writes))
+	binary.LittleEndian.PutUint64(header[40:], uint64(len(touched)))
+	var n int64
+	k, err := w.Write(header)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	var idx [4]byte
+	for _, i := range touched {
+		binary.LittleEndian.PutUint32(idx[:], uint32(i))
+		k, err = w.Write(idx[:])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+		kk, err := m.counters[i].WriteTo(w)
+		n += kk
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// RestoreStateFrom loads the exact counter state written by WriteStateTo
+// into a FRESH memory (no writes yet) built from the same Config — the
+// addresses must match, which the stream cannot verify beyond shape, so
+// the caller owns seed equality just as with serve.Server.Restore.
+func (m *Memory) RestoreStateFrom(r io.Reader) error {
+	if m.writes != 0 {
+		return errors.New("sdm: RestoreStateFrom needs a fresh memory (writes already applied)")
+	}
+	header := make([]byte, 4+4+8+8+8+8+8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return fmt.Errorf("sdm: reading state header: %w", err)
+	}
+	if string(header[:4]) != sdmMagic {
+		return errors.New("sdm: bad magic (not an SDM state stream)")
+	}
+	if ver := binary.LittleEndian.Uint32(header[4:]); ver != sdmVersion {
+		return fmt.Errorf("sdm: unsupported state version %d", ver)
+	}
+	if d := binary.LittleEndian.Uint64(header[8:]); d != uint64(m.d) {
+		return fmt.Errorf("sdm: state stream dimension %d, memory %d", d, m.d)
+	}
+	if locs := binary.LittleEndian.Uint64(header[16:]); locs != uint64(len(m.addresses)) {
+		return fmt.Errorf("sdm: state stream has %d locations, memory %d", locs, len(m.addresses))
+	}
+	if rad := binary.LittleEndian.Uint64(header[24:]); rad != uint64(m.radius) {
+		return fmt.Errorf("sdm: state stream radius %d, memory %d", rad, m.radius)
+	}
+	writes := binary.LittleEndian.Uint64(header[32:])
+	touched := binary.LittleEndian.Uint64(header[40:])
+	if touched > uint64(len(m.addresses)) {
+		return fmt.Errorf("sdm: implausible touched-location count %d", touched)
+	}
+	counters := make([]*bitvec.Accumulator, len(m.counters))
+	copy(counters, m.counters)
+	var idx [4]byte
+	for j := uint64(0); j < touched; j++ {
+		if _, err := io.ReadFull(r, idx[:]); err != nil {
+			return fmt.Errorf("sdm: reading touched location %d: %w", j, err)
+		}
+		i := binary.LittleEndian.Uint32(idx[:])
+		if i >= uint32(len(counters)) {
+			return fmt.Errorf("sdm: touched location %d outside [0,%d)", i, len(counters))
+		}
+		acc, err := bitvec.ReadAccumulator(r)
+		if err != nil {
+			return fmt.Errorf("sdm: reading location %d counters: %w", i, err)
+		}
+		if acc.Dim() != m.d {
+			return fmt.Errorf("sdm: location %d counters dimension %d, memory %d", i, acc.Dim(), m.d)
+		}
+		counters[i] = acc
+	}
+	m.counters = counters
+	m.writes = int(writes)
+	return nil
+}

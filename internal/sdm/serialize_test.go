@@ -1,0 +1,86 @@
+package sdm
+
+import (
+	"bytes"
+	"testing"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/rng"
+)
+
+func testConfig() Config {
+	return Config{Dim: 256, Locations: 200, Radius: 100, Seed: 3}
+}
+
+func TestMemoryStateRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	src := rng.New(41)
+	a := New(cfg)
+	words := make([]*bitvec.Vector, 6)
+	for i := range words {
+		words[i] = bitvec.Random(cfg.Dim, src)
+		a.Write(words[i], words[i])
+	}
+
+	var buf bytes.Buffer
+	n, err := a.WriteStateTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteStateTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	b := New(cfg)
+	if err := b.RestoreStateFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if b.Writes() != a.Writes() {
+		t.Fatalf("restored write count %d, want %d", b.Writes(), a.Writes())
+	}
+
+	// Reads, continued writes and forks must agree bit for bit.
+	for i, w := range words {
+		ra, oka := a.Read(w)
+		rb, okb := b.Read(w)
+		if oka != okb || (oka && !ra.Equal(rb)) {
+			t.Fatalf("read %d diverged after restore", i)
+		}
+	}
+	extra := bitvec.Random(cfg.Dim, rng.New(42))
+	fa, fb := a.Fork(), b.Fork()
+	fa.Write(extra, extra)
+	fb.Write(extra, extra)
+	ra, oka := fa.Read(extra)
+	rb, okb := fb.Read(extra)
+	if oka != okb || (oka && !ra.Equal(rb)) {
+		t.Fatal("forked write diverged after restore")
+	}
+}
+
+func TestRestoreStateRejectsMismatchAndGarbage(t *testing.T) {
+	cfg := testConfig()
+	a := New(cfg)
+	w := bitvec.Random(cfg.Dim, rng.New(43))
+	a.Write(w, w)
+	var buf bytes.Buffer
+	if _, err := a.WriteStateTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	written := New(cfg)
+	written.Write(w, w)
+	if err := written.RestoreStateFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore into a written memory accepted")
+	}
+	other := cfg
+	other.Locations = 100
+	if err := New(other).RestoreStateFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("location-count mismatch accepted")
+	}
+	if err := New(cfg).RestoreStateFrom(bytes.NewReader(buf.Bytes()[:20])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if err := New(cfg).RestoreStateFrom(bytes.NewReader([]byte("not an sdm stream at all..."))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

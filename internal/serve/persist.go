@@ -122,6 +122,11 @@ func (s *Server) Restore(r io.Reader) error {
 	if s.version != 0 || s.samples != 0 || s.pairs != 0 || s.nitems != 0 {
 		return errors.New("serve: Restore needs a fresh server (writes already applied)")
 	}
+	if s.wal != nil {
+		// A durable server's state must come through its own log/checkpoint
+		// recovery (Open); a side-channel restore would diverge from the log.
+		return errors.New("serve: Restore on a durable server (recover through Open instead)")
+	}
 
 	header := make([]byte, 4+4+8+8+8+1)
 	if _, err := io.ReadFull(r, header); err != nil {

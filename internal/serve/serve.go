@@ -33,6 +33,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,7 @@ import (
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
 	"hdcirc/internal/sdm"
+	"hdcirc/internal/wal"
 )
 
 // Config parameterizes a Server.
@@ -77,6 +79,12 @@ type Config struct {
 	// reaches the default threshold, exact below it. Set
 	// &index.Config{Disabled: true} for exact-only lookups at any size.
 	Index *index.Config
+	// WAL enables durability when the server is built through Open: every
+	// applied batch is written ahead to a segmented log in WAL.Dir before
+	// it mutates anything, checkpoints bound recovery cost, and Open
+	// recovers existing state from the directory. Nil keeps the server
+	// purely in-memory (and NewServer always does). See WALConfig.
+	WAL *WALConfig
 }
 
 // shardState is one shard's mutable master models, guarded by the server's
@@ -106,6 +114,19 @@ type Server struct {
 	pairs   uint64
 	nitems  int
 	version uint64
+	closed  bool  // Close called; writes fail, reads keep serving
+	walErr  error // sticky write-ahead failure; fail writes fast afterwards
+
+	// Durability (nil/zero on purely in-memory servers; see wal.go).
+	wal       *wal.Log
+	walCfg    WALConfig
+	sinceCkpt int           // batches since the last checkpoint, under mu
+	ckptMu    sync.Mutex    // serializes Checkpoint
+	lastCkpt  atomic.Uint64 // newest durable checkpoint version
+	ckptBusy  atomic.Bool
+	ckptWG    sync.WaitGroup
+	errMu     sync.Mutex // guards ckptErr
+	ckptErr   error      // background checkpoint failure, surfaced by Close
 
 	snap  atomic.Pointer[Snapshot]
 	reads atomic.Uint64
@@ -218,7 +239,7 @@ func classTieVector(seed uint64, d, class int) *bitvec.Vector {
 func (s *Server) routeKey(key string) (int, error) {
 	member, ok := s.ring.Lookup(key)
 	if !ok {
-		return 0, fmt.Errorf("serve: routing ring has no members")
+		return 0, errors.New("serve: routing ring has no members")
 	}
 	var sh int
 	if _, err := fmt.Sscanf(member, "shard/%d", &sh); err != nil || sh < 0 || sh >= len(s.shards) {
@@ -312,7 +333,7 @@ func (s *Server) validate(b *Batch) error {
 		return err
 	}
 	if len(b.Pairs) > 0 && s.reg == nil {
-		return fmt.Errorf("serve: regression pairs but no label encoder configured")
+		return errors.New("serve: regression pairs but no label encoder configured")
 	}
 	for i, p := range b.Pairs {
 		if p.X == nil || p.X.Dim() != s.cfg.Dim {
@@ -320,7 +341,7 @@ func (s *Server) validate(b *Batch) error {
 		}
 	}
 	if len(b.Writes) > 0 && s.mem == nil {
-		return fmt.Errorf("serve: cleanup writes but no cleanup memory configured")
+		return errors.New("serve: cleanup writes but no cleanup memory configured")
 	}
 	for i, w := range b.Writes {
 		if w.Address == nil || w.Address.Dim() != s.cfg.Dim || w.Data == nil || w.Data.Dim() != s.cfg.Dim {
@@ -351,13 +372,52 @@ func (s *Server) validate(b *Batch) error {
 // returns) the new snapshot. Readers switch to it on their next Snapshot
 // load; snapshots already held stay valid and frozen. On error nothing is
 // mutated and the current snapshot remains published.
+//
+// On a durable server (Open with Config.WAL) the encoded batch is
+// appended to the write-ahead log BEFORE anything mutates, so a batch
+// that was acknowledged here survives a crash; with WALConfig.SyncEvery=1
+// it is fsynced before ApplyBatch returns. A log failure is sticky:
+// the in-memory state stays consistent, but further writes fail fast
+// rather than silently diverging from the log.
 func (s *Server) ApplyBatch(b Batch) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("serve: server is closed")
+	}
+	if s.walErr != nil {
+		return nil, fmt.Errorf("serve: write-ahead log failed earlier: %w", s.walErr)
+	}
 	if err := s.validate(&b); err != nil {
 		return nil, err
 	}
+	if s.wal != nil {
+		if _, err := s.wal.Append(encodeBatch(&b, s.cfg.Dim)); err != nil {
+			s.walErr = err
+			return nil, fmt.Errorf("serve: write-ahead append: %w", err)
+		}
+	}
+	snap, err := s.applyLocked(&b)
+	if err != nil {
+		// The batch is already in the log but did not fully apply (today
+		// unreachable: validation covers everything applyLocked does). The
+		// in-memory state can no longer be trusted to match the log, so
+		// fail-stop exactly like a log error rather than let the
+		// record-seq == version invariant silently desync.
+		if s.wal != nil {
+			s.walErr = err
+		}
+		return nil, err
+	}
+	s.maybeCheckpointLocked()
+	return snap, nil
+}
 
+// applyLocked applies a validated batch to the master models and publishes
+// the next snapshot. Called under s.mu, after (on durable servers) the
+// batch is in the log — which is why it is deterministic: recovery replays
+// log records through this same path and must land on identical bits.
+func (s *Server) applyLocked(b *Batch) (*Snapshot, error) {
 	dirtyCls := make([]bool, len(s.shards))
 	dirtyItems := make([]bool, len(s.shards))
 
@@ -598,6 +658,11 @@ type Stats struct {
 	MemWrites   int    `json:"mem_writes"`
 	Regression  bool   `json:"regression"`
 	HasCleanup  bool   `json:"cleanup"`
+	// Durable reports whether a write-ahead log backs this server, and
+	// LastCheckpoint the newest durable checkpoint version (0 when none
+	// has been taken yet).
+	Durable        bool   `json:"durable"`
+	LastCheckpoint uint64 `json:"last_checkpoint,omitempty"`
 }
 
 // Stats summarizes the current snapshot plus served-read counters.
@@ -615,9 +680,13 @@ func (s *Server) Stats() Stats {
 		ReadsServed: s.reads.Load(),
 		Regression:  s.cfg.Labels != nil,
 		HasCleanup:  snap.mem != nil,
+		Durable:     s.wal != nil,
 	}
 	if snap.mem != nil {
 		st.MemWrites = snap.mem.Writes()
+	}
+	if s.wal != nil {
+		st.LastCheckpoint = s.lastCkpt.Load()
 	}
 	return st
 }

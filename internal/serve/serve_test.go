@@ -2,7 +2,6 @@ package serve
 
 import (
 	"bytes"
-	"fmt"
 	"testing"
 
 	"hdcirc/internal/bitvec"
@@ -514,7 +513,7 @@ func TestShardMemberName(t *testing.T) {
 	if shardMember(3) != "shard/3" {
 		t.Errorf("shardMember(3) = %q", shardMember(3))
 	}
-	if fmt.Sprintf("%s", shardMember(0)) != "shard/0" {
+	if shardMember(0) != "shard/0" {
 		t.Error("shardMember(0)")
 	}
 }

@@ -1,0 +1,753 @@
+package serve
+
+// Durability: the write-ahead log and checkpoint layer over the snapshot
+// server. Every ApplyBatch is encoded and appended to an internal/wal log
+// BEFORE it mutates the master models, so an acknowledged batch survives a
+// crash; recovery replays the log into a fresh server, and because
+// ApplyBatch is deterministic (fixed tie vectors, single-writer ordering),
+// the recovered snapshot is bit-identical to the pre-crash one.
+//
+// Checkpoints bound recovery cost: a checkpoint file persists the portable
+// snapshot (the existing HSRV stream, which embeds the HCLS/HREG model
+// wire formats) PLUS the exact training state — per-class integer
+// accumulators, the regressor accumulator and the written SDM counters.
+// The exact sections are what keep checkpointed recovery bit-identical:
+// the HSRV stream alone re-seeds accumulators at unit weight, which
+// predicts identically but would diverge once the replayed log suffix
+// keeps training. Once a checkpoint at version C is durable, every log
+// segment fully below C is dropped, so recovery reads one checkpoint plus
+// the log suffix instead of the whole history.
+//
+//	checkpoint: magic "HCKP" | uint32 format | uint64 dim | uint32 classes
+//	            | uint32 shards | uint8 flags | HSRV snapshot stream
+//	            | per shard: uint8 hasClassifier [HCST classifier state]
+//	            | [HRST regressor state] | [HSDM cleanup-memory state]
+//
+// Log record sequence numbers equal snapshot versions: record N is the
+// batch whose application published version N.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/wal"
+)
+
+const (
+	ckptMagic  = "HCKP"
+	ckptFormat = 1
+	ckptPrefix = "ckpt-"
+	ckptExt    = ".hckp"
+
+	flagCkptRegressor = 1 << 0
+	flagCkptCleanup   = 1 << 1
+)
+
+// ckptCRCTable checksums whole checkpoint files (Castagnoli, matching the
+// log's record CRCs).
+var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errCkptCorrupt marks a checkpoint whose BYTES are damaged (short file,
+// CRC mismatch, foreign magic/format). Only these are set aside so
+// recovery can fall back to an older checkpoint; every other load failure
+// — a dimension/class/shard mismatch, a missing label encoder — means the
+// server was opened with the wrong config, and destroying the recovery
+// set over operator input would be unforgivable: those abort Open intact.
+var errCkptCorrupt = errors.New("serve: checkpoint corrupt")
+
+// WALConfig enables durable serving: every applied batch is written ahead
+// to a segmented log in Dir and checkpoints bound recovery cost. The zero
+// value of each knob selects the documented default.
+type WALConfig struct {
+	// Dir is the durability directory (required): log segments and
+	// checkpoint files live here.
+	Dir string
+	// SyncEvery batches fsync: the log is synced once per SyncEvery
+	// appended batches. 1 (the default) makes every acknowledged batch
+	// durable before ApplyBatch returns; larger values trade the tail of a
+	// machine crash for throughput; negative disables fsync (a process
+	// crash still loses nothing — the OS has the bytes).
+	SyncEvery int
+	// SegmentBytes rotates log segments past this size; <= 0 selects 4 MiB.
+	SegmentBytes int64
+	// CheckpointEvery persists a checkpoint (in the background) after this
+	// many applied batches, then drops fully-covered log segments; 0
+	// selects 256, negative disables automatic checkpoints (Checkpoint can
+	// still be called explicitly).
+	CheckpointEvery int
+	// KeepCheckpoints retains this many newest checkpoint files; <= 0
+	// selects 2 (the newest plus one fallback).
+	KeepCheckpoints int
+}
+
+func (w WALConfig) checkpointEvery() int {
+	switch {
+	case w.CheckpointEvery > 0:
+		return w.CheckpointEvery
+	case w.CheckpointEvery < 0:
+		return math.MaxInt
+	default:
+		return 256
+	}
+}
+
+func (w WALConfig) keepCheckpoints() int {
+	if w.KeepCheckpoints > 0 {
+		return w.KeepCheckpoints
+	}
+	return 2
+}
+
+// Open builds a Server and, when cfg.WAL is set, makes it durable:
+// existing state in cfg.WAL.Dir is recovered (newest loadable checkpoint,
+// then the log suffix replayed batch by batch), and every subsequent
+// ApplyBatch is written ahead to the log. With cfg.WAL == nil it is
+// exactly NewServer.
+func Open(cfg Config) (*Server, error) {
+	if cfg.WAL == nil {
+		return NewServer(cfg)
+	}
+	w := *cfg.WAL
+	if w.Dir == "" {
+		return nil, errors.New("serve: WAL config needs a directory")
+	}
+	if err := os.MkdirAll(w.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating durability directory: %w", err)
+	}
+
+	// Newest loadable checkpoint wins; unreadable ones are set aside (never
+	// deleted) and the next older one is tried on a fresh server, so a
+	// half-written or bit-rotted checkpoint cannot poison recovery.
+	s, ckptVersion, err := loadLatestCheckpoint(cfg, w.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	log, err := wal.Open(w.Dir, wal.Options{SegmentBytes: w.SegmentBytes, SyncEvery: w.SyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	err = log.Replay(ckptVersion+1, func(seq uint64, payload []byte) error {
+		var b Batch
+		if err := decodeBatch(payload, s.cfg.Dim, &b); err != nil {
+			return fmt.Errorf("serve: decoding log record %d: %w", seq, err)
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.validate(&b); err != nil {
+			return fmt.Errorf("serve: replaying log record %d: %w", seq, err)
+		}
+		if s.version+1 != seq {
+			return fmt.Errorf("serve: log record %d cannot follow version %d (checkpoint and log disagree)", seq, s.version)
+		}
+		if _, err := s.applyLocked(&b); err != nil {
+			return fmt.Errorf("serve: replaying log record %d: %w", seq, err)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	// Resume numbering after a checkpoint newer than every surviving log
+	// record (compaction dropped the whole suffix).
+	if next := s.version + 1; log.NextSeq() < next {
+		if err := log.SkipTo(next); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	s.wal = log
+	s.walCfg = w
+	s.lastCkpt.Store(ckptVersion)
+	return s, nil
+}
+
+// checkpointName returns the checkpoint file name for a version.
+func checkpointName(version uint64) string {
+	return fmt.Sprintf("%s%020d%s", ckptPrefix, version, ckptExt)
+}
+
+// checkpointVersions lists checkpoint versions present in dir, descending.
+func checkpointVersions(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading durability directory: %w", err)
+	}
+	var versions []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !e.Type().IsRegular() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptExt) {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptExt), 10, 64)
+		if err != nil {
+			continue
+		}
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] > versions[j] })
+	return versions, nil
+}
+
+// loadLatestCheckpoint returns a server warm-started from the newest
+// loadable checkpoint in dir (and that checkpoint's version), or a fresh
+// empty server when none loads. Each candidate is tried on its own fresh
+// server so a failed partial load never pollutes the survivor.
+func loadLatestCheckpoint(cfg Config, dir string) (*Server, uint64, error) {
+	versions, err := checkpointVersions(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, v := range versions {
+		s, err := NewServer(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		path := filepath.Join(dir, checkpointName(v))
+		switch err := loadCheckpointFile(s, path); {
+		case err == nil:
+			return s, v, nil
+		case errors.Is(err, errCkptCorrupt):
+			// Damaged bytes: keep them for forensics, fall back to the
+			// next older checkpoint.
+			_ = os.Rename(path, path+".corrupt")
+		default:
+			// Shape/config mismatch or I/O fault — not corruption. Abort
+			// with the checkpoint set intact so a correctly-configured
+			// retry can still recover.
+			return nil, 0, err
+		}
+	}
+	s, err := NewServer(cfg)
+	return s, 0, err
+}
+
+// loadCheckpointFile restores a fresh server's exact state from one
+// checkpoint file. The whole file is verified against its CRC trailer
+// before a byte of it is parsed, so bit rot anywhere — even in sections
+// later superseded by the exact-state ones — is detected, not absorbed.
+func loadCheckpointFile(s *Server, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < 4 {
+		return fmt.Errorf("%w: file too short", errCkptCorrupt)
+	}
+	body := raw[:len(raw)-4]
+	if got := binary.LittleEndian.Uint32(raw[len(raw)-4:]); got != crc32.Checksum(body, ckptCRCTable) {
+		return fmt.Errorf("%w: CRC mismatch", errCkptCorrupt)
+	}
+	r := bytes.NewReader(body)
+
+	header := make([]byte, 4+4+8+4+4+1)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return fmt.Errorf("%w: reading header: %v", errCkptCorrupt, err)
+	}
+	if string(header[:4]) != ckptMagic {
+		return fmt.Errorf("%w: bad magic", errCkptCorrupt)
+	}
+	if format := binary.LittleEndian.Uint32(header[4:]); format != ckptFormat {
+		return fmt.Errorf("%w: unsupported format %d", errCkptCorrupt, format)
+	}
+	if d := binary.LittleEndian.Uint64(header[8:]); d != uint64(s.cfg.Dim) {
+		return fmt.Errorf("serve: checkpoint dimension %d, server %d", d, s.cfg.Dim)
+	}
+	if k := binary.LittleEndian.Uint32(header[16:]); k != uint32(s.cfg.Classes) {
+		return fmt.Errorf("serve: checkpoint has %d classes, server %d", k, s.cfg.Classes)
+	}
+	if sh := binary.LittleEndian.Uint32(header[20:]); sh != uint32(len(s.shards)) {
+		return fmt.Errorf("serve: checkpoint has %d shards, server %d", sh, len(s.shards))
+	}
+	flags := header[24]
+	if flags&flagCkptRegressor != 0 && s.reg == nil {
+		return errors.New("serve: checkpoint carries a regressor but the server has no label encoder")
+	}
+	if flags&flagCkptCleanup != 0 && s.mem == nil {
+		return errors.New("serve: checkpoint carries a cleanup memory but the server has none")
+	}
+
+	// The portable snapshot section re-creates version, counters, item
+	// symbols and (at unit weight) the prototypes...
+	if err := s.Restore(r); err != nil {
+		return err
+	}
+	// ...and the exact-state sections then replace the unit-weight seeds
+	// with the true accumulators, so continued training (the replayed log
+	// suffix) stays bit-identical to the original sequence.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var has [1]byte
+	for i, st := range s.shards {
+		if _, err := io.ReadFull(r, has[:]); err != nil {
+			return fmt.Errorf("serve: reading shard %d state marker: %w", i, err)
+		}
+		switch {
+		case has[0] == 0 && st.cls == nil:
+			continue
+		case has[0] == 1 && st.cls != nil:
+			if err := st.cls.RestoreStateFrom(r); err != nil {
+				return fmt.Errorf("serve: shard %d classifier state: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("serve: checkpoint shard %d classifier presence disagrees with server layout", i)
+		}
+	}
+	if flags&flagCkptRegressor != 0 {
+		if err := s.reg.RestoreStateFrom(r); err != nil {
+			return fmt.Errorf("serve: regressor state: %w", err)
+		}
+	}
+	if flags&flagCkptCleanup != 0 {
+		mem := s.mem
+		if err := mem.RestoreStateFrom(r); err != nil {
+			return fmt.Errorf("serve: cleanup-memory state: %w", err)
+		}
+	}
+	s.snap.Store(s.buildSnapshotLocked(nil, nil))
+	return nil
+}
+
+// Checkpoint persists the server's exact current state to the durability
+// directory, makes it durable (write, fsync, rename, directory fsync) and
+// then compacts: log segments fully covered by the checkpoint are removed
+// and checkpoints beyond WALConfig.KeepCheckpoints retired. It returns the
+// checkpointed version. Serialization holds the writer lock only while
+// encoding to memory; the file I/O runs unlocked, so reads and writes keep
+// flowing. Safe for concurrent callers (checkpoints serialize internally).
+func (s *Server) Checkpoint() (uint64, error) {
+	if s.wal == nil {
+		return 0, errors.New("serve: Checkpoint needs a durable server (Config.WAL)")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	// No-op checkpoints (nothing applied since the last one, or an empty
+	// server whose recovery equals a fresh start) return before the full
+	// state encode — which would otherwise stall every writer on s.mu just
+	// to throw the buffer away.
+	s.mu.Lock()
+	version := s.version
+	s.mu.Unlock()
+	if version == 0 || version <= s.lastCkpt.Load() {
+		return version, nil
+	}
+
+	version, buf, err := s.encodeCheckpoint()
+	if err != nil {
+		return 0, err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, ckptCRCTable))
+	buf = append(buf, crc[:]...)
+
+	path := filepath.Join(s.walCfg.Dir, checkpointName(version))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("serve: creating checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("serve: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("serve: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("serve: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("serve: publishing checkpoint: %w", err)
+	}
+	if err := wal.SyncDir(s.walCfg.Dir); err != nil {
+		return 0, err
+	}
+	s.lastCkpt.Store(version)
+
+	// Retire checkpoints beyond the retention count, then compact the log
+	// only up to the OLDEST retained checkpoint — the fallback checkpoints
+	// are worthless unless the records between them and the newest one
+	// stay replayable.
+	versions, err := checkpointVersions(s.walCfg.Dir)
+	if err != nil {
+		return version, err
+	}
+	keep := min(len(versions), s.walCfg.keepCheckpoints())
+	for _, v := range versions[keep:] {
+		if err := os.Remove(filepath.Join(s.walCfg.Dir, checkpointName(v))); err != nil {
+			return version, fmt.Errorf("serve: retiring old checkpoint: %w", err)
+		}
+	}
+	oldestRetained := versions[keep-1] // versions is non-empty: we just wrote one
+	if err := s.wal.TruncateBefore(oldestRetained + 1); err != nil {
+		return version, err
+	}
+	// A manual checkpoint restarts the background cadence — the next
+	// automatic one should be CheckpointEvery batches from NOW.
+	s.mu.Lock()
+	s.sinceCkpt = 0
+	s.mu.Unlock()
+	return version, nil
+}
+
+// encodeCheckpoint serializes the exact server state to memory under the
+// writer lock.
+func (s *Server) encodeCheckpoint() (uint64, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var buf bytes.Buffer
+	header := make([]byte, 4+4+8+4+4+1)
+	copy(header, ckptMagic)
+	binary.LittleEndian.PutUint32(header[4:], ckptFormat)
+	binary.LittleEndian.PutUint64(header[8:], uint64(s.cfg.Dim))
+	binary.LittleEndian.PutUint32(header[16:], uint32(s.cfg.Classes))
+	binary.LittleEndian.PutUint32(header[20:], uint32(len(s.shards)))
+	if s.reg != nil {
+		header[24] |= flagCkptRegressor
+	}
+	if s.mem != nil {
+		header[24] |= flagCkptCleanup
+	}
+	buf.Write(header)
+
+	snap := s.snap.Load()
+	if _, err := snap.WriteTo(&buf); err != nil {
+		return 0, nil, fmt.Errorf("serve: encoding checkpoint snapshot: %w", err)
+	}
+	for i, st := range s.shards {
+		if st.cls == nil {
+			buf.WriteByte(0)
+			continue
+		}
+		buf.WriteByte(1)
+		if _, err := st.cls.WriteStateTo(&buf); err != nil {
+			return 0, nil, fmt.Errorf("serve: encoding shard %d state: %w", i, err)
+		}
+	}
+	if s.reg != nil {
+		if _, err := s.reg.WriteStateTo(&buf); err != nil {
+			return 0, nil, fmt.Errorf("serve: encoding regressor state: %w", err)
+		}
+	}
+	if s.mem != nil {
+		if _, err := s.mem.WriteStateTo(&buf); err != nil {
+			return 0, nil, fmt.Errorf("serve: encoding cleanup-memory state: %w", err)
+		}
+	}
+	return s.version, buf.Bytes(), nil
+}
+
+// maybeCheckpointLocked spawns at most one background checkpoint once
+// enough batches accumulated since the last one. Called under s.mu.
+func (s *Server) maybeCheckpointLocked() {
+	if s.wal == nil {
+		return
+	}
+	s.sinceCkpt++
+	if s.sinceCkpt < s.walCfg.checkpointEvery() || !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.sinceCkpt = 0
+	s.ckptWG.Add(1)
+	go func() {
+		defer s.ckptWG.Done()
+		defer s.ckptBusy.Store(false)
+		if _, err := s.Checkpoint(); err != nil {
+			s.errMu.Lock()
+			s.ckptErr = err
+			s.errMu.Unlock()
+		}
+	}()
+}
+
+// Close flushes and closes the durability layer: in-flight background
+// checkpoints finish, the log is synced and closed, and further ApplyBatch
+// calls fail. Reads stay valid (the published snapshot survives). It
+// returns any background checkpoint error that would otherwise be lost.
+// Closing a non-durable server just stops writes. Safe to call twice.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.ckptWG.Wait()
+	var err error
+	if s.wal != nil {
+		err = s.wal.Close()
+	}
+	s.errMu.Lock()
+	if err == nil && s.ckptErr != nil {
+		err = fmt.Errorf("serve: background checkpoint: %w", s.ckptErr)
+	}
+	s.errMu.Unlock()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Batch wire codec
+// ---------------------------------------------------------------------------
+
+// Batch payload framing (all little-endian; hypervectors are raw words,
+// the dimension being fixed by the server config the log belongs to):
+//
+//	uint32 nTrain   | nTrain   × (uint32 class | words)
+//	uint32 nUntrain | nUntrain × (uint32 class | words)
+//	uint32 nPairs   | nPairs   × (uint64 IEEE-754 bits | words)
+//	uint32 nItems   | nItems   × (uint32 len | bytes)
+//	uint32 nWrites  | nWrites  × (address words | data words)
+//	uint8 hasRefine | [uint32 epochs | uint32 n | n × (uint32 label | words)]
+
+// encodeBatch serializes a validated batch for the write-ahead log.
+func encodeBatch(b *Batch, d int) []byte {
+	var buf bytes.Buffer
+	var u32 [4]byte
+	var u64 [8]byte
+	putN := func(n int) {
+		binary.LittleEndian.PutUint32(u32[:], uint32(n))
+		buf.Write(u32[:])
+	}
+	putVec := func(v *bitvec.Vector) {
+		for _, w := range v.Words() {
+			binary.LittleEndian.PutUint64(u64[:], w)
+			buf.Write(u64[:])
+		}
+	}
+
+	putN(len(b.Train))
+	for _, smp := range b.Train {
+		putN(smp.Class)
+		putVec(smp.HV)
+	}
+	putN(len(b.Untrain))
+	for _, smp := range b.Untrain {
+		putN(smp.Class)
+		putVec(smp.HV)
+	}
+	putN(len(b.Pairs))
+	for _, p := range b.Pairs {
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(p.Value))
+		buf.Write(u64[:])
+		putVec(p.X)
+	}
+	putN(len(b.Items))
+	for _, sym := range b.Items {
+		putN(len(sym))
+		buf.WriteString(sym)
+	}
+	putN(len(b.Writes))
+	for _, w := range b.Writes {
+		putVec(w.Address)
+		putVec(w.Data)
+	}
+	if b.Refine == nil {
+		buf.WriteByte(0)
+	} else {
+		buf.WriteByte(1)
+		putN(b.Refine.Epochs)
+		putN(len(b.Refine.HVs))
+		for i, hv := range b.Refine.HVs {
+			putN(b.Refine.Labels[i])
+			putVec(hv)
+		}
+	}
+	return buf.Bytes()
+}
+
+// batchDecoder is a bounds-checked cursor over a batch payload. Every read
+// returns an error instead of panicking: the payload passed CRC, but the
+// decoder is also the last line of defense against a logic bug elsewhere.
+type batchDecoder struct {
+	data []byte
+	off  int
+	d    int
+}
+
+func (r *batchDecoder) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, errors.New("serve: truncated batch payload")
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *batchDecoder) u64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, errors.New("serve: truncated batch payload")
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// count reads an element count and sanity-bounds it by the bytes that
+// remain, so a corrupt count cannot drive a huge allocation.
+func (r *batchDecoder) count(minElemBytes int) (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if minElemBytes > 0 && int(n) > (len(r.data)-r.off)/minElemBytes {
+		return 0, fmt.Errorf("serve: batch payload count %d exceeds remaining bytes", n)
+	}
+	return int(n), nil
+}
+
+func (r *batchDecoder) vec() (*bitvec.Vector, error) {
+	v := bitvec.New(r.d)
+	words := v.Words()
+	if r.off+8*len(words) > len(r.data) {
+		return nil, errors.New("serve: truncated hypervector in batch payload")
+	}
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(r.data[r.off:])
+		r.off += 8
+	}
+	if tail := uint(r.d % 64); tail != 0 {
+		if words[len(words)-1]&^(uint64(1)<<tail-1) != 0 {
+			return nil, errors.New("serve: batch payload hypervector has bits past the dimension")
+		}
+	}
+	return v, nil
+}
+
+// decodeBatch parses a payload produced by encodeBatch into dst.
+func decodeBatch(payload []byte, d int, dst *Batch) error {
+	r := &batchDecoder{data: payload, d: d}
+	vecBytes := 8 * ((d + 63) / 64)
+
+	n, err := r.count(4 + vecBytes)
+	if err != nil {
+		return err
+	}
+	dst.Train = make([]Sample, n)
+	for i := range dst.Train {
+		class, err := r.u32()
+		if err != nil {
+			return err
+		}
+		hv, err := r.vec()
+		if err != nil {
+			return err
+		}
+		dst.Train[i] = Sample{Class: int(class), HV: hv}
+	}
+	if n, err = r.count(4 + vecBytes); err != nil {
+		return err
+	}
+	dst.Untrain = make([]Sample, n)
+	for i := range dst.Untrain {
+		class, err := r.u32()
+		if err != nil {
+			return err
+		}
+		hv, err := r.vec()
+		if err != nil {
+			return err
+		}
+		dst.Untrain[i] = Sample{Class: int(class), HV: hv}
+	}
+	if n, err = r.count(8 + vecBytes); err != nil {
+		return err
+	}
+	dst.Pairs = make([]Pair, n)
+	for i := range dst.Pairs {
+		bits, err := r.u64()
+		if err != nil {
+			return err
+		}
+		x, err := r.vec()
+		if err != nil {
+			return err
+		}
+		dst.Pairs[i] = Pair{X: x, Value: math.Float64frombits(bits)}
+	}
+	if n, err = r.count(4); err != nil {
+		return err
+	}
+	dst.Items = make([]string, n)
+	for i := range dst.Items {
+		l, err := r.count(1)
+		if err != nil {
+			return err
+		}
+		if r.off+l > len(r.data) {
+			return errors.New("serve: truncated item symbol in batch payload")
+		}
+		dst.Items[i] = string(r.data[r.off : r.off+l])
+		r.off += l
+	}
+	if n, err = r.count(2 * vecBytes); err != nil {
+		return err
+	}
+	dst.Writes = make([]MemWrite, n)
+	for i := range dst.Writes {
+		addr, err := r.vec()
+		if err != nil {
+			return err
+		}
+		data, err := r.vec()
+		if err != nil {
+			return err
+		}
+		dst.Writes[i] = MemWrite{Address: addr, Data: data}
+	}
+	if r.off >= len(r.data) {
+		return errors.New("serve: truncated batch payload")
+	}
+	hasRefine := r.data[r.off]
+	r.off++
+	dst.Refine = nil
+	if hasRefine == 1 {
+		epochs, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if n, err = r.count(4 + vecBytes); err != nil {
+			return err
+		}
+		ref := &Refine{Epochs: int(epochs), HVs: make([]*bitvec.Vector, n), Labels: make([]int, n)}
+		for i := 0; i < n; i++ {
+			label, err := r.u32()
+			if err != nil {
+				return err
+			}
+			hv, err := r.vec()
+			if err != nil {
+				return err
+			}
+			ref.Labels[i] = int(label)
+			ref.HVs[i] = hv
+		}
+		dst.Refine = ref
+	} else if hasRefine != 0 {
+		return errors.New("serve: bad refine marker in batch payload")
+	}
+	if r.off != len(r.data) {
+		return errors.New("serve: trailing bytes in batch payload")
+	}
+	return nil
+}
