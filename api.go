@@ -1,11 +1,14 @@
 package hdcirc
 
 import (
+	"net/http"
+
 	"hdcirc/internal/batch"
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/core"
 	"hdcirc/internal/embed"
 	"hdcirc/internal/hashring"
+	"hdcirc/internal/httpapi"
 	"hdcirc/internal/index"
 	"hdcirc/internal/markov"
 	"hdcirc/internal/model"
@@ -365,3 +368,50 @@ type WALConfig = serve.WALConfig
 // Close (flush and stop writes; reads keep serving) to manage the
 // durability lifecycle.
 func OpenDurableServer(cfg ServerConfig) (*Server, error) { return serve.Open(cfg) }
+
+// ---------------------------------------------------------------------------
+// Serving API v1 (HTTP)
+// ---------------------------------------------------------------------------
+
+// APIError is serving protocol v1's structured error envelope: a
+// machine-readable Code plus human message, each code mapping to a fixed
+// HTTP status. The server emits it on every non-2xx JSON response and the
+// client SDK (package hdcirc/client) returns it for server-reported
+// faults.
+type APIError = httpapi.Error
+
+// APIErrorCode is the machine-readable error class inside an APIError; the
+// protocol's code vocabulary lives in internal/httpapi (re-exported by the
+// client package as client.Code*).
+type APIErrorCode = httpapi.Code
+
+// ServeHandlerConfig parameterizes ServeHandler: the Server to front, the
+// feature-record Encoder, request bounds (MaxBodyBytes, MaxRowBytes),
+// admission control (MaxInFlight, MaxQueue, RetryAfter) and the streaming
+// coalesce size (StreamBatch). Zero values select production defaults.
+type ServeHandlerConfig = httpapi.Config
+
+// ServeEncoder maps feature records to hypervectors for the HTTP layer;
+// implementations must be safe for concurrent Encode calls. See
+// NewServeEncoder for the standard stack.
+type ServeEncoder = httpapi.Encoder
+
+// ServeEncoderConfig sizes NewServeEncoder.
+type ServeEncoderConfig = httpapi.ScalarRecordConfig
+
+// NewServeEncoder builds the standard serving encoder: each of Fields
+// features is level-encoded over [Lo, Hi] with Levels quantization steps
+// and bound to its field key (the paper's record encoding ⊕ᵢ Kᵢ ⊗ Vᵢ).
+// Equal configs yield bit-identical encoders — the determinism the
+// serving contract depends on.
+func NewServeEncoder(cfg ServeEncoderConfig) (ServeEncoder, error) {
+	return httpapi.NewScalarRecordEncoder(cfg)
+}
+
+// ServeHandler builds the serving API v1 http.Handler over a Server —
+// embedding the full HTTP surface (versioned routes, streaming bulk
+// endpoints, admission control, request hardening) in another binary is
+// this one call plus a mux mount. cmd/hdcserve is exactly this behind
+// flag parsing; the Go client SDK for the protocol is package
+// hdcirc/client.
+func ServeHandler(cfg ServeHandlerConfig) (http.Handler, error) { return httpapi.New(cfg) }

@@ -1,0 +1,384 @@
+// Package client is the Go SDK for serving protocol v1 (the HTTP API
+// internal/httpapi defines and cmd/hdcserve hosts). It shares the wire
+// types with the server — they cannot drift — and adds what a production
+// caller needs on top of raw HTTP: connection reuse, retry with
+// exponential backoff on overload and transient faults, NDJSON streaming
+// for bulk ingest and bulk prediction, and client-side batch coalescing
+// for high-fan-in callers.
+//
+//	c, _ := client.New("http://localhost:8080")
+//	res, err := c.Predict(ctx, [][]float64{{0.2, 0.7, 0.1}})
+//
+// # Errors
+//
+// Faults the server reports come back as *client.Error (the protocol's
+// structured envelope): branch on the machine-readable Code, e.g.
+//
+//	var apiErr *client.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == client.CodeInvalidRequest { … }
+//
+// # Retries
+//
+// Overload rejections (429) are always retried — the server guarantees a
+// rejected request was never admitted, so retrying cannot double-apply —
+// honoring the server's Retry-After hint. Transport faults and 5xx
+// responses are retried only for read-plane calls (predict, lookup,
+// stats, health, snapshot); a train batch that died mid-flight MAY have
+// been applied, and blind replay would double-train, so write-plane calls
+// surface those faults to the caller. Streams are never retried.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"hdcirc/internal/httpapi"
+)
+
+// Wire types, re-exported so callers need only this package. They are the
+// same types the server marshals — protocol v1 has one definition.
+type (
+	// Error is the structured fault envelope every non-2xx response carries.
+	Error = httpapi.Error
+	// Code is the machine-readable error class inside an Error.
+	Code = httpapi.Code
+	// Sample is one labeled feature record in a TrainRequest.
+	Sample = httpapi.Sample
+	// TrainRequest is one write batch (samples to train, symbols to intern).
+	TrainRequest = httpapi.TrainRequest
+	// TrainResponse acknowledges an applied write batch.
+	TrainResponse = httpapi.TrainResponse
+	// PredictResponse carries classes and distances in query order.
+	PredictResponse = httpapi.PredictResponse
+	// LookupResponse answers key routing, symbol membership and cleanup.
+	LookupResponse = httpapi.LookupResponse
+	// StatsResponse is the operational summary incl. durability state.
+	StatsResponse = httpapi.StatsResponse
+	// HealthResponse is the liveness probe body.
+	HealthResponse = httpapi.HealthResponse
+	// IngestRow is one bulk-ingest NDJSON row (train sample and/or symbol).
+	IngestRow = httpapi.IngestRow
+	// IngestAck acknowledges applied ingest batches and summarizes the stream.
+	IngestAck = httpapi.IngestAck
+	// PredictRow is one bulk-predict NDJSON query row.
+	PredictRow = httpapi.PredictRow
+	// PredictResult is one bulk-predict NDJSON result row.
+	PredictResult = httpapi.PredictResult
+)
+
+// Error codes, re-exported from the protocol.
+const (
+	CodeInvalidRequest   = httpapi.CodeInvalidRequest
+	CodeMalformedBody    = httpapi.CodeMalformedBody
+	CodeUnsupportedMedia = httpapi.CodeUnsupportedMedia
+	CodeMethodNotAllowed = httpapi.CodeMethodNotAllowed
+	CodeNotFound         = httpapi.CodeNotFound
+	CodeBodyTooLarge     = httpapi.CodeBodyTooLarge
+	CodeOverloaded       = httpapi.CodeOverloaded
+	CodeUnavailable      = httpapi.CodeUnavailable
+	CodeInternal         = httpapi.CodeInternal
+)
+
+// Client talks protocol v1 to one server. It is safe for concurrent use;
+// the underlying transport pools and reuses connections.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxAttempts int           // total tries per retryable call
+	baseDelay   time.Duration // first backoff step, doubled per attempt
+	maxDelay    time.Duration // backoff ceiling
+	streamBatch int           // client-side rows per buffered stream write
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts, proxies,
+// TLS). The default client has no global timeout — per-call contexts bound
+// each request — and pools connections per host.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry sets the retry budget: total attempts per retryable call and
+// the first backoff delay (doubled each attempt, capped at 16×base).
+// attempts <= 1 disables retries.
+func WithRetry(attempts int, base time.Duration) Option {
+	return func(c *Client) {
+		c.maxAttempts = attempts
+		if base > 0 {
+			c.baseDelay = base
+			c.maxDelay = 16 * base
+		}
+	}
+}
+
+// WithStreamBatch sets how many NDJSON rows the streaming helpers buffer
+// client-side before hitting the socket (write coalescing; the server
+// batches independently per its own StreamBatch).
+func WithStreamBatch(rows int) Option {
+	return func(c *Client) {
+		if rows > 0 {
+			c.streamBatch = rows
+		}
+	}
+}
+
+// New builds a client for the server at baseURL (scheme://host[:port],
+// with or without a trailing slash).
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q needs an http or https scheme", baseURL)
+	}
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = 32 // high-fan-in callers reuse, not re-dial
+	c := &Client{
+		base:        strings.TrimRight(u.String(), "/"),
+		hc:          &http.Client{Transport: t},
+		maxAttempts: 4,
+		baseDelay:   100 * time.Millisecond,
+		maxDelay:    1600 * time.Millisecond,
+		streamBatch: 256,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.maxAttempts < 1 {
+		c.maxAttempts = 1
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// Typed endpoint methods
+// ---------------------------------------------------------------------------
+
+// Train applies one write batch and returns the server's acknowledgment.
+// Not retried on transport faults or 5xx (the batch may have applied);
+// overload rejections are retried.
+func (c *Client) Train(ctx context.Context, req TrainRequest) (*TrainResponse, error) {
+	var out TrainResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/train", req, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Predict classifies a batch of feature records against one consistent
+// server snapshot. Fully retryable.
+func (c *Client) Predict(ctx context.Context, queries [][]float64) (*PredictResponse, error) {
+	var out PredictResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/predict", httpapi.PredictRequest{Queries: queries}, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PredictOne classifies a single record.
+func (c *Client) PredictOne(ctx context.Context, features []float64) (class int, distance float64, err error) {
+	res, err := c.Predict(ctx, [][]float64{features})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Classes[0], res.Distances[0], nil
+}
+
+// RouteKey asks the server's consistent-hashing ring which shard serves an
+// arbitrary key.
+func (c *Client) RouteKey(ctx context.Context, key string) (*LookupResponse, error) {
+	var out LookupResponse
+	path := "/v1/lookup?key=" + url.QueryEscape(key)
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// HasSymbol reports whether a symbol is interned in the item memory.
+func (c *Client) HasSymbol(ctx context.Context, symbol string) (found bool, version uint64, err error) {
+	var out LookupResponse
+	path := "/v1/lookup?symbol=" + url.QueryEscape(symbol)
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, true); err != nil {
+		return false, 0, err
+	}
+	return out.Found != nil && *out.Found, out.Version, nil
+}
+
+// Cleanup runs nearest-symbol cleanup on a feature record: the interned
+// symbol most similar to its encoding, with the similarity.
+func (c *Client) Cleanup(ctx context.Context, features []float64) (*LookupResponse, error) {
+	var out LookupResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/lookup", httpapi.LookupRequest{Features: features}, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the operational summary, including the durability fields
+// (WAL sequence, checkpoint version, segment count, sticky error state).
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes liveness and returns the current snapshot version.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot streams the server's binary snapshot into w and returns the
+// snapshot version. The bytes warm-start a replacement server (hdcserve
+// -load, or Server.Restore).
+func (c *Client) Snapshot(ctx context.Context, w io.Writer) (version uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/snapshot", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("client: snapshot: %w", err)
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return 0, decodeErrorBody(resp)
+	}
+	version, err = strconv.ParseUint(resp.Header.Get("X-Snapshot-Version"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("client: snapshot: bad X-Snapshot-Version header: %w", err)
+	}
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return 0, fmt.Errorf("client: snapshot: reading body: %w", err)
+	}
+	return version, nil
+}
+
+// ---------------------------------------------------------------------------
+// Transport core: one bounded-retry JSON round trip
+// ---------------------------------------------------------------------------
+
+// do runs one unary call: marshal once, attempt up to the retry budget,
+// decode the response (or its error envelope). idempotent gates whether
+// transport faults and 5xx responses are retried; 429 always is.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, lastErr, attempt); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			if !idempotent {
+				return lastErr
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			err := json.NewDecoder(resp.Body).Decode(out)
+			drain(resp)
+			if err != nil {
+				return fmt.Errorf("client: decoding %s response: %w", path, err)
+			}
+			return nil
+		}
+		apiErr := decodeErrorBody(resp)
+		drain(resp)
+		if !retryable(apiErr, resp.StatusCode, idempotent) {
+			return apiErr
+		}
+		lastErr = apiErr
+	}
+	return fmt.Errorf("client: giving up after %d attempts: %w", c.maxAttempts, lastErr)
+}
+
+// retryable decides whether a server response is worth another attempt.
+func retryable(err error, status int, idempotent bool) bool {
+	if status == http.StatusTooManyRequests {
+		return true // rejected before admission: replay cannot double-apply
+	}
+	return idempotent && status >= 500
+}
+
+// sleep backs off before a retry: exponential from baseDelay, capped at
+// maxDelay, stretched to the server's Retry-After hint when the last fault
+// carried one.
+func (c *Client) sleep(ctx context.Context, lastErr error, attempt int) error {
+	d := c.baseDelay << (attempt - 1)
+	if d > c.maxDelay {
+		d = c.maxDelay
+	}
+	var apiErr *Error
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfterMS > 0 {
+		if hint := time.Duration(apiErr.RetryAfterMS) * time.Millisecond; hint > d {
+			d = hint
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// decodeErrorBody turns a non-2xx response into the protocol's *Error,
+// synthesizing one when the body is not an envelope (a proxy in the way,
+// a panic page).
+func decodeErrorBody(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var env struct {
+		Error *Error `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error != nil && env.Error.Code != "" {
+		return env.Error
+	}
+	return &Error{
+		Code:    CodeInternal,
+		Message: fmt.Sprintf("HTTP %d with non-envelope body: %.200s", resp.StatusCode, raw),
+	}
+}
+
+// drain discards any unread body so the connection returns to the pool.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -1,0 +1,349 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdcirc/internal/httpapi"
+	"hdcirc/internal/serve"
+)
+
+// testBackend is the standard in-process fixture: a real protocol-v1
+// handler over a real serving core, on a loopback httptest server.
+type testBackend struct {
+	api *httpapi.API
+	ts  *httptest.Server
+}
+
+func newBackend(t *testing.T, mutate ...func(*httpapi.Config)) *testBackend {
+	t.Helper()
+	srv, err := serve.NewServer(serve.Config{Dim: 512, Classes: 3, Shards: 2, Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := httpapi.NewScalarRecordEncoder(httpapi.ScalarRecordConfig{
+		Dim: 512, Fields: 2, Lo: 0, Hi: 1, Levels: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := httpapi.Config{Server: srv, Encoder: enc}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	api, err := httpapi.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	return &testBackend{api: api, ts: ts}
+}
+
+func (b *testBackend) client(t *testing.T, opts ...Option) *Client {
+	t.Helper()
+	c, err := New(b.ts.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func trainBody(perClass int) TrainRequest {
+	centers := [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}}
+	var req TrainRequest
+	for class, c := range centers {
+		for j := 0; j < perClass; j++ {
+			jit := 0.02 * float64(j%5)
+			req.Samples = append(req.Samples, Sample{
+				Label:    class,
+				Features: []float64{c[0] + jit, c[1] - jit},
+			})
+		}
+	}
+	req.Symbols = []string{"sensor-a", "sensor-b"}
+	return req
+}
+
+func TestTypedMethodsRoundTrip(t *testing.T) {
+	b := newBackend(t)
+	c := b.client(t)
+	ctx := t.Context()
+
+	tr, err := c.Train(ctx, trainBody(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version != 1 || tr.Trained != 24 || tr.Items != 2 {
+		t.Fatalf("train response: %+v", tr)
+	}
+
+	pr, err := c.Predict(ctx, [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want, got := range pr.Classes {
+		if got != want {
+			t.Errorf("query %d classified as %d", want, got)
+		}
+	}
+	class, dist, err := c.PredictOne(ctx, []float64{0.5, 0.9})
+	if err != nil || class != 2 || dist != pr.Distances[2] {
+		t.Errorf("PredictOne = (%d, %v, %v)", class, dist, err)
+	}
+
+	route, err := c.RouteKey(ctx, "user-42")
+	if err != nil || route.Shard == nil || *route.Shard < 0 || *route.Shard >= 2 {
+		t.Errorf("RouteKey = %+v, %v", route, err)
+	}
+	found, v, err := c.HasSymbol(ctx, "sensor-a")
+	if err != nil || !found || v != 1 {
+		t.Errorf("HasSymbol(sensor-a) = %v %d %v", found, v, err)
+	}
+	if found, _, _ := c.HasSymbol(ctx, "missing"); found {
+		t.Error("phantom symbol")
+	}
+	cl, err := c.Cleanup(ctx, []float64{0.3, 0.3})
+	if err != nil || (cl.Symbol != "sensor-a" && cl.Symbol != "sensor-b") {
+		t.Errorf("Cleanup = %+v, %v", cl, err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil || st.Version != 1 || st.Samples != 24 || st.Classes != 3 {
+		t.Errorf("Stats = %+v, %v", st, err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Version != 1 {
+		t.Errorf("Health = %+v, %v", h, err)
+	}
+
+	var snap bytes.Buffer
+	sv, err := c.Snapshot(ctx, &snap)
+	if err != nil || sv != 1 {
+		t.Fatalf("Snapshot = %d, %v", sv, err)
+	}
+	var direct bytes.Buffer
+	if _, err := b.api.Server().Snapshot().WriteTo(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), direct.Bytes()) {
+		t.Fatal("downloaded snapshot differs from the server's own serialization")
+	}
+}
+
+func TestStructuredErrorsSurface(t *testing.T) {
+	b := newBackend(t)
+	c := b.client(t)
+
+	_, err := c.Predict(t.Context(), [][]float64{{0.5}}) // wrong arity
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error is not a *client.Error: %v", err)
+	}
+	if apiErr.Code != CodeInvalidRequest {
+		t.Errorf("code = %s", apiErr.Code)
+	}
+
+	_, err = c.Train(t.Context(), TrainRequest{})
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeInvalidRequest {
+		t.Errorf("empty train error = %v", err)
+	}
+}
+
+// flakyProxy fronts a backend, failing the first n requests with the given
+// envelope before passing through.
+func flakyProxy(t *testing.T, target http.Handler, n int32, e *Error) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			if e.Code == CodeOverloaded {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(e.HTTPStatus())
+			json.NewEncoder(w).Encode(map[string]any{"error": e})
+			return
+		}
+		target.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestRetryPolicy(t *testing.T) {
+	b := newBackend(t)
+
+	// 429s are retried for everything — train included (a rejected request
+	// was never admitted).
+	overload := &Error{Code: CodeOverloaded, Message: "full", RetryAfterMS: 1}
+	ts, calls := flakyProxy(t, b.api, 2, overload)
+	c, err := New(ts.URL, WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Train(t.Context(), trainBody(1)); err != nil {
+		t.Fatalf("train through 429s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("429 path used %d calls, want 3", got)
+	}
+
+	// 5xx: read-plane calls are retried…
+	unavailable := &Error{Code: CodeUnavailable, Message: "restarting"}
+	ts2, calls2 := flakyProxy(t, b.api, 2, unavailable)
+	c2, _ := New(ts2.URL, WithRetry(4, time.Millisecond))
+	if _, err := c2.Predict(t.Context(), [][]float64{{0.1, 0.1}}); err != nil {
+		t.Fatalf("predict through 503s: %v", err)
+	}
+	if got := calls2.Load(); got != 3 {
+		t.Errorf("503 predict used %d calls, want 3", got)
+	}
+
+	// …but a write that died on a 5xx is NOT blindly replayed.
+	ts3, calls3 := flakyProxy(t, b.api, 1, unavailable)
+	c3, _ := New(ts3.URL, WithRetry(4, time.Millisecond))
+	if _, err := c3.Train(t.Context(), trainBody(1)); err == nil {
+		t.Fatal("train retried through a 5xx")
+	}
+	if got := calls3.Load(); got != 1 {
+		t.Errorf("5xx train used %d calls, want 1", got)
+	}
+
+	// Retry budget exhausts with the last fault attached.
+	ts4, _ := flakyProxy(t, b.api, 99, overload)
+	c4, _ := New(ts4.URL, WithRetry(3, time.Millisecond))
+	_, err = c4.Predict(t.Context(), [][]float64{{0.1, 0.1}})
+	var apiErr *Error
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Code != CodeOverloaded {
+		t.Fatalf("exhausted retry error = %v", err)
+	}
+}
+
+func TestCoalescerMergesFanIn(t *testing.T) {
+	var wireCalls atomic.Int32
+	b := newBackend(t)
+	counted := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/predict" {
+			wireCalls.Add(1)
+		}
+		b.api.ServeHTTP(w, r)
+	}))
+	t.Cleanup(counted.Close)
+	c, err := New(counted.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Train(t.Context(), trainBody(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	co := c.NewCoalescer(64, 20*time.Millisecond)
+	queries := [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}}
+	const callers = 24
+	results := make([]int, callers)
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			class, _, _, err := co.Predict(t.Context(), queries[g%3])
+			if err != nil {
+				t.Errorf("caller %d: %v", g, err)
+				return
+			}
+			results[g] = class
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < callers; g++ {
+		if results[g] != g%3 {
+			t.Errorf("caller %d got class %d, want %d", g, results[g], g%3)
+		}
+	}
+	if got := wireCalls.Load(); got >= callers {
+		t.Errorf("coalescer made %d wire calls for %d callers", got, callers)
+	}
+
+	// Size-triggered flush: maxBatch callers go out as one request.
+	wireCalls.Store(0)
+	co2 := c.NewCoalescer(8, time.Hour) // only the size trigger can flush
+	var wg2 sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			if _, _, _, err := co2.Predict(t.Context(), queries[g%3]); err != nil {
+				t.Errorf("caller %d: %v", g, err)
+			}
+		}()
+	}
+	wg2.Wait()
+	if got := wireCalls.Load(); got != 1 {
+		t.Errorf("size-triggered flush made %d wire calls, want 1", got)
+	}
+}
+
+func TestPredictStreamMatchesUnary(t *testing.T) {
+	b := newBackend(t, func(c *httpapi.Config) { c.StreamBatch = 4 })
+	c := b.client(t)
+	ctx := t.Context()
+	if _, err := c.Train(ctx, trainBody(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := make([][]float64, 37) // deliberately not a batch multiple
+	for i := range rows {
+		rows[i] = []float64{float64(i%10) / 10, float64((i*3)%10) / 10}
+	}
+	streamed, err := c.PredictAll(ctx, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unary, err := c.Predict(ctx, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if streamed[i].Class != unary.Classes[i] || streamed[i].Distance != unary.Distances[i] {
+			t.Errorf("row %d: stream (%d, %v) vs unary (%d, %v)",
+				i, streamed[i].Class, streamed[i].Distance, unary.Classes[i], unary.Distances[i])
+		}
+	}
+}
+
+func TestIngestStreamFaultSurfacesResumePoint(t *testing.T) {
+	b := newBackend(t, func(c *httpapi.Config) { c.StreamBatch = 2 })
+	c := b.client(t)
+	is, err := c.Ingest(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := 1
+	good := IngestRow{Label: &label, Features: []float64{0.1, 0.2}}
+	bad := IngestRow{Label: &label, Features: []float64{0.1}} // wrong arity
+	for i := 0; i < 2; i++ {
+		if err := is.Send(good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := is.Send(bad); err != nil {
+		t.Fatal(err) // buffered client-side; fault lands at Close
+	}
+	_, err = is.Close()
+	var apiErr *Error
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Code != CodeInvalidRequest {
+		t.Fatalf("Close error = %v", err)
+	}
+	rows, version := is.Applied()
+	if rows != 2 || version != 1 {
+		t.Errorf("Applied = (%d, %d), want (2, 1): the complete batch before the fault is durable", rows, version)
+	}
+}

@@ -1,0 +1,115 @@
+package client
+
+// Client-side batch coalescing: many goroutines each holding ONE feature
+// record call Coalescer.Predict, and the coalescer merges them into few
+// wire-level /v1/predict batches — a request-processing server's answer to
+// high fan-in without making every caller manage batching. A batch flushes
+// when it reaches MaxBatch rows or when the oldest waiting call has waited
+// MaxDelay, whichever comes first.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Coalescer merges single-record Predict calls into batched wire requests.
+// Safe for any number of concurrent callers.
+type Coalescer struct {
+	c        *Client
+	maxBatch int
+	maxDelay time.Duration
+
+	mu      sync.Mutex
+	pending []*coalesceCall
+	armed   bool // an AfterFunc is outstanding
+}
+
+type coalesceCall struct {
+	features []float64
+	done     chan coalesceResult
+}
+
+type coalesceResult struct {
+	class    int
+	distance float64
+	version  uint64
+	err      error
+}
+
+// NewCoalescer builds a coalescer over this client. maxBatch <= 0 selects
+// 64 rows; maxDelay <= 0 selects 2ms — small enough to be invisible next
+// to a network round trip, large enough to merge a burst.
+func (c *Client) NewCoalescer(maxBatch int, maxDelay time.Duration) *Coalescer {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	return &Coalescer{c: c, maxBatch: maxBatch, maxDelay: maxDelay}
+}
+
+// Predict classifies one record, transparently batched with concurrent
+// callers. ctx bounds this caller's wait only; an in-flight wire request
+// is shared and completes for the other callers regardless.
+func (co *Coalescer) Predict(ctx context.Context, features []float64) (class int, distance float64, version uint64, err error) {
+	call := &coalesceCall{features: features, done: make(chan coalesceResult, 1)}
+	co.mu.Lock()
+	co.pending = append(co.pending, call)
+	if len(co.pending) >= co.maxBatch {
+		batch := co.pending
+		co.pending = nil
+		co.mu.Unlock()
+		co.flush(batch)
+	} else {
+		if !co.armed {
+			co.armed = true
+			time.AfterFunc(co.maxDelay, co.onTimer)
+		}
+		co.mu.Unlock()
+	}
+	select {
+	case r := <-call.done:
+		return r.class, r.distance, r.version, r.err
+	case <-ctx.Done():
+		return 0, 0, 0, ctx.Err()
+	}
+}
+
+// onTimer flushes whatever accumulated since the timer was armed (a
+// size-triggered flush may already have taken it; an empty take is a
+// no-op).
+func (co *Coalescer) onTimer() {
+	co.mu.Lock()
+	co.armed = false
+	batch := co.pending
+	co.pending = nil
+	co.mu.Unlock()
+	co.flush(batch)
+}
+
+// flush runs one wire call for the batch and broadcasts per-call results.
+// The wire context is Background on purpose: the request serves every
+// caller in the batch, so one caller's cancellation must not kill it.
+func (co *Coalescer) flush(batch []*coalesceCall) {
+	if len(batch) == 0 {
+		return
+	}
+	queries := make([][]float64, len(batch))
+	for i, call := range batch {
+		queries[i] = call.features
+	}
+	res, err := co.c.Predict(context.Background(), queries)
+	for i, call := range batch {
+		if err != nil {
+			call.done <- coalesceResult{err: err}
+			continue
+		}
+		call.done <- coalesceResult{
+			class:    res.Classes[i],
+			distance: res.Distances[i],
+			version:  res.Version,
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hdcirc/internal/httpapi"
+	"hdcirc/internal/serve"
+)
+
+// ingestRowIdx is a deterministic bulk-load row: labeled sample always,
+// plus an item symbol on every 10th row.
+func ingestRowIdx(i int) IngestRow {
+	label := i % 3
+	f := float64(i%20) / 20
+	row := IngestRow{Label: &label, Features: []float64{f, 1 - f}}
+	if i%10 == 0 {
+		row.Symbol = fmt.Sprintf("ing/%d", (i/10)%7)
+	}
+	return row
+}
+
+// TestStreamingIngest10kBitIdentical is the acceptance contract for the
+// bulk path: 10k rows streamed through the client SDK must leave the
+// server in a state bit-identical to a sequential in-process ApplyBatch
+// replay of the same rows with the same coalescing boundaries.
+func TestStreamingIngest10kBitIdentical(t *testing.T) {
+	const (
+		rows       = 10_000
+		coalesce   = 256
+		dim        = 512
+		seed       = 7
+		numClasses = 3
+	)
+	b := newBackend(t, func(c *httpapi.Config) { c.StreamBatch = coalesce })
+	c := b.client(t)
+
+	is, err := c.Ingest(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := is.Send(ingestRowIdx(i)); err != nil {
+			t.Fatalf("send row %d: %v", i, err)
+		}
+	}
+	sum, err := is.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatches := (rows + coalesce - 1) / coalesce
+	if sum.TotalRows != rows || sum.Batches != wantBatches || sum.Version != uint64(wantBatches) {
+		t.Fatalf("summary = %+v, want %d rows in %d batches", sum, rows, wantBatches)
+	}
+
+	// Sequential in-process replay: same server config, same encoder, same
+	// rows, same batch boundaries, applied through ApplyBatch directly.
+	mirror, err := serve.NewServer(serve.Config{Dim: dim, Classes: numClasses, Shards: 2, Workers: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := httpapi.NewScalarRecordEncoder(httpapi.ScalarRecordConfig{
+		Dim: dim, Fields: 2, Lo: 0, Hi: 1, Levels: 16, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < rows; start += coalesce {
+		end := start + coalesce
+		if end > rows {
+			end = rows
+		}
+		var batch serve.Batch
+		for i := start; i < end; i++ {
+			row := ingestRowIdx(i)
+			batch.Train = append(batch.Train, serve.Sample{Class: *row.Label, HV: enc.Encode(row.Features)})
+			if row.Symbol != "" {
+				batch.Items = append(batch.Items, row.Symbol)
+			}
+		}
+		if _, err := mirror.ApplyBatch(batch); err != nil {
+			t.Fatalf("mirror batch at %d: %v", start, err)
+		}
+	}
+
+	var viaWire, viaReplay bytes.Buffer
+	if _, err := b.api.Server().Snapshot().WriteTo(&viaWire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mirror.Snapshot().WriteTo(&viaReplay); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaWire.Bytes(), viaReplay.Bytes()) {
+		t.Fatalf("streamed ingest (%d bytes) diverged from sequential ApplyBatch replay (%d bytes)",
+			viaWire.Len(), viaReplay.Len())
+	}
+
+	// And the served predictions agree with the replay's, through the wire.
+	queries := [][]float64{{0.05, 0.95}, {0.5, 0.5}, {0.95, 0.05}}
+	res, err := c.Predict(t.Context(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		class, _ := mirror.Snapshot().Predict(enc.Encode(q))
+		if res.Classes[i] != class {
+			t.Errorf("query %d: wire %d, replay %d", i, res.Classes[i], class)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package client
+
+// NDJSON streaming: bulk ingest and bulk prediction over single
+// long-lived requests. Rows flow through an io.Pipe into the request body
+// while a response goroutine consumes the server's acknowledgment (or
+// result) lines concurrently — full duplex, so server acks can never fill
+// a socket buffer and deadlock a writer that hasn't finished sending.
+// Streams are never retried: a broken ingest stream may be partially
+// applied, and the per-batch acks tell the caller exactly how far the
+// server got (resume from the first unacknowledged row).
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// stream is the shared duplex plumbing of both stream kinds.
+type stream struct {
+	pw    *io.PipeWriter
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	batch int // rows per client-side flush
+	sent  int
+
+	respDone chan struct{}
+	mu       sync.Mutex
+	err      error // first fault from either direction; sticky
+}
+
+// startStream opens the request and spawns the response consumer.
+func (c *Client) startStream(ctx context.Context, path string, consume func(*json.Decoder) error) (*stream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	s := &stream{
+		pw:       pw,
+		bw:       bufio.NewWriterSize(pw, 64<<10),
+		batch:    c.streamBatch,
+		respDone: make(chan struct{}),
+	}
+	s.enc = json.NewEncoder(s.bw)
+	go func() {
+		defer close(s.respDone)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			s.fail(fmt.Errorf("client: %s: %w", path, err))
+			return
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			s.fail(decodeErrorBody(resp))
+			return
+		}
+		if err := consume(json.NewDecoder(resp.Body)); err != nil {
+			s.fail(err)
+		}
+	}()
+	return s, nil
+}
+
+// fail records the first fault and unblocks any Send stuck on the pipe.
+func (s *stream) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.pw.CloseWithError(err)
+}
+
+func (s *stream) asyncErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// send encodes one NDJSON row, flushing the client-side buffer every batch
+// rows so the server sees work promptly without a syscall per row.
+func (s *stream) send(row any) error {
+	if err := s.asyncErr(); err != nil {
+		return err
+	}
+	if err := s.enc.Encode(row); err != nil {
+		if aerr := s.asyncErr(); aerr != nil {
+			return aerr // the pipe broke because the response side failed; say why
+		}
+		return err
+	}
+	s.sent++
+	if s.sent%s.batch == 0 {
+		if err := s.bw.Flush(); err != nil {
+			if aerr := s.asyncErr(); aerr != nil {
+				return aerr
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// finish flushes, closes the request body and waits for the response
+// consumer to drain.
+func (s *stream) finish() error {
+	ferr := s.bw.Flush()
+	s.pw.Close()
+	<-s.respDone
+	if err := s.asyncErr(); err != nil {
+		return err
+	}
+	return ferr
+}
+
+// ---------------------------------------------------------------------------
+// Bulk ingest
+// ---------------------------------------------------------------------------
+
+// IngestStream is an open bulk-ingest session (POST /v1/ingest:stream).
+// Send rows, then Close for the server's summary. Not safe for concurrent
+// Senders; wrap with your own mutex to fan in.
+type IngestStream struct {
+	s *stream
+
+	mu         sync.Mutex
+	lastAck    IngestAck
+	applied    int
+	summary    IngestAck
+	sawSummary bool
+}
+
+// Ingest opens a bulk-ingest stream. Rows are coalesced server-side into
+// write batches (one snapshot publication per batch, not per row), each
+// acknowledged as it lands; Close returns the final summary.
+func (c *Client) Ingest(ctx context.Context) (*IngestStream, error) {
+	is := &IngestStream{}
+	s, err := c.startStream(ctx, "/v1/ingest:stream", func(dec *json.Decoder) error {
+		for {
+			var ack IngestAck
+			if err := dec.Decode(&ack); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return fmt.Errorf("client: decoding ingest ack: %w", err)
+			}
+			if ack.Error != nil {
+				return ack.Error
+			}
+			is.mu.Lock()
+			if ack.Done {
+				is.summary, is.sawSummary = ack, true
+			} else {
+				is.lastAck = ack
+				is.applied += ack.Rows
+			}
+			is.mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	is.s = s
+	return is, nil
+}
+
+// Send queues one row. A non-nil error is sticky and reflects the first
+// fault from either direction — on a server fault, rows past the last
+// acknowledgment were not applied.
+func (is *IngestStream) Send(row IngestRow) error { return is.s.send(row) }
+
+// Applied returns how many rows the server has acknowledged so far — the
+// resume point if the stream breaks.
+func (is *IngestStream) Applied() (rows int, version uint64) {
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	return is.applied, is.lastAck.Version
+}
+
+// Close ends the stream and returns the server's summary. It fails if the
+// server never sent one, or acknowledged fewer rows than were sent.
+func (is *IngestStream) Close() (IngestAck, error) {
+	if err := is.s.finish(); err != nil {
+		return IngestAck{}, err
+	}
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	if !is.sawSummary {
+		return IngestAck{}, fmt.Errorf("client: ingest stream ended without a summary line")
+	}
+	if is.summary.TotalRows != is.s.sent {
+		return is.summary, fmt.Errorf("client: sent %d rows but server applied %d", is.s.sent, is.summary.TotalRows)
+	}
+	return is.summary, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bulk prediction
+// ---------------------------------------------------------------------------
+
+// PredictStream is an open bulk-prediction session: Send queries, Recv
+// results (exactly one per query, in order), CloseSend when done sending.
+// One goroutine may Send while another Recvs — that is the intended shape;
+// neither side is safe for multiple concurrent callers.
+type PredictStream struct {
+	s       *stream
+	results chan PredictResult
+}
+
+// PredictStream opens a bulk-prediction stream (POST /v1/predict:stream).
+func (c *Client) PredictStream(ctx context.Context) (*PredictStream, error) {
+	ps := &PredictStream{results: make(chan PredictResult, 1024)}
+	s, err := c.startStream(ctx, "/v1/predict:stream", func(dec *json.Decoder) error {
+		defer close(ps.results)
+		for {
+			var res PredictResult
+			if err := dec.Decode(&res); err != nil {
+				if err == io.EOF {
+					return nil
+				}
+				return fmt.Errorf("client: decoding predict result: %w", err)
+			}
+			if res.Error != nil {
+				return res.Error
+			}
+			ps.results <- res
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	ps.s = s
+	return ps, nil
+}
+
+// Send queues one query row.
+func (ps *PredictStream) Send(features []float64) error {
+	return ps.s.send(PredictRow{Features: features})
+}
+
+// CloseSend flushes and ends the request side; Recv keeps delivering until
+// the server's results drain.
+func (ps *PredictStream) CloseSend() error {
+	err := ps.s.bw.Flush()
+	ps.s.pw.Close()
+	return err
+}
+
+// Recv returns the next result, or io.EOF after the last one.
+func (ps *PredictStream) Recv() (PredictResult, error) {
+	res, ok := <-ps.results
+	if !ok {
+		// The results channel closes (inside consume) before startStream
+		// records a server-reported fault via fail; wait for the response
+		// goroutine to finish so a stream error is never misread as EOF.
+		<-ps.s.respDone
+		if err := ps.s.asyncErr(); err != nil {
+			return PredictResult{}, err
+		}
+		return PredictResult{}, io.EOF
+	}
+	return res, nil
+}
+
+// PredictAll streams every row through one bulk-prediction request and
+// returns the results in row order — the high-throughput alternative to
+// Predict for large query sets.
+func (c *Client) PredictAll(ctx context.Context, rows [][]float64) ([]PredictResult, error) {
+	ps, err := c.PredictStream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sendErr := make(chan error, 1)
+	go func() {
+		for _, row := range rows {
+			if err := ps.Send(row); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- ps.CloseSend()
+	}()
+	out := make([]PredictResult, 0, len(rows))
+	for {
+		res, err := ps.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+	if len(out) != len(rows) {
+		return out, fmt.Errorf("client: sent %d queries but received %d results", len(rows), len(out))
+	}
+	return out, nil
+}

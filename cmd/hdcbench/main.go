@@ -1,6 +1,7 @@
 // Command hdcbench measures the kernel hot paths — bind, distance,
-// accumulate, threshold, rotate, majority, nearest, predict, serve and the
-// sketch-indexed lookups — and emits the ns/op numbers as JSON
+// accumulate, threshold, rotate, majority, nearest, predict, serve, the
+// sketch-indexed lookups, the durability paths and the HTTP serving API
+// (protocol v1 through the client SDK) — and emits the ns/op numbers as JSON
 // (BENCH_kernels.json by default) so the performance trajectory can be
 // tracked across changes:
 //
@@ -20,17 +21,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
 
+	"hdcirc/client"
 	"hdcirc/internal/batch"
 	"hdcirc/internal/bitvec"
 	"hdcirc/internal/embed"
+	"hdcirc/internal/httpapi"
 	"hdcirc/internal/index"
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
@@ -216,6 +221,51 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	// Serving-API-v1 fixture: the protocol handler over a loopback HTTP
+	// server, driven through the client SDK — the full production path
+	// (wire, decode, admission, record encode, snapshot predict / batch
+	// apply). Its own serve.Server keeps the mutation-heavy ingest row
+	// from skewing the in-process serving fixtures above.
+	const httpFields = 2
+	httpSrv, err := serve.NewServer(serve.Config{Dim: *d, Classes: k, Shards: 4, Seed: 7})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	httpEnc, err := httpapi.NewScalarRecordEncoder(httpapi.ScalarRecordConfig{
+		Dim: *d, Fields: httpFields, Lo: 0, Hi: 1, Levels: 64, Seed: 7,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	httpAPI, err := httpapi.New(httpapi.Config{Server: httpSrv, Encoder: httpEnc})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	httpTS := httptest.NewServer(httpAPI)
+	defer httpTS.Close()
+	cli, err := client.New(httpTS.URL)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	httpRecs := make([][]float64, 256)
+	for i := range httpRecs {
+		f := float64(i%32) / 32
+		httpRecs[i] = []float64{f, 1 - f}
+	}
+	{
+		var hb serve.Batch
+		for i, rec := range httpRecs {
+			hb.Train = append(hb.Train, serve.Sample{Class: i % k, HV: httpEnc.Encode(rec)})
+		}
+		if _, err := httpSrv.ApplyBatch(hb); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	httpRow := func(i int) httpapi.IngestRow {
+		label := i % k
+		return httpapi.IngestRow{Label: &label, Features: httpRecs[i%len(httpRecs)]}
+	}
+
 	gmp := runtime.GOMAXPROCS(0)
 	benches := []struct {
 		name    string
@@ -319,6 +369,34 @@ func main() {
 						b.Fatal(err)
 					}
 				}
+			}
+		}},
+		{"http_predict", 1, func(b *testing.B) {
+			// One op = one unary /v1/predict round trip through the client:
+			// HTTP framing, admission, JSON decode, record encode, snapshot
+			// predict, response. The wire tax over serve_predict.
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cli.PredictOne(ctx, httpRecs[i%len(httpRecs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"http_ingest_stream", 1, func(b *testing.B) {
+			// One op = one row through an open NDJSON bulk-ingest stream,
+			// amortizing the server-side 256-row batch coalescing — the
+			// sustained bulk-load throughput of the serving API.
+			is, err := cli.Ingest(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if err := is.Send(httpRow(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := is.Close(); err != nil {
+				b.Fatal(err)
 			}
 		}},
 		{"recover_replay", srv.Pool().Workers(), func(b *testing.B) {

@@ -1,26 +1,28 @@
-// Command hdcserve is a small HTTP JSON front end over the concurrency-safe
-// serving layer (hdcirc.Server): it hosts a record-encoding HDC classifier
-// plus item memory behind versioned snapshots, so any number of in-flight
-// requests read lock-free while training writes stream in.
+// Command hdcserve hosts serving protocol v1 — the versioned HTTP API
+// over the concurrency-safe, durable serving layer — as a thin
+// flag-parsing shell: every wire type, route and policy lives in the
+// shared protocol layer (hdcirc.ServeHandler / internal/httpapi), which
+// both this binary and the Go client SDK (hdcirc/client) consume.
 //
 //	go run ./cmd/hdcserve -addr :8080 -d 2048 -k 4 -fields 3 -shards 2
 //
-// Endpoints (all JSON unless noted):
+// Endpoints (see the README "Serving API v1" reference for the full
+// contract — request shapes, error codes, streaming framing):
 //
-//	POST /train    {"samples":[{"label":0,"features":[…]}],"symbols":["a"]}
-//	               → {"version":…,"trained":…,"samples":…,"items":…}
-//	POST /predict  {"queries":[[…],[…]]}
-//	               → {"version":…,"classes":[…],"distances":[…]}
-//	GET  /lookup?key=K      → consistent-hash routing of an arbitrary key
-//	POST /lookup   {"features":[…]} → nearest interned symbol (cleanup)
-//	GET  /stats    → operational summary (version, samples, reads, …)
-//	GET  /snapshot → binary snapshot download (save while serving);
-//	               restore it at boot with -load
+//	POST /v1/train           one write batch (samples + item churn)
+//	POST /v1/predict         classify feature records
+//	GET  /v1/lookup          ?key= ring routing, ?symbol= membership
+//	POST /v1/lookup          nearest-symbol cleanup
+//	GET  /v1/stats           operational summary incl. durability state
+//	GET  /v1/snapshot        binary snapshot download (restore with -load)
+//	GET  /v1/healthz         liveness + current version
+//	POST /v1/predict:stream  NDJSON bulk classification
+//	POST /v1/ingest:stream   NDJSON bulk training / interning
 //
-// Samples are numeric records: each of the -fields features is
-// level-encoded over the interval [lo, hi] given by the -lo and -hi flags
-// and bound to its field key (the paper's record encoding ⊕ᵢ Kᵢ ⊗ Vᵢ).
-// Training and prediction both encode across the server's worker pool.
+// Requests are hardened (bounded bodies, method/Content-Type enforcement,
+// unknown-field rejection) and admission-controlled: past -max-inflight
+// executing requests plus -max-queue waiters, the server sheds load with
+// structured 429s and a Retry-After hint instead of queuing unboundedly.
 //
 // # Durability
 //
@@ -44,36 +46,95 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"hdcirc"
 )
 
 // shutdownGrace bounds how long a graceful shutdown waits for in-flight
 // requests before giving up and closing anyway.
 const shutdownGrace = 15 * time.Second
 
+// options is the flag surface, bundled so tests can build the exact
+// production stack without a command line.
+type options struct {
+	dim, classes, shards, workers int
+	fields, levels                int
+	lo, hi                        float64
+	seed                          uint64
+	dataDir                       string
+	fsyncEvery, checkpointEvery   int
+	maxInflight, maxQueue         int
+	streamBatch                   int
+	maxBodyBytes                  int64
+}
+
+// build assembles the serving stack from options: durable server, record
+// encoder, protocol-v1 handler. Everything protocol-shaped comes from the
+// hdcirc facade — this binary defines no wire types of its own.
+func build(o options) (http.Handler, *hdcirc.Server, error) {
+	scfg := hdcirc.ServerConfig{
+		Dim:     o.dim,
+		Classes: o.classes,
+		Shards:  o.shards,
+		Workers: o.workers,
+		Seed:    o.seed,
+	}
+	if o.dataDir != "" {
+		scfg.WAL = &hdcirc.WALConfig{
+			Dir:             o.dataDir,
+			SyncEvery:       o.fsyncEvery,
+			CheckpointEvery: o.checkpointEvery,
+		}
+	}
+	srv, err := hdcirc.OpenDurableServer(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := hdcirc.NewServeEncoder(hdcirc.ServeEncoderConfig{
+		Dim: o.dim, Fields: o.fields, Lo: o.lo, Hi: o.hi, Levels: o.levels, Seed: o.seed,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	h, err := hdcirc.ServeHandler(hdcirc.ServeHandlerConfig{
+		Server:       srv,
+		Encoder:      enc,
+		MaxInFlight:  o.maxInflight,
+		MaxQueue:     o.maxQueue,
+		StreamBatch:  o.streamBatch,
+		MaxBodyBytes: o.maxBodyBytes,
+	})
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return h, srv, nil
+}
+
 func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		d       = flag.Int("d", 2048, "hypervector dimension")
-		k       = flag.Int("k", 4, "number of classes")
-		shards  = flag.Int("shards", 2, "sub-model shards")
-		workers = flag.Int("workers", 0, "batch pool size (0 = GOMAXPROCS)")
-		fields  = flag.Int("fields", 3, "features per sample record")
-		lo      = flag.Float64("lo", 0, "feature interval lower bound")
-		hi      = flag.Float64("hi", 1, "feature interval upper bound")
-		levels  = flag.Int("levels", 64, "quantization levels per feature")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		load    = flag.String("load", "", "warm-start from a snapshot file")
-		dataDir = flag.String("data-dir", "", "durability directory (write-ahead log + checkpoints); empty = in-memory only")
-		fsync   = flag.Int("fsync-every", 1, "with -data-dir: fsync the log once per this many batches (negative = never)")
-		ckpt    = flag.Int("checkpoint-every", 256, "with -data-dir: background checkpoint cadence in batches (negative = manual only)")
-	)
+	var o options
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.IntVar(&o.dim, "d", 2048, "hypervector dimension")
+	flag.IntVar(&o.classes, "k", 4, "number of classes")
+	flag.IntVar(&o.shards, "shards", 2, "sub-model shards")
+	flag.IntVar(&o.workers, "workers", 0, "batch pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.fields, "fields", 3, "features per sample record")
+	flag.Float64Var(&o.lo, "lo", 0, "feature interval lower bound")
+	flag.Float64Var(&o.hi, "hi", 1, "feature interval upper bound")
+	flag.IntVar(&o.levels, "levels", 64, "quantization levels per feature")
+	flag.Uint64Var(&o.seed, "seed", 1, "master seed")
+	load := flag.String("load", "", "warm-start from a snapshot file")
+	flag.StringVar(&o.dataDir, "data-dir", "", "durability directory (write-ahead log + checkpoints); empty = in-memory only")
+	flag.IntVar(&o.fsyncEvery, "fsync-every", 1, "with -data-dir: fsync the log once per this many batches (negative = never)")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 256, "with -data-dir: background checkpoint cadence in batches (negative = manual only)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "admission control: concurrently executing model requests (0 = 4×GOMAXPROCS)")
+	flag.IntVar(&o.maxQueue, "max-queue", 0, "admission control: requests waiting for a slot before 429s (0 = 2×max-inflight)")
+	flag.IntVar(&o.streamBatch, "stream-batch", 0, "rows coalesced per batch on the streaming endpoints (0 = 256)")
+	flag.Int64Var(&o.maxBodyBytes, "max-body", 0, "maximum unary request body in bytes (0 = 8 MiB)")
 	flag.Parse()
 
-	app, err := newApp(appConfig{
-		Dim: *d, Classes: *k, Shards: *shards, Workers: *workers,
-		Fields: *fields, Lo: *lo, Hi: *hi, Levels: *levels, Seed: *seed,
-		DataDir: *dataDir, FsyncEvery: *fsync, CheckpointEvery: *ckpt,
-	})
+	h, srv, err := build(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hdcserve: %v\n", err)
 		os.Exit(2)
@@ -84,16 +145,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hdcserve: %v\n", err)
 			os.Exit(2)
 		}
-		err = app.srv.Restore(f)
+		err = srv.Restore(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hdcserve: warm start: %v\n", err)
 			os.Exit(2)
 		}
-		log.Printf("warm-started from %s at version %d", *load, app.srv.Snapshot().Version())
+		log.Printf("warm-started from %s at version %d", *load, srv.Snapshot().Version())
 	}
-	if *dataDir != "" {
-		log.Printf("durable: data-dir %s, recovered at version %d", *dataDir, app.srv.Snapshot().Version())
+	if o.dataDir != "" {
+		log.Printf("durable: data-dir %s, recovered at version %d", o.dataDir, srv.Snapshot().Version())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -103,26 +164,33 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("hdcserve listening on %s (d=%d k=%d shards=%d fields=%d)", ln.Addr(), *d, *k, *shards, *fields)
-	if err := serveHTTP(ctx, ln, app); err != nil {
+	log.Printf("hdcserve listening on %s (d=%d k=%d shards=%d fields=%d)", ln.Addr(), o.dim, o.classes, o.shards, o.fields)
+	if err := serveHTTP(ctx, ln, h, srv); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("hdcserve: clean shutdown at version %d", app.srv.Snapshot().Version())
+	log.Printf("hdcserve: clean shutdown at version %d", srv.Snapshot().Version())
 }
 
-// serveHTTP serves the app's mux on ln until ctx is canceled (SIGINT or
+// serveHTTP serves the handler on ln until ctx is canceled (SIGINT or
 // SIGTERM in production), then shuts down gracefully: http.Server.Shutdown
 // waits for in-flight requests — a training batch that reached ApplyBatch
 // finishes and lands in the write-ahead log — and only then is the
 // durability layer flushed and closed.
-func serveHTTP(ctx context.Context, ln net.Listener, a *app) error {
-	srv := &http.Server{Handler: a.mux()}
+func serveHTTP(ctx context.Context, ln net.Listener, h http.Handler, model *hdcirc.Server) error {
+	srv := &http.Server{
+		Handler: h,
+		// Evict slowloris connections at the header stage and idle
+		// keep-alives; no ReadTimeout — long-lived NDJSON ingest streams
+		// are legitimate.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc: // listener failed outright
-		a.close()
+		model.Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -130,7 +198,7 @@ func serveHTTP(ctx context.Context, ln net.Listener, a *app) error {
 	defer cancel()
 	shutdownErr := srv.Shutdown(sctx)
 	<-errc // Serve has returned http.ErrServerClosed
-	if err := a.close(); err != nil {
+	if err := model.Close(); err != nil {
 		return fmt.Errorf("closing durability layer: %w", err)
 	}
 	return shutdownErr

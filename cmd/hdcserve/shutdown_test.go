@@ -1,67 +1,49 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"net"
-	"net/http"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"hdcirc"
+	"hdcirc/client"
 )
 
-// durableTestConfig is the app shape shared by the shutdown and crash
-// tests (and mirrored in-process to verify recovered bytes).
-func durableTestConfig(dataDir string) appConfig {
-	return appConfig{
-		Dim: 512, Classes: 3, Shards: 2, Workers: 2,
-		Fields: 2, Lo: 0, Hi: 1, Levels: 16, Seed: 7,
-		DataDir: dataDir, FsyncEvery: 1, CheckpointEvery: 4,
+// durableTestOptions is the server shape shared by the shutdown test here
+// and the client package's crash-recovery contract test (which runs this
+// binary as a child process with the same flags).
+func durableTestOptions(dataDir string) options {
+	return options{
+		dim: 512, classes: 3, shards: 2, workers: 2,
+		fields: 2, lo: 0, hi: 1, levels: 16, seed: 7,
+		dataDir: dataDir, fsyncEvery: 1, checkpointEvery: 4,
 	}
 }
 
-// trainBodyIdx is a deterministic training batch per index, so a replay of
-// bodies 0..V-1 reproduces any server that applied the first V batches.
-func trainBodyIdx(i int) map[string]any {
+// trainReqIdx is a deterministic training batch per index, so a replay of
+// batches 0..V-1 reproduces any server that applied the first V batches.
+func trainReqIdx(i int) client.TrainRequest {
 	f := float64(i%10) / 10
-	return map[string]any{
-		"samples": []map[string]any{
-			{"label": i % 3, "features": []float64{f, 1 - f}},
-			{"label": (i + 1) % 3, "features": []float64{1 - f, f}},
+	return client.TrainRequest{
+		Samples: []client.Sample{
+			{Label: i % 3, Features: []float64{f, 1 - f}},
+			{Label: (i + 1) % 3, Features: []float64{1 - f, f}},
 		},
-		"symbols": []string{fmt.Sprintf("sym/%d", i%6)},
+		Symbols: []string{fmt.Sprintf("sym/%d", i%6)},
 	}
-}
-
-func postJSON(client *http.Client, url string, body any) (map[string]any, int, error) {
-	raw, err := json.Marshal(body)
-	if err != nil {
-		return nil, 0, err
-	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return nil, 0, err
-	}
-	defer resp.Body.Close()
-	var out map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, resp.StatusCode, err
-	}
-	return out, resp.StatusCode, nil
 }
 
 // TestGracefulShutdownCompletesInFlightAndFlushes drives serveHTTP — the
-// exact path SIGINT/SIGTERM triggers in main — and checks the contract:
-// training batches in flight at shutdown complete (acknowledged work is
-// never torn), the WAL is flushed, and a reopened server recovers every
-// acknowledged batch.
+// exact path SIGINT/SIGTERM triggers in main — through the client SDK and
+// checks the contract: training batches in flight at shutdown complete
+// (acknowledged work is never torn), the WAL is flushed, and a reopened
+// server recovers every acknowledged batch.
 func TestGracefulShutdownCompletesInFlightAndFlushes(t *testing.T) {
 	dir := t.TempDir()
-	a, err := newApp(durableTestConfig(dir))
+	h, srv, err := build(durableTestOptions(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,16 +53,19 @@ func TestGracefulShutdownCompletesInFlightAndFlushes(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serveHTTP(ctx, ln, a) }()
-	base := "http://" + ln.Addr().String()
-	client := &http.Client{Timeout: 5 * time.Second}
+	go func() { done <- serveHTTP(ctx, ln, h, srv) }()
+	c, err := client.New("http://" + ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cdone := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cdone()
 
 	// A baseline of synchronously acknowledged batches…
 	const warm = 5
 	for i := 0; i < warm; i++ {
-		out, code, err := postJSON(client, base+"/train", trainBodyIdx(i))
-		if err != nil || code != http.StatusOK {
-			t.Fatalf("train %d: code %d, err %v (%v)", i, code, err, out)
+		if _, err := c.Train(cctx, trainReqIdx(i)); err != nil {
+			t.Fatalf("train %d: %v", i, err)
 		}
 	}
 	// …then keep writing from a goroutine while shutdown lands mid-stream.
@@ -92,8 +77,7 @@ func TestGracefulShutdownCompletesInFlightAndFlushes(t *testing.T) {
 		defer close(senderDone)
 		for i := warm; ; i++ {
 			sent.Add(1)
-			_, code, err := postJSON(client, base+"/train", trainBodyIdx(i))
-			if err != nil || code != http.StatusOK {
+			if _, err := c.Train(cctx, trainReqIdx(i)); err != nil {
 				return // the listener is gone: shutdown reached us
 			}
 			acked.Add(1)
@@ -109,21 +93,21 @@ func TestGracefulShutdownCompletesInFlightAndFlushes(t *testing.T) {
 	<-senderDone
 
 	// The listener must actually be closed now.
-	if _, _, err := postJSON(client, base+"/train", trainBodyIdx(0)); err == nil {
+	if _, err := c.Train(cctx, trainReqIdx(0)); err == nil {
 		t.Fatal("train accepted after shutdown")
 	}
 	// Writes after close must be refused by the server layer too.
-	if _, err := a.srv.ApplyBatch(hdcirc.ServerBatch{Items: []string{"post-close"}}); err == nil {
+	if _, err := srv.ApplyBatch(hdcirc.ServerBatch{Items: []string{"post-close"}}); err == nil {
 		t.Fatal("ApplyBatch accepted after close")
 	}
 
 	// Recovery: every acknowledged batch survived the shutdown flush.
-	b, err := newApp(durableTestConfig(dir))
+	_, srv2, err := build(durableTestOptions(dir))
 	if err != nil {
 		t.Fatalf("reopening data dir: %v", err)
 	}
-	defer b.close()
-	v := int64(b.srv.Snapshot().Version())
+	defer srv2.Close()
+	v := int64(srv2.Snapshot().Version())
 	if v < acked.Load() || v > sent.Load() {
 		t.Fatalf("recovered version %d outside [acked %d, sent %d]", v, acked.Load(), sent.Load())
 	}

@@ -36,6 +36,17 @@
 //     recovery cost to one state file plus the log suffix. See
 //     OpenDurableServer, WALConfig, and the Server Checkpoint/Close
 //     methods; cmd/hdcserve exposes it as -data-dir.
+//   - Serving API v1: the HTTP wire layer over the serving core — typed
+//     protocol structs and a structured error envelope shared by server
+//     and client, versioned routes, NDJSON streaming bulk endpoints that
+//     coalesce rows into write batches, request hardening (bounded
+//     bodies, method/Content-Type enforcement, unknown-field rejection)
+//     and admission control (bounded in-flight work; overload is a
+//     structured 429 with Retry-After). Embed it with ServeHandler +
+//     NewServeEncoder; cmd/hdcserve is a thin flag shell over the same
+//     call, and the Go client SDK lives in package hdcirc/client (typed
+//     methods for every endpoint, retry with backoff, streaming ingest
+//     and prediction, client-side batch coalescing).
 //
 // Every hot loop — bundling accumulation, majority thresholding, rotation,
 // nearest-prototype search — runs as a word-parallel kernel over the

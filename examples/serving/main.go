@@ -1,0 +1,148 @@
+// Serving API v1 end to end: embed the HTTP serving surface in-process
+// with hdcirc.ServeHandler (exactly what cmd/hdcserve hosts behind flags),
+// then drive it through the Go client SDK — typed unary calls, NDJSON bulk
+// ingest with per-batch acknowledgments, bulk prediction, client-side
+// coalescing for high-fan-in callers, and the structured error envelope.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"hdcirc"
+	"hdcirc/client"
+)
+
+func main() {
+	const (
+		dim     = 4096
+		classes = 3
+		fields  = 2
+		seed    = 7
+	)
+
+	// --- Server side: one call to embed the whole protocol. -------------
+	srv, err := hdcirc.NewServer(hdcirc.ServerConfig{Dim: dim, Classes: classes, Shards: 2, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := hdcirc.NewServeEncoder(hdcirc.ServeEncoderConfig{
+		Dim: dim, Fields: fields, Lo: 0, Hi: 1, Levels: 32, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	handler, err := hdcirc.ServeHandler(hdcirc.ServeHandlerConfig{Server: srv, Encoder: enc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, handler)
+
+	// --- Client side: the typed SDK. ------------------------------------
+	ctx := context.Background()
+	c, err := client.New("http://" + ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One unary training batch: three classes clustered at corners of the
+	// unit square, plus two interned item symbols.
+	req := client.TrainRequest{Symbols: []string{"sensor-a", "sensor-b"}}
+	centers := [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}}
+	for label, center := range centers {
+		for j := 0; j < 8; j++ {
+			jit := 0.02 * float64(j%4)
+			req.Samples = append(req.Samples, client.Sample{
+				Label:    label,
+				Features: []float64{center[0] + jit, center[1] - jit},
+			})
+		}
+	}
+	tr, err := c.Train(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d samples → version %d (%d items interned)\n", tr.Trained, tr.Version, tr.Items)
+
+	// Bulk load over the NDJSON stream: rows coalesce into write batches
+	// server-side, one snapshot publication per batch.
+	is, err := c.Ingest(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		label := i % classes
+		center := centers[label]
+		row := client.IngestRow{Label: &label, Features: []float64{
+			center[0] + 0.03*float64(i%3), center[1] - 0.03*float64(i%5),
+		}}
+		if err := is.Send(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sum, err := is.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bulk ingest: %d rows in %d batches → version %d\n", sum.TotalRows, sum.Batches, sum.Version)
+
+	// Bulk prediction: one streamed request, one result per row, in order.
+	queries := [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}, {0.45, 0.8}}
+	results, err := c.PredictAll(ctx, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("query %v → class %d (distance %.3f, version %d)\n", queries[i], r.Class, r.Distance, r.Version)
+	}
+
+	// High fan-in: many goroutines each holding one record; the coalescer
+	// merges them into few wire batches transparently.
+	co := c.NewCoalescer(64, 0)
+	var wg sync.WaitGroup
+	agree := 0
+	var mu sync.Mutex
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			class, _, _, err := co.Predict(ctx, centers[g%classes])
+			if err == nil && class == g%classes {
+				mu.Lock()
+				agree++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("coalesced fan-in: %d/12 callers classified correctly\n", agree)
+
+	// Structured errors: branch on the machine-readable code.
+	if _, err := c.Predict(ctx, [][]float64{{0.5}}); err != nil {
+		var apiErr *client.Error
+		if errors.As(err, &apiErr) {
+			fmt.Printf("wrong arity rejected with code %q: %s\n", apiErr.Code, apiErr.Message)
+		}
+	}
+
+	// Durability-aware stats (this in-memory example reports durable=false;
+	// with -data-dir the WAL sequence, checkpoint and sticky-error state
+	// appear here).
+	st, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: version %d, %d samples, %d reads served, durable=%v\n",
+		st.Version, st.Samples, st.ReadsServed, st.Durable)
+}

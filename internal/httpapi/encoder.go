@@ -1,0 +1,98 @@
+package httpapi
+
+import (
+	"fmt"
+
+	"hdcirc/internal/batch"
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/core"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/rng"
+)
+
+// Encoder maps feature records to hypervectors for the handler. Encode is
+// called from any number of request goroutines concurrently, so
+// implementations must be stateless per call (the repo's record, scalar
+// and circular encoders all are: fixed keys, fixed tie vectors).
+type Encoder interface {
+	// Fields returns the record arity every request must match.
+	Fields() int
+	// Encode maps one validated record (length Fields, no NaN — the
+	// handler checks both) to its hypervector.
+	Encode(features []float64) *bitvec.Vector
+}
+
+// scalarRecordEncoder is the standard serving encoder: each field is
+// level-encoded over [lo, hi] and bound to its field key — the paper's
+// record encoding ⊕ᵢ Kᵢ ⊗ Vᵢ, the same stack cmd/hdcserve has always
+// served.
+type scalarRecordEncoder struct {
+	rec *embed.RecordEncoder
+	enc []embed.FieldEncoder
+}
+
+func (e *scalarRecordEncoder) Fields() int { return e.rec.NumFields() }
+
+func (e *scalarRecordEncoder) Encode(features []float64) *bitvec.Vector {
+	return e.rec.EncodeRecord(features, e.enc)
+}
+
+// ScalarRecordConfig sizes NewScalarRecordEncoder.
+type ScalarRecordConfig struct {
+	Dim    int     // hypervector dimension (must match the server's)
+	Fields int     // features per record
+	Lo, Hi float64 // feature interval
+	Levels int     // quantization levels per feature
+	Seed   uint64  // master seed (must match the server's for determinism)
+}
+
+// NewScalarRecordEncoder builds the standard record-encoding stack over a
+// level basis: the encoder hdcserve serves and the one embedding callers
+// almost always want. Two encoders built from equal configs are
+// bit-identical.
+func NewScalarRecordEncoder(cfg ScalarRecordConfig) (Encoder, error) {
+	if cfg.Fields <= 0 {
+		return nil, fmt.Errorf("httpapi: need at least one record field, got %d", cfg.Fields)
+	}
+	if cfg.Levels < 1 {
+		return nil, fmt.Errorf("httpapi: need at least one quantization level, got %d", cfg.Levels)
+	}
+	if cfg.Hi <= cfg.Lo {
+		return nil, fmt.Errorf("httpapi: empty feature interval [%v,%v]", cfg.Lo, cfg.Hi)
+	}
+	basis := core.Config{Kind: core.KindLevel, M: cfg.Levels, D: cfg.Dim}.
+		Build(rng.Sub(cfg.Seed, "hdcserve/levels"))
+	scalar := embed.NewScalarEncoder(basis, cfg.Lo, cfg.Hi)
+	enc := make([]embed.FieldEncoder, cfg.Fields)
+	for i := range enc {
+		enc[i] = scalar
+	}
+	return &scalarRecordEncoder{
+		rec: embed.NewRecordEncoder(cfg.Dim, cfg.Fields, cfg.Seed),
+		enc: enc,
+	}, nil
+}
+
+// validateRecord checks one feature record's shape before encoding: arity
+// and NaN (the scalar encoder would panic on NaN).
+func validateRecord(enc Encoder, features []float64) *Error {
+	if want := enc.Fields(); len(features) != want {
+		return Errorf(CodeInvalidRequest, "record has %d features, server expects %d", len(features), want)
+	}
+	for i, f := range features {
+		if f != f {
+			return Errorf(CodeInvalidRequest, "feature %d is NaN", i)
+		}
+	}
+	return nil
+}
+
+// encodeRecords validates and encodes a batch of records across the pool.
+func encodeRecords(enc Encoder, pool *batch.Pool, records [][]float64) ([]*bitvec.Vector, *Error) {
+	for i, rec := range records {
+		if err := validateRecord(enc, rec); err != nil {
+			return nil, Errorf(err.Code, "record %d: %s", i, err.Message)
+		}
+	}
+	return batch.Map(pool, records, enc.Encode), nil
+}

@@ -1,0 +1,65 @@
+package httpapi
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// gate is the admission controller: at most inflight requests execute at
+// once, at most queued more wait for a slot, and everything beyond that is
+// rejected immediately with a structured 429 — the server sheds load
+// instead of queuing without bound. Stats/healthz bypass the gate so an
+// overloaded server stays observable.
+type gate struct {
+	slots      chan struct{} // in-flight capacity
+	queued     atomic.Int64  // waiters currently blocked on slots
+	maxQueue   int64
+	retryAfter time.Duration
+	rejected   atomic.Uint64 // total admissions refused (observability)
+}
+
+func newGate(inflight, queue int, retryAfter time.Duration) *gate {
+	g := &gate{
+		slots:      make(chan struct{}, inflight),
+		maxQueue:   int64(queue),
+		retryAfter: retryAfter,
+	}
+	for i := 0; i < inflight; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// acquire admits the request or rejects it. On admission it returns a nil
+// error and the caller MUST call release. Rejection returns the
+// CodeOverloaded envelope error (with the retry hint) when capacity and
+// queue are exhausted, or the request context's cancellation mapped to
+// CodeUnavailable when the client gave up while queued.
+func (g *gate) acquire(ctx context.Context) *Error {
+	select {
+	case <-g.slots:
+		return nil
+	default:
+	}
+	// Full: try to take a queue position. The counter may transiently
+	// overshoot under contention; the compare-then-add window is benign —
+	// a handful of extra waiters, never unbounded growth.
+	if g.queued.Load() >= g.maxQueue {
+		g.rejected.Add(1)
+		e := Errorf(CodeOverloaded, "server at capacity: %d in flight, %d queued", cap(g.slots), g.maxQueue)
+		e.RetryAfterMS = g.retryAfter.Milliseconds()
+		return e
+	}
+	g.queued.Add(1)
+	defer g.queued.Add(-1)
+	select {
+	case <-g.slots:
+		return nil
+	case <-ctx.Done():
+		g.rejected.Add(1)
+		return Errorf(CodeUnavailable, "request canceled while queued: %v", ctx.Err())
+	}
+}
+
+func (g *gate) release() { g.slots <- struct{}{} }

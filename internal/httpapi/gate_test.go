@@ -1,0 +1,145 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/serve"
+)
+
+// stallEncoder blocks every Encode while armed, so a test can hold a
+// request inside the handler and fill the admission gate deliberately.
+// (New probes Encode once at construction, before the test arms it.)
+type stallEncoder struct {
+	dim     int
+	armed   atomic.Bool
+	entered chan struct{} // one token per blocked Encode
+	release chan struct{} // closed to let them all through
+}
+
+func (e *stallEncoder) Fields() int { return 2 }
+
+func (e *stallEncoder) Encode(features []float64) *bitvec.Vector {
+	if e.armed.Load() {
+		e.entered <- struct{}{}
+		<-e.release
+	}
+	return bitvec.New(e.dim)
+}
+
+func TestOverloadShedsWithStructured429(t *testing.T) {
+	srv, err := serve.NewServer(serve.Config{Dim: 256, Classes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := &stallEncoder{dim: 256, entered: make(chan struct{}, 8), release: make(chan struct{})}
+	a, err := New(Config{
+		Server: srv, Encoder: enc,
+		MaxInFlight: 1, MaxQueue: 1, RetryAfter: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.armed.Store(true)
+
+	predict := func() *httptest.ResponseRecorder {
+		rec, _ := doJSON(t, a, http.MethodPost, "/v1/predict", PredictRequest{Queries: [][]float64{{0.1, 0.2}}})
+		return rec
+	}
+
+	// Request 1 takes the only in-flight slot and stalls inside Encode.
+	r1 := make(chan *httptest.ResponseRecorder, 1)
+	go func() { r1 <- predict() }()
+	<-enc.entered
+
+	// Request 2 takes the only queue slot (blocked in acquire, not piling
+	// up bodies). Wait until the gate has actually counted it.
+	r2 := make(chan *httptest.ResponseRecorder, 1)
+	go func() { r2 <- predict() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.gate.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request 2 never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request 3 must be shed immediately: structured 429, machine-readable
+	// code, Retry-After header and millisecond hint in the envelope.
+	rec, out := doJSON(t, a, http.MethodPost, "/v1/predict", PredictRequest{Queries: [][]float64{{0.1, 0.2}}})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request = %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if got := errCode(t, out); got != string(CodeOverloaded) {
+		t.Errorf("error code = %q", got)
+	}
+	if ra, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || ra < 3 {
+		t.Errorf("Retry-After header = %q, want >= 3s", rec.Header().Get("Retry-After"))
+	}
+	env := out["error"].(map[string]any)
+	if env["retry_after_ms"].(float64) != 3000 {
+		t.Errorf("retry_after_ms = %v", env["retry_after_ms"])
+	}
+
+	// Streams pass through the same gate: a fourth caller's stream is shed
+	// before it can start.
+	recS, _ := postStream(t, a, "/v1/predict:stream", "")
+	if recS.Code != http.StatusTooManyRequests {
+		t.Errorf("stream under overload = %d, want 429", recS.Code)
+	}
+
+	// Release the stall: both admitted requests complete fine.
+	close(enc.release)
+	for i, ch := range []chan *httptest.ResponseRecorder{r1, r2} {
+		select {
+		case rec := <-ch:
+			if rec.Code != http.StatusOK {
+				t.Errorf("admitted request %d = %d: %s", i+1, rec.Code, rec.Body.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("admitted request %d never completed", i+1)
+		}
+	}
+
+	// The shed requests show up in the operator stats.
+	_, stats := doJSON(t, a, http.MethodGet, "/v1/stats", nil)
+	if stats["http_rejected"].(float64) < 2 {
+		t.Errorf("http_rejected = %v, want >= 2", stats["http_rejected"])
+	}
+}
+
+func TestGateQueueWaitsAndCancels(t *testing.T) {
+	g := newGate(1, 1, time.Second)
+	if e := g.acquire(t.Context()); e != nil {
+		t.Fatalf("first acquire: %v", e)
+	}
+	// Queue slot: acquire blocks until release.
+	got := make(chan *Error, 1)
+	go func() { got <- g.acquire(t.Context()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Overflow is rejected with the retry hint.
+	e := g.acquire(t.Context())
+	if e == nil || e.Code != CodeOverloaded || e.RetryAfterMS != 1000 {
+		t.Fatalf("overflow acquire = %v", e)
+	}
+	g.release()
+	if e := <-got; e != nil {
+		t.Fatalf("queued acquire after release: %v", e)
+	}
+	g.release()
+	// Empty gate admits immediately again.
+	if e := g.acquire(t.Context()); e != nil {
+		t.Fatalf("post-drain acquire: %v", e)
+	}
+}

@@ -1,0 +1,673 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"hdcirc/internal/serve"
+)
+
+// Config parameterizes the v1 handler. Server and Encoder are required;
+// every other knob's zero value selects the documented default.
+type Config struct {
+	// Server is the serving core the handler fronts.
+	Server *serve.Server
+	// Encoder maps feature records to hypervectors; its dimension must
+	// match the server's (checked at construction). See
+	// NewScalarRecordEncoder for the standard stack.
+	Encoder Encoder
+	// MaxBodyBytes bounds every unary request body (enforced with
+	// http.MaxBytesReader, so decoding stops at the limit rather than
+	// buffering an unbounded POST). <= 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxRowBytes bounds a single NDJSON row on the streaming endpoints,
+	// whose overall bodies are intentionally unbounded. <= 0 selects 1 MiB.
+	MaxRowBytes int64
+	// MaxInFlight bounds concurrently executing model requests (train,
+	// predict, cleanup lookups and both streams). <= 0 selects
+	// max(16, 4×GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; anything
+	// beyond in-flight+queue is rejected with a structured 429 and a
+	// Retry-After hint. <= 0 selects 2×MaxInFlight; admission control
+	// cannot be disabled, only sized.
+	MaxQueue int
+	// RetryAfter is the client back-off hint carried on 429s. <= 0 selects
+	// 500ms.
+	RetryAfter time.Duration
+	// StreamBatch is how many NDJSON rows the streaming endpoints coalesce
+	// into one ServerBatch / PredictBatch. <= 0 selects 256.
+	StreamBatch int
+}
+
+func (c *Config) norm() {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxRowBytes <= 0 {
+		c.MaxRowBytes = 1 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+		if c.MaxInFlight < 16 {
+			c.MaxInFlight = 16
+		}
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	if c.StreamBatch <= 0 {
+		c.StreamBatch = 256
+	}
+}
+
+// StatsResponse is the GET /v1/stats body: the serving core's operational
+// summary (including the durability fields) plus the wire layer's own
+// admission counter.
+type StatsResponse struct {
+	serve.Stats
+	// HTTPRejected counts requests refused by admission control since the
+	// handler was built.
+	HTTPRejected uint64 `json:"http_rejected,omitempty"`
+}
+
+// API is the protocol-v1 http.Handler. Build it with New; it is safe for
+// any number of concurrent requests (the serving core is lock-free on
+// reads, and the handler adds only the admission gate).
+type API struct {
+	cfg  Config
+	mux  *http.ServeMux
+	gate *gate
+}
+
+// New validates the config and builds the v1 handler.
+func New(cfg Config) (*API, error) {
+	if cfg.Server == nil {
+		return nil, errors.New("httpapi: Config.Server is required")
+	}
+	if cfg.Encoder == nil {
+		return nil, errors.New("httpapi: Config.Encoder is required")
+	}
+	if cfg.Encoder.Fields() <= 0 {
+		return nil, fmt.Errorf("httpapi: encoder reports %d fields", cfg.Encoder.Fields())
+	}
+	// Catch a dimension mismatch at construction, not on the first request:
+	// encode one zero record and compare against the server.
+	if d := cfg.Encoder.Encode(make([]float64, cfg.Encoder.Fields())).Dim(); d != cfg.Server.Config().Dim {
+		return nil, fmt.Errorf("httpapi: encoder dimension %d, server %d", d, cfg.Server.Config().Dim)
+	}
+	cfg.norm()
+	a := &API{
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		gate: newGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.RetryAfter),
+	}
+	a.mux.HandleFunc("/v1/train", a.handleTrain)
+	a.mux.HandleFunc("/v1/predict", a.handlePredict)
+	a.mux.HandleFunc("/v1/lookup", a.handleLookup)
+	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	a.mux.HandleFunc("/v1/snapshot", a.handleSnapshot)
+	a.mux.HandleFunc("/v1/healthz", a.handleHealthz)
+	a.mux.HandleFunc("/v1/predict:stream", a.handlePredictStream)
+	a.mux.HandleFunc("/v1/ingest:stream", a.handleIngestStream)
+	a.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, Errorf(CodeNotFound, "no route %s %s in protocol v1", r.Method, r.URL.Path))
+	})
+	return a, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// Server returns the serving core the handler fronts (for embedding
+// binaries that need lifecycle calls like Close and Checkpoint).
+func (a *API) Server() *serve.Server { return a.cfg.Server }
+
+// ---------------------------------------------------------------------------
+// Envelope plumbing
+// ---------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	if e.Code == CodeOverloaded {
+		secs := (e.RetryAfterMS + 999) / 1000 // Retry-After is whole seconds; round up
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, e.HTTPStatus(), envelope{Error: e})
+}
+
+// requireMethod enforces the route's method set with a structured 405.
+func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", allowHeader(methods))
+	writeError(w, Errorf(CodeMethodNotAllowed, "%s does not allow %s", r.URL.Path, r.Method))
+	return false
+}
+
+func allowHeader(methods []string) string {
+	out := ""
+	for i, m := range methods {
+		if i > 0 {
+			out += ", "
+		}
+		out += m
+	}
+	return out
+}
+
+// checkContentType enforces the request media type; an absent Content-Type
+// is accepted (curl-friendliness), anything explicit must match one of the
+// allowed types.
+func checkContentType(r *http.Request, allowed ...string) *Error {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return nil
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return Errorf(CodeUnsupportedMedia, "unparseable Content-Type %q", ct)
+	}
+	for _, want := range allowed {
+		if mt == want {
+			return nil
+		}
+	}
+	return Errorf(CodeUnsupportedMedia, "Content-Type %q not accepted here (want %s)", mt, allowHeader(allowed))
+}
+
+// decodeBody decodes one bounded, strict JSON body: Content-Type enforced,
+// http.MaxBytesReader capping the read, unknown fields rejected, trailing
+// garbage rejected.
+func (a *API) decodeBody(w http.ResponseWriter, r *http.Request, dst any) *Error {
+	if e := checkContentType(r, "application/json"); e != nil {
+		return e
+	}
+	body := http.MaxBytesReader(w, r.Body, a.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return Errorf(CodeBodyTooLarge, "request body exceeds %d bytes", a.cfg.MaxBodyBytes)
+		}
+		return Errorf(CodeMalformedBody, "decoding request: %v", err)
+	}
+	if dec.Decode(&struct{}{}) != io.EOF {
+		return Errorf(CodeMalformedBody, "trailing data after JSON body")
+	}
+	return nil
+}
+
+// applyError classifies a serving-core write failure for the wire: a
+// closed server or a sticky write-ahead fault is 503 (the request may
+// succeed elsewhere/later), everything else the core rejects is the
+// client's batch.
+func applyError(err error) *Error {
+	if errors.Is(err, serve.ErrClosed) || errors.Is(err, serve.ErrWALFailed) {
+		return Errorf(CodeUnavailable, "%v", err)
+	}
+	return Errorf(CodeInvalidRequest, "%v", err)
+}
+
+// ---------------------------------------------------------------------------
+// Unary handlers
+// ---------------------------------------------------------------------------
+
+func (a *API) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	// Decode BEFORE taking an admission slot: the body is hard-bounded by
+	// MaxBytesReader, so a slow-trickling client costs one connection, not
+	// one of the gate's model-work slots.
+	var req TrainRequest
+	if e := a.decodeBody(w, r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	if len(req.Samples) == 0 && len(req.Symbols) == 0 {
+		writeError(w, Errorf(CodeInvalidRequest, "empty batch: no samples, no symbols"))
+		return
+	}
+	if e := a.gate.acquire(r.Context()); e != nil {
+		writeError(w, e)
+		return
+	}
+	defer a.gate.release()
+	batch, e := a.buildBatch(req.Samples, req.Symbols)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	snap, err := a.cfg.Server.ApplyBatch(batch)
+	if err != nil {
+		writeError(w, applyError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, TrainResponse{
+		Version: snap.Version(),
+		Trained: len(req.Samples),
+		Samples: snap.Samples(),
+		Items:   snap.NumItems(),
+	})
+}
+
+// buildBatch encodes labeled samples across the server pool and assembles
+// the write batch.
+func (a *API) buildBatch(samples []Sample, symbols []string) (serve.Batch, *Error) {
+	records := make([][]float64, len(samples))
+	for i, s := range samples {
+		records[i] = s.Features
+	}
+	hvs, e := encodeRecords(a.cfg.Encoder, a.cfg.Server.Pool(), records)
+	if e != nil {
+		return serve.Batch{}, e
+	}
+	b := serve.Batch{Items: symbols}
+	for i, s := range samples {
+		b.Train = append(b.Train, serve.Sample{Class: s.Label, HV: hvs[i]})
+	}
+	return b, nil
+}
+
+func (a *API) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req PredictRequest
+	if e := a.decodeBody(w, r, &req); e != nil {
+		writeError(w, e)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, Errorf(CodeInvalidRequest, "no queries"))
+		return
+	}
+	if e := a.gate.acquire(r.Context()); e != nil {
+		writeError(w, e)
+		return
+	}
+	defer a.gate.release()
+	hvs, e := encodeRecords(a.cfg.Encoder, a.cfg.Server.Pool(), req.Queries)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	snap := a.cfg.Server.Snapshot()
+	classes, dists := snap.PredictBatch(a.cfg.Server.Pool(), hvs)
+	a.cfg.Server.CountReads(len(hvs))
+	writeJSON(w, http.StatusOK, PredictResponse{Version: snap.Version(), Classes: classes, Distances: dists})
+}
+
+func (a *API) handleLookup(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	srv := a.cfg.Server
+	snap := srv.Snapshot()
+	switch r.Method {
+	case http.MethodGet:
+		if key := r.URL.Query().Get("key"); key != "" {
+			shard, member, slot := srv.Route(key)
+			writeJSON(w, http.StatusOK, LookupResponse{
+				Key: key, Shard: &shard, Member: member, Slot: &slot, Version: snap.Version(),
+			})
+			return
+		}
+		if sym := r.URL.Query().Get("symbol"); sym != "" {
+			_, ok := snap.Item(sym)
+			writeJSON(w, http.StatusOK, LookupResponse{Symbol: sym, Found: &ok, Version: snap.Version()})
+			return
+		}
+		writeError(w, Errorf(CodeInvalidRequest, "need ?key= or ?symbol="))
+	case http.MethodPost:
+		var req LookupRequest
+		if e := a.decodeBody(w, r, &req); e != nil {
+			writeError(w, e)
+			return
+		}
+		if e := validateRecord(a.cfg.Encoder, req.Features); e != nil {
+			writeError(w, e)
+			return
+		}
+		if e := a.gate.acquire(r.Context()); e != nil {
+			writeError(w, e)
+			return
+		}
+		defer a.gate.release()
+		sym, sim, ok := snap.Lookup(a.cfg.Encoder.Encode(req.Features))
+		srv.CountReads(1)
+		if !ok {
+			writeError(w, Errorf(CodeNotFound, "no items interned"))
+			return
+		}
+		writeJSON(w, http.StatusOK, LookupResponse{Symbol: sym, Similarity: sim, Version: snap.Version()})
+	}
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Stats:        a.cfg.Server.Stats(),
+		HTTPRejected: a.gate.rejected.Load(),
+	})
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: a.cfg.Server.Snapshot().Version()})
+}
+
+// handleSnapshot streams the current snapshot's binary serialization.
+// Deliberately ungated: saving a live server is an operator action that
+// must work while request traffic has the gate saturated.
+func (a *API) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	snap := a.cfg.Server.Snapshot()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snapshot-Version", strconv.FormatUint(snap.Version(), 10))
+	snap.WriteTo(w) // headers are committed; a mid-stream fault surfaces as a short body
+}
+
+// ---------------------------------------------------------------------------
+// Streaming handlers
+// ---------------------------------------------------------------------------
+
+// streamWriter emits NDJSON response lines; callers flush once per
+// coalesced batch (not per line) so a 100k-row stream costs hundreds of
+// chunk writes, not 100k.
+type streamWriter struct {
+	w   http.ResponseWriter
+	enc *json.Encoder
+	rc  *http.ResponseController
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	// HTTP/1.x servers normally close the request body on the first
+	// response write; these endpoints are deliberately duplex (acks flow
+	// while rows still arrive), so opt in. Unsupported writers (HTTP/2
+	// handles duplex natively, test recorders have no socket) are fine.
+	rc.EnableFullDuplex()
+	return &streamWriter{w: w, enc: json.NewEncoder(w), rc: rc}
+}
+
+func (sw *streamWriter) line(v any) error {
+	return sw.enc.Encode(v) // Encode appends the \n
+}
+
+// flush pushes buffered lines to the client — called per batch, and after
+// the terminal summary/error line.
+func (sw *streamWriter) flush() { sw.rc.Flush() }
+
+// rowDecoder reads NDJSON rows with unknown-field rejection and a hard
+// per-row byte bound (the stream as a whole is unbounded by design). The
+// bound is enforced on the raw line BEFORE any JSON is parsed or
+// buffered, so an oversized row is rejected at MaxRowBytes — it cannot
+// balloon process memory first.
+type rowDecoder struct {
+	br     *bufio.Reader
+	maxRow int64
+	buf    []byte
+	rows   int
+}
+
+func newRowDecoder(r io.Reader, maxRow int64) *rowDecoder {
+	return &rowDecoder{br: bufio.NewReaderSize(r, 64<<10), maxRow: maxRow}
+}
+
+// readLine returns the next newline-terminated line, bounded by maxRow.
+// A nil line with a nil error is clean end of stream.
+func (rd *rowDecoder) readLine() ([]byte, *Error) {
+	rd.buf = rd.buf[:0]
+	for {
+		chunk, err := rd.br.ReadSlice('\n')
+		rd.buf = append(rd.buf, chunk...)
+		if int64(len(rd.buf)) > rd.maxRow {
+			return nil, Errorf(CodeBodyTooLarge, "row %d exceeds %d bytes", rd.rows, rd.maxRow)
+		}
+		switch err {
+		case nil:
+			return rd.buf, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(bytes.TrimSpace(rd.buf)) == 0 {
+				return nil, nil // body ended cleanly (with or without a final \n)
+			}
+			return rd.buf, nil // final unterminated line
+		default:
+			return nil, Errorf(CodeInternal, "row %d: reading stream: %v", rd.rows, err)
+		}
+	}
+}
+
+// next decodes one row into dst: (false, nil) at clean end of stream,
+// (false, *Error) on a malformed or oversized row. Whitespace-only lines
+// are skipped.
+func (rd *rowDecoder) next(dst any) (bool, *Error) {
+	for {
+		line, e := rd.readLine()
+		if e != nil {
+			return false, e
+		}
+		if line == nil {
+			return false, nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(dst); err != nil {
+			return false, Errorf(CodeMalformedBody, "row %d: %v", rd.rows, err)
+		}
+		if dec.Decode(&struct{}{}) != io.EOF {
+			return false, Errorf(CodeMalformedBody, "row %d: more than one JSON value on the line", rd.rows)
+		}
+		rd.rows++
+		return true, nil
+	}
+}
+
+func (a *API) handlePredictStream(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if e := checkContentType(r, "application/x-ndjson", "application/json"); e != nil {
+		writeError(w, e)
+		return
+	}
+	// One gate slot covers the whole stream: a bulk caller is one unit of
+	// admitted work no matter how many rows it pushes.
+	if e := a.gate.acquire(r.Context()); e != nil {
+		writeError(w, e)
+		return
+	}
+	defer a.gate.release()
+
+	sw := newStreamWriter(w)
+	rd := newRowDecoder(r.Body, a.cfg.MaxRowBytes)
+	srv := a.cfg.Server
+	pending := make([][]float64, 0, a.cfg.StreamBatch)
+
+	flush := func() *Error {
+		if len(pending) == 0 {
+			return nil
+		}
+		hvs, e := encodeRecords(a.cfg.Encoder, srv.Pool(), pending)
+		if e != nil {
+			return e
+		}
+		snap := srv.Snapshot()
+		classes, dists := snap.PredictBatch(srv.Pool(), hvs)
+		srv.CountReads(len(hvs))
+		for i := range classes {
+			if err := sw.line(PredictResult{Class: classes[i], Distance: dists[i], Version: snap.Version()}); err != nil {
+				return Errorf(CodeInternal, "writing result: %v", err)
+			}
+		}
+		sw.flush()
+		pending = pending[:0]
+		return nil
+	}
+
+	for {
+		var row PredictRow
+		ok, e := rd.next(&row)
+		if e != nil {
+			sw.line(PredictResult{Error: e})
+			sw.flush()
+			return
+		}
+		if !ok {
+			break
+		}
+		pending = append(pending, row.Features)
+		if len(pending) >= a.cfg.StreamBatch {
+			if e := flush(); e != nil {
+				sw.line(PredictResult{Error: e})
+				sw.flush()
+				return
+			}
+		}
+	}
+	if e := flush(); e != nil {
+		sw.line(PredictResult{Error: e})
+		sw.flush()
+	}
+}
+
+func (a *API) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if e := checkContentType(r, "application/x-ndjson", "application/json"); e != nil {
+		writeError(w, e)
+		return
+	}
+	if e := a.gate.acquire(r.Context()); e != nil {
+		writeError(w, e)
+		return
+	}
+	defer a.gate.release()
+
+	sw := newStreamWriter(w)
+	rd := newRowDecoder(r.Body, a.cfg.MaxRowBytes)
+	var (
+		samples []Sample
+		symbols []string
+		rows    int
+		total   int
+		batches int
+		version uint64
+	)
+
+	flush := func() *Error {
+		if rows == 0 {
+			return nil
+		}
+		b, e := a.buildBatch(samples, symbols)
+		if e != nil {
+			return e
+		}
+		snap, err := a.cfg.Server.ApplyBatch(b)
+		if err != nil {
+			return applyError(err)
+		}
+		version = snap.Version()
+		batches++
+		total += rows
+		if err := sw.line(IngestAck{Version: version, Rows: rows}); err != nil {
+			return Errorf(CodeInternal, "writing ack: %v", err)
+		}
+		sw.flush()
+		samples, symbols, rows = samples[:0], symbols[:0], 0
+		return nil
+	}
+
+	for {
+		var row IngestRow
+		ok, e := rd.next(&row)
+		if e != nil {
+			sw.line(IngestAck{Error: e})
+			sw.flush()
+			return
+		}
+		if !ok {
+			break
+		}
+		if e := validateIngestRow(&row, rd.rows-1); e != nil {
+			sw.line(IngestAck{Error: e})
+			sw.flush()
+			return
+		}
+		if row.Label != nil {
+			samples = append(samples, Sample{Label: *row.Label, Features: row.Features})
+		}
+		if row.Symbol != "" {
+			symbols = append(symbols, row.Symbol)
+		}
+		rows++
+		if rows >= a.cfg.StreamBatch {
+			if e := flush(); e != nil {
+				sw.line(IngestAck{Error: e})
+				sw.flush()
+				return
+			}
+		}
+	}
+	if e := flush(); e != nil {
+		sw.line(IngestAck{Error: e})
+		sw.flush()
+		return
+	}
+	sw.line(IngestAck{Done: true, Version: version, TotalRows: total, Batches: batches})
+	sw.flush()
+}
+
+// validateIngestRow enforces the row contract before the row joins a
+// batch: a labeled row carries features, a bare features array is
+// meaningless, and a row must do something.
+func validateIngestRow(row *IngestRow, idx int) *Error {
+	switch {
+	case row.Label != nil && len(row.Features) == 0:
+		return Errorf(CodeInvalidRequest, "row %d: label without features", idx)
+	case row.Label == nil && len(row.Features) > 0:
+		return Errorf(CodeInvalidRequest, "row %d: features without a label", idx)
+	case row.Label == nil && row.Symbol == "":
+		return Errorf(CodeInvalidRequest, "row %d: empty row (need label+features and/or symbol)", idx)
+	}
+	return nil
+}

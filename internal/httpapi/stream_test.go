@@ -1,0 +1,218 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// postStream drives one NDJSON request through the handler and decodes
+// every response line into out (a *[]T).
+func postStream(t *testing.T, a *API, path, body string) (*httptest.ResponseRecorder, []map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, req)
+	var lines []map[string]any
+	dec := json.NewDecoder(bytes.NewReader(rec.Body.Bytes()))
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("bad NDJSON line in response: %v\n%s", err, rec.Body.String())
+		}
+		lines = append(lines, line)
+	}
+	return rec, lines
+}
+
+// ndjson joins rows into an NDJSON body.
+func ndjson(t *testing.T, rows ...any) string {
+	t.Helper()
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+func TestIngestStreamCoalescesAndAcks(t *testing.T) {
+	a := testAPI(t, func(c *Config) { c.StreamBatch = 4 })
+	label := func(i int) *int { return &i }
+	var rows []any
+	for i := 0; i < 10; i++ {
+		f := float64(i%5) / 5
+		rows = append(rows, IngestRow{Label: label(i % 3), Features: []float64{f, 1 - f}})
+	}
+	rows = append(rows, IngestRow{Symbol: "sensor-a"}) // 11th row: symbol only
+
+	rec, lines := postStream(t, a, "/v1/ingest:stream", ndjson(t, rows...))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/ingest:stream = %d: %s", rec.Code, rec.Body.String())
+	}
+	// 11 rows at StreamBatch=4 → acks for 4, 4, 3, then the summary.
+	if len(lines) != 4 {
+		t.Fatalf("got %d response lines, want 4: %v", len(lines), lines)
+	}
+	wantRows := []float64{4, 4, 3}
+	for i, want := range wantRows {
+		if lines[i]["rows"].(float64) != want || lines[i]["version"].(float64) != float64(i+1) {
+			t.Errorf("ack %d = %v, want rows=%v version=%d", i, lines[i], want, i+1)
+		}
+	}
+	sum := lines[3]
+	if sum["done"] != true || sum["total_rows"].(float64) != 11 || sum["batches"].(float64) != 3 || sum["version"].(float64) != 3 {
+		t.Errorf("summary = %v", sum)
+	}
+
+	_, stats := doJSON(t, a, http.MethodGet, "/v1/stats", nil)
+	if stats["version"].(float64) != 3 || stats["samples"].(float64) != 10 || stats["items"].(float64) != 1 {
+		t.Errorf("post-ingest stats: %v", stats)
+	}
+}
+
+func TestPredictStreamOrderedResults(t *testing.T) {
+	a := testAPI(t, func(c *Config) { c.StreamBatch = 2 })
+	doJSON(t, a, http.MethodPost, "/v1/train", trainBody(10))
+
+	queries := [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}, {0.1, 0.1}, {0.9, 0.1}}
+	var rows []any
+	for _, q := range queries {
+		rows = append(rows, PredictRow{Features: q})
+	}
+	rec, lines := postStream(t, a, "/v1/predict:stream", ndjson(t, rows...))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/predict:stream = %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(lines) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(lines), len(queries))
+	}
+	// Streamed results must match the unary endpoint bit for bit.
+	_, unary := doJSON(t, a, http.MethodPost, "/v1/predict", PredictRequest{Queries: queries})
+	uc := unary["classes"].([]any)
+	ud := unary["distances"].([]any)
+	for i, line := range lines {
+		if line["class"].(float64) != uc[i].(float64) || line["distance"].(float64) != ud[i].(float64) {
+			t.Errorf("stream result %d = %v, unary = (%v, %v)", i, line, uc[i], ud[i])
+		}
+		if line["version"].(float64) != 1 {
+			t.Errorf("stream result %d version = %v", i, line["version"])
+		}
+	}
+}
+
+func TestStreamFaultsReportedInBand(t *testing.T) {
+	a := testAPI(t, func(c *Config) { c.StreamBatch = 2; c.MaxRowBytes = 256 })
+	label := 0
+
+	cases := []struct {
+		name string
+		body string
+		code Code
+	}{
+		{"malformed row", `{"label":0,"features":[0.1,0.2]}` + "\n" + `{nope` + "\n", CodeMalformedBody},
+		{"unknown field", `{"label":0,"features":[0.1,0.2],"bogus":1}` + "\n", CodeMalformedBody},
+		{"label without features", ndjson(t, IngestRow{Label: &label}), CodeInvalidRequest},
+		{"features without label", ndjson(t, IngestRow{Features: []float64{0.1, 0.2}}), CodeInvalidRequest},
+		{"empty row", "{}\n", CodeInvalidRequest},
+		{"wrong arity", ndjson(t, IngestRow{Label: &label, Features: []float64{0.1}}), CodeInvalidRequest},
+		{"oversized row", fmt.Sprintf(`{"symbol":%q}`, strings.Repeat("x", 512)) + "\n", CodeBodyTooLarge},
+	}
+	for _, c := range cases {
+		rec, lines := postStream(t, a, "/v1/ingest:stream", c.body)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: stream status %d (faults are in-band)", c.name, rec.Code)
+			continue
+		}
+		if len(lines) == 0 {
+			t.Errorf("%s: no response lines", c.name)
+			continue
+		}
+		last := lines[len(lines)-1]
+		env, ok := last["error"].(map[string]any)
+		if !ok {
+			t.Errorf("%s: last line is not an error: %v", c.name, last)
+			continue
+		}
+		if env["code"].(string) != string(c.code) {
+			t.Errorf("%s: code %v, want %s", c.name, env["code"], c.code)
+		}
+	}
+
+	// A fault after complete batches keeps them applied: 2 good rows (one
+	// full batch) then garbage → version advanced to 1, rows 1-2 durable.
+	body := ndjson(t,
+		IngestRow{Label: &label, Features: []float64{0.1, 0.2}},
+		IngestRow{Label: &label, Features: []float64{0.3, 0.4}},
+	) + "{nope\n"
+	_, lines := postStream(t, a, "/v1/ingest:stream", body)
+	if len(lines) != 2 {
+		t.Fatalf("want ack + error, got %v", lines)
+	}
+	if lines[0]["version"].(float64) != 1 || lines[0]["rows"].(float64) != 2 {
+		t.Errorf("pre-fault ack = %v", lines[0])
+	}
+	_, stats := doJSON(t, a, http.MethodGet, "/v1/stats", nil)
+	if stats["version"].(float64) != 1 || stats["samples"].(float64) != 2 {
+		t.Errorf("stats after mid-stream fault: %v", stats)
+	}
+
+	// Predict stream: content-type is enforced before streaming begins.
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict:stream", strings.NewReader("{}"))
+	req.Header.Set("Content-Type", "text/csv")
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnsupportedMediaType {
+		t.Errorf("csv predict stream = %d", rec.Code)
+	}
+}
+
+func TestStreamEquivalentToUnaryTrain(t *testing.T) {
+	// Ingesting rows through the stream must land bit-identically to the
+	// same samples applied through /v1/train with matching batch splits.
+	streamAPI := testAPI(t, func(c *Config) { c.StreamBatch = 5 })
+	unaryAPI := testAPI(t)
+
+	req := trainBody(5) // 15 samples + 2 symbols
+	var rows []any
+	for i := range req.Samples {
+		s := req.Samples[i]
+		row := IngestRow{Label: &s.Label, Features: s.Features}
+		rows = append(rows, row)
+	}
+	// Symbols ride the last rows, mirroring a 5-row batch split: unary
+	// applies [0:5),[5:10),[10:15) with symbols in the final batch.
+	rows[10] = IngestRow{Label: &req.Samples[10].Label, Features: req.Samples[10].Features, Symbol: req.Symbols[0]}
+	rows[11] = IngestRow{Label: &req.Samples[11].Label, Features: req.Samples[11].Features, Symbol: req.Symbols[1]}
+
+	if rec, _ := postStream(t, streamAPI, "/v1/ingest:stream", ndjson(t, rows...)); rec.Code != http.StatusOK {
+		t.Fatalf("stream ingest failed: %d", rec.Code)
+	}
+	for b := 0; b < 3; b++ {
+		sub := TrainRequest{Samples: req.Samples[5*b : 5*b+5]}
+		if b == 2 {
+			sub.Symbols = req.Symbols
+		}
+		if rec, _ := doJSON(t, unaryAPI, http.MethodPost, "/v1/train", sub); rec.Code != http.StatusOK {
+			t.Fatalf("unary train %d failed", b)
+		}
+	}
+
+	var sa, sb bytes.Buffer
+	if _, err := streamAPI.Server().Snapshot().WriteTo(&sa); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unaryAPI.Server().Snapshot().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa.Bytes(), sb.Bytes()) {
+		t.Fatalf("streamed ingest diverged from unary train: %d vs %d snapshot bytes", sa.Len(), sb.Len())
+	}
+}

@@ -1,0 +1,236 @@
+// Package httpapi is serving protocol v1: the versioned HTTP wire layer
+// over the concurrency-safe, durable serving core (internal/serve). It
+// owns everything both sides of the wire must agree on — the typed
+// request/response structs, the structured error envelope with
+// machine-readable codes, the NDJSON framing of the streaming bulk
+// endpoints — and the server half that speaks it: an http.Handler with
+// request hardening (bounded bodies, method and Content-Type enforcement,
+// unknown-field rejection) and admission control (bounded in-flight work
+// and queue depth; overload is a structured 429 with Retry-After, never
+// unbounded queuing).
+//
+// The top-level client package consumes these same types, so server and
+// client cannot drift; cmd/hdcserve is a thin flag shell over Handler.
+//
+// # Routes
+//
+//	POST /v1/train           one write batch (samples + item churn)
+//	POST /v1/predict         classify a batch of feature records
+//	GET  /v1/lookup          ?key= ring routing, ?symbol= membership
+//	POST /v1/lookup          nearest-symbol cleanup of a feature record
+//	GET  /v1/stats           operational summary incl. durability state
+//	GET  /v1/snapshot        binary snapshot download (HSRV stream)
+//	GET  /v1/healthz         liveness + current version
+//	POST /v1/predict:stream  NDJSON bulk classification
+//	POST /v1/ingest:stream   NDJSON bulk training / item interning
+//
+// # Error envelope
+//
+// Every non-2xx JSON response is {"error":{"code":…,"message":…}} where
+// code is one of the Code* constants below; each code maps to a fixed
+// HTTP status (Error.HTTPStatus). Overload responses additionally carry
+// retry_after_ms in the envelope and a Retry-After header.
+//
+// # Streaming framing
+//
+// Both stream endpoints exchange NDJSON: one JSON object per \n-terminated
+// line. Rows are coalesced server-side into batches of Config.StreamBatch
+// rows, so a bulk load costs one snapshot publication per batch, not per
+// row. Because the HTTP status is committed before the stream ends, a
+// mid-stream fault is reported in band: one final line whose "error" field
+// is set, after which the server closes the stream. Ingest acknowledges
+// each applied batch with {"version","rows"} and finishes with a summary
+// line {"done":true,...}; predict emits exactly one result line per input
+// row, in order.
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Code is a machine-readable error class carried in the error envelope.
+// Codes are the protocol's stable vocabulary: clients branch on them (the
+// retry policy keys off CodeOverloaded), operators grep for them, and each
+// maps to a fixed HTTP status.
+type Code string
+
+const (
+	// CodeInvalidRequest: the request parsed but violates the contract
+	// (wrong arity, class out of range, empty batch, NaN feature…). 400.
+	CodeInvalidRequest Code = "invalid_request"
+	// CodeMalformedBody: the body is not the JSON shape the endpoint
+	// expects — syntax errors, wrong types, unknown fields. 400.
+	CodeMalformedBody Code = "malformed_body"
+	// CodeUnsupportedMedia: the Content-Type is not acceptable. 415.
+	CodeUnsupportedMedia Code = "unsupported_media_type"
+	// CodeMethodNotAllowed: wrong HTTP method for the route. 405.
+	CodeMethodNotAllowed Code = "method_not_allowed"
+	// CodeNotFound: unknown route, or a lookup with no interned items. 404.
+	CodeNotFound Code = "not_found"
+	// CodeBodyTooLarge: the body exceeded Config.MaxBodyBytes (or one
+	// stream row exceeded Config.MaxRowBytes). 413.
+	CodeBodyTooLarge Code = "body_too_large"
+	// CodeOverloaded: admission control rejected the request — in-flight
+	// and queue slots are all taken. Retry after the hinted delay. 429.
+	CodeOverloaded Code = "overloaded"
+	// CodeUnavailable: the server can no longer accept this request class —
+	// closed, or the write-ahead log failed sticky. Reads may still work. 503.
+	CodeUnavailable Code = "unavailable"
+	// CodeInternal: a fault on the server side that is not the client's
+	// doing. 500.
+	CodeInternal Code = "internal"
+)
+
+// Error is the structured fault both halves of the protocol share: the
+// body of every non-2xx JSON response, and the error type the client
+// returns for server-reported faults. It implements error.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS hints when a CodeOverloaded request is worth retrying,
+	// mirroring the Retry-After header (which is whole seconds only).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Error renders the fault as "code: message".
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// HTTPStatus maps the error code to its fixed HTTP status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeInvalidRequest, CodeMalformedBody:
+		return http.StatusBadRequest
+	case CodeUnsupportedMedia:
+		return http.StatusUnsupportedMediaType
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Errorf builds an Error from a format string.
+func Errorf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// envelope is the non-2xx response body.
+type envelope struct {
+	Error *Error `json:"error"`
+}
+
+// ---------------------------------------------------------------------------
+// Unary request/response types
+// ---------------------------------------------------------------------------
+
+// Sample is one labeled feature record in a TrainRequest.
+type Sample struct {
+	Label    int       `json:"label"`
+	Features []float64 `json:"features"`
+}
+
+// TrainRequest is one write batch: labeled samples to train on plus item
+// symbols to intern, applied atomically as one snapshot publication.
+type TrainRequest struct {
+	Samples []Sample `json:"samples,omitempty"`
+	Symbols []string `json:"symbols,omitempty"`
+}
+
+// TrainResponse acknowledges an applied write batch.
+type TrainResponse struct {
+	Version uint64 `json:"version"`
+	Trained int    `json:"trained"`
+	Samples uint64 `json:"samples"`
+	Items   int    `json:"items"`
+}
+
+// PredictRequest classifies a batch of feature records against one
+// consistent snapshot.
+type PredictRequest struct {
+	Queries [][]float64 `json:"queries"`
+}
+
+// PredictResponse carries one class and normalized distance per query, in
+// request order, plus the snapshot version that served them all.
+type PredictResponse struct {
+	Version   uint64    `json:"version"`
+	Classes   []int     `json:"classes"`
+	Distances []float64 `json:"distances"`
+}
+
+// LookupRequest is the POST /v1/lookup body: nearest-symbol cleanup of one
+// encoded feature record.
+type LookupRequest struct {
+	Features []float64 `json:"features"`
+}
+
+// LookupResponse answers all three lookup surfaces; which fields are set
+// depends on the question asked (key routing, symbol membership, cleanup).
+type LookupResponse struct {
+	// Key-routing fields (GET ?key=).
+	Key    string `json:"key,omitempty"`
+	Shard  *int   `json:"shard,omitempty"`
+	Member string `json:"member,omitempty"`
+	Slot   *int   `json:"slot,omitempty"`
+	// Cleanup fields (POST features / GET ?symbol=).
+	Symbol     string  `json:"symbol,omitempty"`
+	Similarity float64 `json:"similarity,omitempty"`
+	Found      *bool   `json:"found,omitempty"`
+	Version    uint64  `json:"version"`
+}
+
+// HealthResponse is the GET /v1/healthz body.
+type HealthResponse struct {
+	Status  string `json:"status"` // always "ok" when the handler answers
+	Version uint64 `json:"version"`
+}
+
+// ---------------------------------------------------------------------------
+// Streaming row types
+// ---------------------------------------------------------------------------
+
+// IngestRow is one NDJSON line of POST /v1/ingest:stream: either a labeled
+// training sample (Label + Features) or an item symbol to intern (Symbol).
+// A row carrying both trains and interns in the same coalesced batch.
+type IngestRow struct {
+	Label    *int      `json:"label,omitempty"`
+	Features []float64 `json:"features,omitempty"`
+	Symbol   string    `json:"symbol,omitempty"`
+}
+
+// IngestAck is one NDJSON line of the ingest response: an acknowledgment
+// per applied batch (Version, Rows), then a final summary line with Done
+// set (TotalRows, Batches). A mid-stream fault sets Error on the last line
+// instead; rows not covered by an earlier ack were not applied.
+type IngestAck struct {
+	Version   uint64 `json:"version,omitempty"`
+	Rows      int    `json:"rows,omitempty"`
+	Done      bool   `json:"done,omitempty"`
+	TotalRows int    `json:"total_rows,omitempty"`
+	Batches   int    `json:"batches,omitempty"`
+	Error     *Error `json:"error,omitempty"`
+}
+
+// PredictRow is one NDJSON line of POST /v1/predict:stream.
+type PredictRow struct {
+	Features []float64 `json:"features"`
+}
+
+// PredictResult is one NDJSON line of the predict-stream response: exactly
+// one per input row, in input order. A mid-stream fault terminates the
+// stream with a line whose Error field is set.
+type PredictResult struct {
+	Class    int     `json:"class"`
+	Distance float64 `json:"distance"`
+	Version  uint64  `json:"version"`
+	Error    *Error  `json:"error,omitempty"`
+}

@@ -132,6 +132,15 @@ type Server struct {
 	reads atomic.Uint64
 }
 
+// ErrClosed is returned (possibly wrapped) by writes against a server
+// whose Close has run. The published snapshot keeps serving reads.
+var ErrClosed = errors.New("serve: server is closed")
+
+// ErrWALFailed is returned (wrapped, with the original fault) by writes
+// after a sticky write-ahead failure: the in-memory state is still
+// consistent, but the server refuses to diverge from its log.
+var ErrWALFailed = errors.New("serve: write-ahead log failed")
+
 // shardMember returns shard i's ring member name.
 func shardMember(i int) string { return fmt.Sprintf("shard/%d", i) }
 
@@ -383,10 +392,10 @@ func (s *Server) ApplyBatch(b Batch) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errors.New("serve: server is closed")
+		return nil, ErrClosed
 	}
 	if s.walErr != nil {
-		return nil, fmt.Errorf("serve: write-ahead log failed earlier: %w", s.walErr)
+		return nil, fmt.Errorf("%w earlier: %v", ErrWALFailed, s.walErr)
 	}
 	if err := s.validate(&b); err != nil {
 		return nil, err
@@ -663,6 +672,16 @@ type Stats struct {
 	// has been taken yet).
 	Durable        bool   `json:"durable"`
 	LastCheckpoint uint64 `json:"last_checkpoint,omitempty"`
+	// WALSeq is the newest write-ahead record sequence appended (record
+	// seq == snapshot version, so WALSeq − LastCheckpoint bounds how much
+	// log a restart or a catching-up replica must replay). WALSegments is
+	// the live log segment count after compaction. WALError is the sticky
+	// durability failure — empty on a healthy server; non-empty means
+	// every write is failing fast and an operator must step in. All three
+	// are zero/empty on in-memory servers.
+	WALSeq      uint64 `json:"wal_seq,omitempty"`
+	WALSegments int    `json:"wal_segments,omitempty"`
+	WALError    string `json:"wal_error,omitempty"`
 }
 
 // Stats summarizes the current snapshot plus served-read counters.
@@ -687,6 +706,20 @@ func (s *Server) Stats() Stats {
 	}
 	if s.wal != nil {
 		st.LastCheckpoint = s.lastCkpt.Load()
+		st.WALSeq = s.wal.NextSeq() - 1
+		st.WALSegments = len(s.wal.Segments())
+		s.mu.Lock()
+		werr := s.walErr
+		s.mu.Unlock()
+		s.errMu.Lock()
+		cerr := s.ckptErr
+		s.errMu.Unlock()
+		switch {
+		case werr != nil:
+			st.WALError = werr.Error()
+		case cerr != nil:
+			st.WALError = "background checkpoint: " + cerr.Error()
+		}
 	}
 	return st
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/rng"
+)
+
+// TestStatsDurabilityObservability covers the operator-facing durability
+// fields: WAL sequence tracks the version (record seq == snapshot
+// version), segment count is live, checkpoints surface, and the sticky
+// WAL error state is visible instead of silent.
+func TestStatsDurabilityObservability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.WAL.CheckpointEvery = -1 // manual only; the test drives cadence
+	s := mustOpen(t, cfg)
+	src := rng.New(99)
+
+	if st := s.Stats(); !st.Durable || st.WALSeq != 0 || st.WALError != "" {
+		t.Fatalf("fresh durable stats: %+v", st)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.ApplyBatch(randomBatch(cfg, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.WALSeq != 5 || st.WALSeq != st.Version {
+		t.Errorf("wal_seq = %d at version %d, want equal", st.WALSeq, st.Version)
+	}
+	if st.WALSegments < 1 {
+		t.Errorf("wal_segments = %d, want >= 1", st.WALSegments)
+	}
+	if st.LastCheckpoint != 0 {
+		t.Errorf("last_checkpoint = %d before any checkpoint", st.LastCheckpoint)
+	}
+
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.LastCheckpoint != 5 {
+		t.Errorf("last_checkpoint = %d after checkpoint at 5", st.LastCheckpoint)
+	}
+
+	// Force the sticky WAL failure path: close the log behind the server's
+	// back, so the next append fails and every later write fails fast —
+	// and the stats say so.
+	if err := s.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ApplyBatch(randomBatch(cfg, src)); err == nil {
+		t.Fatal("ApplyBatch succeeded on a closed log")
+	}
+	st = s.Stats()
+	if st.WALError == "" {
+		t.Fatal("sticky WAL failure not surfaced in stats")
+	}
+	if !strings.Contains(st.WALError, "closed") {
+		t.Errorf("wal_error = %q, want the underlying fault", st.WALError)
+	}
+	if st.Version != 5 {
+		t.Errorf("failed write advanced version to %d", st.Version)
+	}
+
+	// In-memory servers report zero/empty durability fields.
+	mem, err := NewServer(Config{Dim: 128, Classes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.ApplyBatch(Batch{Train: []Sample{{Class: 0, HV: bitvec.Random(128, src)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := mem.Stats(); st.Durable || st.WALSeq != 0 || st.WALSegments != 0 || st.WALError != "" {
+		t.Errorf("in-memory stats carry durability fields: %+v", st)
+	}
+}
