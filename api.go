@@ -345,6 +345,37 @@ type ServerStats = serve.Stats
 // purely in-memory — see OpenDurableServer for crash safety.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) }
 
+// ServerState is where a Server is in its lifecycle: healthy (reads and
+// writes), degraded (a storage fault stopped the write plane; reads keep
+// serving the last published snapshot), or closed. Query it with
+// Server.State and Server.Degraded; a degraded server heals through
+// Server.Recover (or the WALConfig.RetryInterval auto-probe).
+type ServerState = serve.State
+
+// Server lifecycle states.
+const (
+	ServerHealthy  = serve.StateHealthy
+	ServerDegraded = serve.StateDegraded
+	ServerClosed   = serve.StateClosed
+)
+
+// Server lifecycle errors, matchable with errors.Is through any wrapping.
+var (
+	// ErrServerClosed: the write arrived after Close. Orderly shutdown,
+	// not a fault.
+	ErrServerClosed = serve.ErrClosed
+	// ErrServerWALFailed: the write-ahead log took a storage fault; the
+	// in-memory state is consistent but writes fail until Recover.
+	ErrServerWALFailed = serve.ErrWALFailed
+	// ErrServerDegraded: the server is in degraded read-only mode (every
+	// rejected write wraps this alongside ErrServerWALFailed).
+	ErrServerDegraded = serve.ErrDegraded
+	// ErrServerUnrecoverable: Recover found the log no longer proves the
+	// acknowledged writes — recovery refused rather than silently losing
+	// acked data.
+	ErrServerUnrecoverable = serve.ErrUnrecoverable
+)
+
 // ---------------------------------------------------------------------------
 // Durability
 // ---------------------------------------------------------------------------
@@ -356,7 +387,11 @@ func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) 
 // Knobs: SyncEvery (fsync cadence in batches; 1 = every batch),
 // SegmentBytes (log rotation threshold), CheckpointEvery (automatic
 // background checkpoint cadence in batches; negative = manual only),
-// KeepCheckpoints (retained checkpoint files).
+// KeepCheckpoints (retained checkpoint files), RetryInterval/RetryMax
+// (bounded auto-recovery probe after a storage fault degrades the server
+// to read-only; 0 interval = operator-driven Recover only), and FS (the
+// filesystem seam — production leaves it nil for the OS; tests inject
+// faults through it).
 type WALConfig = serve.WALConfig
 
 // OpenDurableServer builds a Server backed by a write-ahead log when
@@ -387,8 +422,11 @@ type APIErrorCode = httpapi.Code
 
 // ServeHandlerConfig parameterizes ServeHandler: the Server to front, the
 // feature-record Encoder, request bounds (MaxBodyBytes, MaxRowBytes),
-// admission control (MaxInFlight, MaxQueue, RetryAfter) and the streaming
-// coalesce size (StreamBatch). Zero values select production defaults.
+// admission control (MaxInFlight, MaxQueue, RetryAfter), the streaming
+// coalesce size (StreamBatch), and the request lifecycle deadlines
+// (WriteDeadline per write batch, PredictDeadline for read-plane
+// queueing; expirations answer 504 deadline_exceeded). Zero values select
+// production defaults.
 type ServeHandlerConfig = httpapi.Config
 
 // ServeEncoder maps feature records to hypervectors for the HTTP layer;

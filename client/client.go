@@ -21,11 +21,24 @@
 //
 // Overload rejections (429) are always retried — the server guarantees a
 // rejected request was never admitted, so retrying cannot double-apply —
-// honoring the server's Retry-After hint. Transport faults and 5xx
-// responses are retried only for read-plane calls (predict, lookup,
-// stats, health, snapshot); a train batch that died mid-flight MAY have
-// been applied, and blind replay would double-train, so write-plane calls
-// surface those faults to the caller. Streams are never retried.
+// honoring the server's Retry-After hint exactly when one is present.
+// Transport faults and 5xx responses are retried only for read-plane
+// calls (predict, lookup, stats, health, snapshot); a train batch that
+// died mid-flight MAY have been applied, and blind replay would
+// double-train, so write-plane calls surface those faults to the caller.
+// Streams are never retried. WithRetryBudget caps the total backoff time
+// per call; WithCallTimeout bounds each call end to end.
+//
+// # Degraded servers and the circuit breaker
+//
+// A server whose write-ahead log failed degrades to read-only: reads keep
+// working, writes answer 503 with code read_only and a Retry-After hint.
+// The client's circuit breaker (WithCircuitBreaker; on by default) counts
+// those consecutive write-plane 503s and, past the threshold, fails
+// writes fast with ErrCircuitOpen instead of dialing a server that cannot
+// accept them. After the cooldown the next write probes GET /v1/healthz
+// ?plane=write — recovered server, circuit closes; still degraded,
+// another cooldown. Reads never pass through the breaker.
 package client
 
 import (
@@ -85,6 +98,8 @@ const (
 	CodeBodyTooLarge     = httpapi.CodeBodyTooLarge
 	CodeOverloaded       = httpapi.CodeOverloaded
 	CodeUnavailable      = httpapi.CodeUnavailable
+	CodeReadOnly         = httpapi.CodeReadOnly
+	CodeDeadlineExceeded = httpapi.CodeDeadlineExceeded
 	CodeInternal         = httpapi.CodeInternal
 )
 
@@ -96,7 +111,10 @@ type Client struct {
 	maxAttempts int           // total tries per retryable call
 	baseDelay   time.Duration // first backoff step, doubled per attempt
 	maxDelay    time.Duration // backoff ceiling
+	retryBudget time.Duration // total backoff sleep allowed per call; 0 = unbounded
+	callTimeout time.Duration // per-call deadline layered under the caller's ctx; 0 = none
 	streamBatch int           // client-side rows per buffered stream write
+	br          *breaker      // write-plane circuit breaker
 }
 
 // Option customizes a Client.
@@ -117,6 +135,36 @@ func WithRetry(attempts int, base time.Duration) Option {
 			c.baseDelay = base
 			c.maxDelay = 16 * base
 		}
+	}
+}
+
+// WithRetryBudget caps the total time one call may spend sleeping between
+// retry attempts, on top of the attempt count: when the next backoff step
+// would exceed the budget the call gives up with the last fault attached.
+// 0 (the default) leaves backoff bounded only by the attempt count.
+func WithRetryBudget(total time.Duration) Option {
+	return func(c *Client) { c.retryBudget = total }
+}
+
+// WithCallTimeout bounds every unary call (all its attempts and backoff
+// together) with a deadline layered under the caller's context. 0 (the
+// default) leaves calls bounded only by the caller's context.
+func WithCallTimeout(d time.Duration) Option {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// WithCircuitBreaker tunes the write-plane circuit breaker: after
+// threshold consecutive write-plane 503s (read_only / unavailable)
+// writes fail fast with ErrCircuitOpen, and after cooldown the next
+// write probes healthz ?plane=write to decide whether to close the
+// circuit. threshold <= 0 disables the breaker. The default is 5
+// failures, 1s cooldown.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		if cooldown <= 0 {
+			cooldown = time.Second
+		}
+		c.br = &breaker{threshold: threshold, cooldown: cooldown}
 	}
 }
 
@@ -150,6 +198,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		baseDelay:   100 * time.Millisecond,
 		maxDelay:    1600 * time.Millisecond,
 		streamBatch: 256,
+		br:          &breaker{threshold: 5, cooldown: time.Second},
 	}
 	for _, o := range opts {
 		o(c)
@@ -277,7 +326,20 @@ func (c *Client) Snapshot(ctx context.Context, w io.Writer) (version uint64, err
 // do runs one unary call: marshal once, attempt up to the retry budget,
 // decode the response (or its error envelope). idempotent gates whether
 // transport faults and 5xx responses are retried; 429 always is.
+// Non-idempotent (write-plane) calls additionally pass through the
+// circuit breaker: open circuit means ErrCircuitOpen without a request,
+// and every structured write-plane 503 feeds the trip counter.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	if c.callTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
+		defer cancel()
+	}
+	if !idempotent {
+		if err := c.br.allow(ctx, c); err != nil {
+			return err
+		}
+	}
 	var body []byte
 	if in != nil {
 		var err error
@@ -285,12 +347,20 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
-	var lastErr error
+	var (
+		lastErr error
+		slept   time.Duration
+	)
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := c.sleep(ctx, lastErr, attempt); err != nil {
+			d := c.backoff(lastErr, attempt)
+			if c.retryBudget > 0 && slept+d > c.retryBudget {
+				return fmt.Errorf("client: retry budget %v exhausted after %d attempts: %w", c.retryBudget, attempt, lastErr)
+			}
+			if err := sleepCtx(ctx, d); err != nil {
 				return err
 			}
+			slept += d
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
 		if err != nil {
@@ -301,6 +371,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			// Transport faults never feed the breaker: a dead connection
+			// says nothing about the write plane's health.
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -316,10 +388,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			if err != nil {
 				return fmt.Errorf("client: decoding %s response: %w", path, err)
 			}
+			if !idempotent {
+				c.br.success()
+			}
 			return nil
 		}
 		apiErr := decodeErrorBody(resp)
 		drain(resp)
+		if !idempotent {
+			var e *Error
+			if errors.As(apiErr, &e) && writePlaneFault(e) {
+				c.br.failure()
+			}
+		}
 		if !retryable(apiErr, resp.StatusCode, idempotent) {
 			return apiErr
 		}
@@ -336,20 +417,25 @@ func retryable(err error, status int, idempotent bool) bool {
 	return idempotent && status >= 500
 }
 
-// sleep backs off before a retry: exponential from baseDelay, capped at
-// maxDelay, stretched to the server's Retry-After hint when the last fault
-// carried one.
-func (c *Client) sleep(ctx context.Context, lastErr error, attempt int) error {
+// backoff picks the delay before retry number attempt: the server's
+// Retry-After hint EXACTLY when the last fault carried one (the server
+// knows its own drain rate; padding the hint with local exponential
+// backoff just delays recovery), exponential from baseDelay capped at
+// maxDelay otherwise.
+func (c *Client) backoff(lastErr error, attempt int) time.Duration {
+	var apiErr *Error
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfterMS > 0 {
+		return time.Duration(apiErr.RetryAfterMS) * time.Millisecond
+	}
 	d := c.baseDelay << (attempt - 1)
 	if d > c.maxDelay {
 		d = c.maxDelay
 	}
-	var apiErr *Error
-	if errors.As(lastErr, &apiErr) && apiErr.RetryAfterMS > 0 {
-		if hint := time.Duration(apiErr.RetryAfterMS) * time.Millisecond; hint > d {
-			d = hint
-		}
-	}
+	return d
+}
+
+// sleepCtx waits d or until the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

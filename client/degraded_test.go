@@ -1,0 +1,206 @@
+package client
+
+// Client-side behavior against a degraded server, plus the retry-policy
+// refinements that ride along: exact Retry-After honoring, the per-call
+// retry budget and call timeout, and the write-plane circuit breaker.
+// The e2e test at the bottom is the acceptance scenario: a live server
+// takes a forced WAL fault mid-traffic, degrades to read-only, and the
+// client rides through it — reads keep working, writes fail fast once
+// the breaker trips, and everything heals when the disk does.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hdcirc/internal/httpapi"
+	"hdcirc/internal/serve"
+	"hdcirc/internal/vfs"
+)
+
+// faultedBackend is newBackend over a durable server whose disk fails on
+// demand.
+func faultedBackend(t *testing.T, mutate ...func(*httpapi.Config)) (*testBackend, *vfs.FaultFS) {
+	t.Helper()
+	ffs := vfs.NewFaultFS(nil)
+	srv, err := serve.Open(serve.Config{
+		Dim: 512, Classes: 3, Shards: 2, Workers: 2, Seed: 7,
+		WAL: &serve.WALConfig{Dir: t.TempDir(), FS: ffs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	enc, err := httpapi.NewScalarRecordEncoder(httpapi.ScalarRecordConfig{
+		Dim: 512, Fields: 2, Lo: 0, Hi: 1, Levels: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := httpapi.Config{Server: srv, Encoder: enc, RetryAfter: 50 * time.Millisecond}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	api, err := httpapi.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	return &testBackend{api: api, ts: ts}, ffs
+}
+
+func TestRetryAfterHintHonoredExactly(t *testing.T) {
+	b := newBackend(t)
+	// One 429 carrying a 50ms hint, against a client whose own backoff
+	// would start at 2s: exact honoring retries almost immediately, the
+	// old max(backoff, hint) policy would sit out the full 2s.
+	overload := &Error{Code: CodeOverloaded, Message: "full", RetryAfterMS: 50}
+	ts, calls := flakyProxy(t, b.api, 1, overload)
+	c, err := New(ts.URL, WithRetry(2, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Predict(t.Context(), [][]float64{{0.1, 0.1}}); err != nil {
+		t.Fatalf("predict through hinted 429: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Fatalf("call took %v: the 50ms hint was not honored exactly", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("used %d calls, want 2", got)
+	}
+}
+
+func TestRetryBudgetCapsBackoffTime(t *testing.T) {
+	b := newBackend(t)
+	overload := &Error{Code: CodeOverloaded, Message: "full", RetryAfterMS: 60}
+	ts, calls := flakyProxy(t, b.api, 99, overload) // never heals
+	c, err := New(ts.URL, WithRetry(10, time.Millisecond), WithRetryBudget(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Predict(t.Context(), [][]float64{{0.1, 0.1}})
+	var apiErr *Error
+	if err == nil || !errors.As(err, &apiErr) || apiErr.Code != CodeOverloaded {
+		t.Fatalf("budget-exhausted error = %v, want wrapped overload fault", err)
+	}
+	// 60ms per retry into a 100ms budget: attempt 1, one sleep, attempt 2,
+	// then the second sleep would blow the budget. Well short of 10.
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("used %d calls, want 2 (budget should stop the third)", got)
+	}
+}
+
+func TestCallTimeoutBoundsTheWholeCall(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(300 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(slow.Close)
+	c, err := New(slow.URL, WithCallTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(t.Context()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("call against stalled server: %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestBreakerIgnoresTransportFaults(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from here on
+	c, err := New(dead.URL, WithCircuitBreaker(1, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := func() error { _, err := c.Train(t.Context(), trainBody(1)); return err }()
+		if err == nil {
+			t.Fatal("train against a dead server succeeded")
+		}
+		if errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("attempt %d: transport faults tripped the breaker: %v", i, err)
+		}
+	}
+}
+
+func TestE2EDegradedServerBreakerTripsAndRecovers(t *testing.T) {
+	b, ffs := faultedBackend(t)
+	c := b.client(t,
+		WithRetry(1, time.Millisecond), // one attempt per call: failures count one by one
+		WithCircuitBreaker(3, 50*time.Millisecond),
+	)
+	ctx := t.Context()
+
+	// Healthy server takes writes.
+	if _, err := c.Train(ctx, trainBody(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk dies under the WAL. Every write from here is a structured
+	// read_only 503 with a retry hint.
+	ffs.Arm(vfs.Fault{Op: vfs.OpWrite, Path: ".seg", Err: vfs.ErrNoSpace})
+	var apiErr *Error
+	for i := 0; i < 3; i++ {
+		_, err := c.Train(ctx, trainBody(1))
+		if !errors.As(err, &apiErr) || apiErr.Code != CodeReadOnly {
+			t.Fatalf("degraded train %d: %v, want read_only", i, err)
+		}
+		if apiErr.RetryAfterMS <= 0 {
+			t.Fatalf("degraded train %d: no retry_after_ms hint: %+v", i, apiErr)
+		}
+	}
+
+	// Healthz tells the truth; the read plane still serves.
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Reason == "" || h.DegradedSince.IsZero() {
+		t.Fatalf("health while degraded: %+v", h)
+	}
+	if _, err := c.Predict(ctx, [][]float64{{0.2, 0.8}}); err != nil {
+		t.Fatalf("predict while degraded: %v", err)
+	}
+
+	// Three consecutive write-plane 503s tripped the breaker: the next
+	// write fails fast without touching the server.
+	if _, err := c.Train(ctx, trainBody(1)); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("train after trip: %v, want ErrCircuitOpen", err)
+	}
+	if _, err := c.Ingest(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("ingest after trip: %v, want ErrCircuitOpen", err)
+	}
+
+	// After the cooldown the half-open probe runs — and the server is
+	// still degraded, so the circuit snaps shut again.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Train(ctx, trainBody(1)); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("half-open against still-degraded server: %v, want ErrCircuitOpen", err)
+	}
+
+	// The disk heals and the operator recovers the server.
+	ffs.Clear()
+	if err := b.api.Server().Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Next cooldown's probe sees a healthy write plane: the circuit
+	// closes and the write goes through.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Train(ctx, trainBody(2)); err != nil {
+		t.Fatalf("train after recovery: %v", err)
+	}
+	h, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health after recovery: %+v", h)
+	}
+}

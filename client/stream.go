@@ -140,6 +140,11 @@ type IngestStream struct {
 // write batches (one snapshot publication per batch, not per row), each
 // acknowledged as it lands; Close returns the final summary.
 func (c *Client) Ingest(ctx context.Context) (*IngestStream, error) {
+	// The write-plane breaker gates stream opens too: a degraded server
+	// will 503 every coalesced batch, so don't even dial while it's open.
+	if err := c.br.allow(ctx, c); err != nil {
+		return nil, err
+	}
 	is := &IngestStream{}
 	s, err := c.startStream(ctx, "/v1/ingest:stream", func(dec *json.Decoder) error {
 		for {

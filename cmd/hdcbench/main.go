@@ -40,6 +40,7 @@ import (
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
 	"hdcirc/internal/serve"
+	"hdcirc/internal/vfs"
 	"hdcirc/internal/wal"
 )
 
@@ -221,6 +222,40 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	// Fault-seam fixtures. wal_append_faulty_disk runs the same append hot
+	// path through a FaultFS with a fault armed that never matches — the
+	// price of the injection seam itself, which production pays as a nil
+	// check (vfs.Default) and tests pay per op. degraded_predict measures
+	// the read plane of a server whose write plane died: snapshot load +
+	// predict must cost the same as on a healthy server.
+	faultyFS := vfs.NewFaultFS(nil)
+	faultyFS.Arm(vfs.Fault{Op: vfs.OpWrite, Path: "no-such-path", Err: vfs.ErrIO})
+	faultyLog, err := wal.Open(filepath.Join(tmpRoot, "faulty"), wal.Options{SyncEvery: -1, FS: faultyFS})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer faultyLog.Close()
+
+	degFS := vfs.NewFaultFS(nil)
+	degSrv, err := serve.Open(serve.Config{
+		Dim: *d, Classes: k, Shards: 4, Seed: 7,
+		WAL: &serve.WALConfig{Dir: filepath.Join(tmpRoot, "degraded"), SyncEvery: -1, CheckpointEvery: -1, FS: degFS},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer degSrv.Close()
+	if _, err := degSrv.ApplyBatch(sb); err != nil {
+		fatalf("%v", err)
+	}
+	degFS.Arm(vfs.Fault{Op: vfs.OpWrite, Path: ".seg", Err: vfs.ErrNoSpace})
+	if _, err := degSrv.ApplyBatch(sb); err == nil {
+		fatalf("degraded fixture: faulted append succeeded")
+	}
+	if st := degSrv.State(); st != serve.StateDegraded {
+		fatalf("degraded fixture: state %v", st)
+	}
+
 	// Serving-API-v1 fixture: the protocol handler over a loopback HTTP
 	// server, driven through the client SDK — the full production path
 	// (wire, decode, admission, record encode, snapshot predict / batch
@@ -369,6 +404,28 @@ func main() {
 						b.Fatal(err)
 					}
 				}
+			}
+		}},
+		{"wal_append_faulty_disk", 1, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seq, err := faultyLog.Append(walPayload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if seq%4096 == 0 && seq > 8192 {
+					if err := faultyLog.TruncateBefore(seq - 8192); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"degraded_predict", 1, func(b *testing.B) {
+			// Reads on a degraded server: snapshot load + predict, off the
+			// last published snapshot. The write plane being down must not
+			// tax this path.
+			for i := 0; i < b.N; i++ {
+				snap := degSrv.Snapshot()
+				_, _ = snap.Predict(queries[i%len(queries)])
 			}
 		}},
 		{"http_predict", 1, func(b *testing.B) {

@@ -33,6 +33,20 @@
 // restart recovers the pre-crash state bit for bit. On SIGINT/SIGTERM the
 // server shuts down gracefully: in-flight requests (including training
 // batches) complete, then the log is flushed and closed.
+//
+// # Degraded read-only mode
+//
+// A storage fault under the log (disk full, I/O error) does not kill the
+// server: it degrades to read-only — reads keep serving the last
+// published snapshot while writes answer 503 read_only with a
+// Retry-After hint. GET /v1/healthz reports {"status":"degraded"} (still
+// HTTP 200: the read plane is healthy; probe ?plane=write for a 503 that
+// drains write traffic). Every -wal-retry-interval the server probes the
+// disk itself, up to -wal-retry-max attempts; recovery replays any
+// records that landed but were never acknowledged and re-enables writes.
+// -write-deadline and -predict-deadline bound each request server-side
+// (504 deadline_exceeded past the bound). See the README "Failure modes
+// & degraded operation" section for the operator runbook.
 package main
 
 import (
@@ -63,9 +77,13 @@ type options struct {
 	seed                          uint64
 	dataDir                       string
 	fsyncEvery, checkpointEvery   int
+	walRetryInterval              time.Duration
+	walRetryMax                   int
 	maxInflight, maxQueue         int
 	streamBatch                   int
 	maxBodyBytes                  int64
+	writeDeadline                 time.Duration
+	predictDeadline               time.Duration
 }
 
 // build assembles the serving stack from options: durable server, record
@@ -84,6 +102,8 @@ func build(o options) (http.Handler, *hdcirc.Server, error) {
 			Dir:             o.dataDir,
 			SyncEvery:       o.fsyncEvery,
 			CheckpointEvery: o.checkpointEvery,
+			RetryInterval:   o.walRetryInterval,
+			RetryMax:        o.walRetryMax,
 		}
 	}
 	srv, err := hdcirc.OpenDurableServer(scfg)
@@ -98,12 +118,14 @@ func build(o options) (http.Handler, *hdcirc.Server, error) {
 		return nil, nil, err
 	}
 	h, err := hdcirc.ServeHandler(hdcirc.ServeHandlerConfig{
-		Server:       srv,
-		Encoder:      enc,
-		MaxInFlight:  o.maxInflight,
-		MaxQueue:     o.maxQueue,
-		StreamBatch:  o.streamBatch,
-		MaxBodyBytes: o.maxBodyBytes,
+		Server:          srv,
+		Encoder:         enc,
+		MaxInFlight:     o.maxInflight,
+		MaxQueue:        o.maxQueue,
+		StreamBatch:     o.streamBatch,
+		MaxBodyBytes:    o.maxBodyBytes,
+		WriteDeadline:   o.writeDeadline,
+		PredictDeadline: o.predictDeadline,
 	})
 	if err != nil {
 		srv.Close()
@@ -128,6 +150,10 @@ func main() {
 	flag.StringVar(&o.dataDir, "data-dir", "", "durability directory (write-ahead log + checkpoints); empty = in-memory only")
 	flag.IntVar(&o.fsyncEvery, "fsync-every", 1, "with -data-dir: fsync the log once per this many batches (negative = never)")
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 256, "with -data-dir: background checkpoint cadence in batches (negative = manual only)")
+	flag.DurationVar(&o.walRetryInterval, "wal-retry-interval", 5*time.Second, "with -data-dir: auto-recovery probe cadence after a storage fault degrades the server (0 = manual Recover only)")
+	flag.IntVar(&o.walRetryMax, "wal-retry-max", 0, "with -data-dir: auto-recovery probe attempts before giving up (0 = 8)")
+	flag.DurationVar(&o.writeDeadline, "write-deadline", 0, "server-side bound per write batch; expirations answer 504 deadline_exceeded (0 = unbounded)")
+	flag.DurationVar(&o.predictDeadline, "predict-deadline", 0, "server-side bound on read-plane queueing (0 = unbounded)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 0, "admission control: concurrently executing model requests (0 = 4×GOMAXPROCS)")
 	flag.IntVar(&o.maxQueue, "max-queue", 0, "admission control: requests waiting for a slot before 429s (0 = 2×max-inflight)")
 	flag.IntVar(&o.streamBatch, "stream-batch", 0, "rows coalesced per batch on the streaming endpoints (0 = 256)")

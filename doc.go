@@ -36,6 +36,24 @@
 //     recovery cost to one state file plus the log suffix. See
 //     OpenDurableServer, WALConfig, and the Server Checkpoint/Close
 //     methods; cmd/hdcserve exposes it as -data-dir.
+//   - Degraded operation: a storage fault under the log does not kill a
+//     durable server — it degrades to read-only. Writes fail fast with
+//     errors wrapping ErrServerWALFailed and ErrServerDegraded (503
+//     read_only with a Retry-After hint on the wire), reads keep serving
+//     the last acknowledged snapshot, and the server probes the disk on
+//     the WALConfig RetryInterval cadence until recovery replays any
+//     unacknowledged records and re-enables writes. Server.State reports
+//     the healthy/degraded/closed machine, Server.Recover is the manual
+//     handle, and /v1/healthz?plane=write gives load balancers a 503
+//     that drains write traffic while reads stay. Request lifecycles are
+//     deadline-bounded server-side (ServeHandlerConfig WriteDeadline /
+//     PredictDeadline → 504 deadline_exceeded) and client-side (per-call
+//     timeouts, a total retry budget, and a circuit breaker that trips
+//     on consecutive write-plane 503s and half-opens through a healthz
+//     probe). All storage flows through the internal/vfs seam, so every
+//     fault mode — ENOSPC, EIO, torn writes, failed fsyncs and renames —
+//     is exercised by injection in tests, including a chaos property
+//     test whose failing case is an acknowledged-then-lost write.
 //   - Serving API v1: the HTTP wire layer over the serving core — typed
 //     protocol structs and a structured error envelope shared by server
 //     and client, versioned routes, NDJSON streaming bulk endpoints that

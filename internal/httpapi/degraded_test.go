@@ -1,0 +1,155 @@
+package httpapi
+
+// Wire-level behavior of a degraded server: healthz reports it (200 for
+// the read plane, 503 for ?plane=write), writes come back as read_only
+// with a Retry-After hint, reads keep working, and the deadline knobs map
+// expirations to deadline_exceeded.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"hdcirc/internal/serve"
+	"hdcirc/internal/vfs"
+)
+
+// faultedAPI is testAPI over a durable server whose disk can be made to
+// fail on demand.
+func faultedAPI(t *testing.T, mutate ...func(*Config)) (*API, *vfs.FaultFS) {
+	t.Helper()
+	ffs := vfs.NewFaultFS(nil)
+	srv, err := serve.Open(serve.Config{
+		Dim: 1024, Classes: 3, Shards: 2, Workers: 2, Seed: 7,
+		WAL: &serve.WALConfig{Dir: t.TempDir(), FS: ffs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	enc, err := NewScalarRecordEncoder(ScalarRecordConfig{Dim: 1024, Fields: 2, Lo: 0, Hi: 1, Levels: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Server: srv, Encoder: enc, RetryAfter: 700 * time.Millisecond}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, ffs
+}
+
+func TestDegradedWireBehavior(t *testing.T) {
+	a, ffs := faultedAPI(t)
+
+	// Healthy: a write lands, healthz says ok on both planes.
+	rec, _ := doJSON(t, a, http.MethodPost, "/v1/train", trainBody(4))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy train: %d %s", rec.Code, rec.Body.String())
+	}
+	rec, out := doJSON(t, a, http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthy healthz: %d %v", rec.Code, out)
+	}
+	rec, _ = doJSON(t, a, http.MethodGet, "/v1/healthz?plane=write", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy write-plane healthz: %d", rec.Code)
+	}
+
+	// The disk dies under the next append.
+	ffs.Arm(vfs.Fault{Op: vfs.OpWrite, Path: ".seg", Err: vfs.ErrNoSpace})
+	rec, out = doJSON(t, a, http.MethodPost, "/v1/train", trainBody(2))
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, out) != string(CodeReadOnly) {
+		t.Fatalf("train over full disk: %d %v, want 503 read_only", rec.Code, out)
+	}
+	env := out["error"].(map[string]any)
+	if env["retry_after_ms"].(float64) != 700 {
+		t.Fatalf("retry_after_ms = %v, want 700", env["retry_after_ms"])
+	}
+	if rec.Header().Get("Retry-After") != "1" { // 700ms rounds up to 1s
+		t.Fatalf("Retry-After header = %q, want 1", rec.Header().Get("Retry-After"))
+	}
+
+	// Healthz: 200 + degraded for the read plane, 503 for the write plane.
+	rec, out = doJSON(t, a, http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK || out["status"] != "degraded" {
+		t.Fatalf("degraded healthz: %d %v", rec.Code, out)
+	}
+	if out["reason"] == "" || out["degraded_since"] == nil {
+		t.Fatalf("degraded healthz missing reason/since: %v", out)
+	}
+	rec, out = doJSON(t, a, http.MethodGet, "/v1/healthz?plane=write", nil)
+	if rec.Code != http.StatusServiceUnavailable || out["status"] != "degraded" {
+		t.Fatalf("degraded write-plane healthz: %d %v, want 503 degraded", rec.Code, out)
+	}
+
+	// Reads keep serving: predict, stats (which now reports the state), and
+	// the snapshot download all answer 200.
+	rec, _ = doJSON(t, a, http.MethodPost, "/v1/predict", PredictRequest{Queries: [][]float64{{0.2, 0.8}}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict while degraded: %d %s", rec.Code, rec.Body.String())
+	}
+	rec, out = doJSON(t, a, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK || out["degraded"] != true {
+		t.Fatalf("stats while degraded: %d %v", rec.Code, out)
+	}
+	rec, _ = doJSON(t, a, http.MethodGet, "/v1/snapshot", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot while degraded: %d", rec.Code)
+	}
+
+	// Repeat writes stay read_only (sticky), not a one-shot.
+	rec, out = doJSON(t, a, http.MethodPost, "/v1/train", trainBody(1))
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, out) != string(CodeReadOnly) {
+		t.Fatalf("second degraded train: %d %v", rec.Code, out)
+	}
+
+	// Disk healed, operator recovers: writes flow again, healthz is ok.
+	ffs.Clear()
+	if err := a.Server().Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = doJSON(t, a, http.MethodPost, "/v1/train", trainBody(3))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("train after recover: %d %s", rec.Code, rec.Body.String())
+	}
+	rec, out = doJSON(t, a, http.MethodGet, "/v1/healthz?plane=write", nil)
+	if rec.Code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz after recover: %d %v", rec.Code, out)
+	}
+}
+
+func TestIngestStreamDegradedMapsToReadOnly(t *testing.T) {
+	a, ffs := faultedAPI(t)
+	ffs.Arm(vfs.Fault{Op: vfs.OpWrite, Path: ".seg", Err: vfs.ErrNoSpace})
+
+	body := `{"label":1,"features":[0.3,0.4]}` + "\n"
+	rec, lines := postStream(t, a, "/v1/ingest:stream", body)
+	if rec.Code != http.StatusOK { // status was committed before the fault
+		t.Fatalf("stream status: %d", rec.Code)
+	}
+	last := lines[len(lines)-1]
+	env, ok := last["error"].(map[string]any)
+	if !ok || env["code"] != string(CodeReadOnly) {
+		t.Fatalf("terminal stream line %v, want in-band read_only error", last)
+	}
+}
+
+func TestWriteDeadlineMapsToDeadlineExceeded(t *testing.T) {
+	a, _ := faultedAPI(t, func(c *Config) { c.WriteDeadline = time.Nanosecond })
+	rec, out := doJSON(t, a, http.MethodPost, "/v1/train", trainBody(1))
+	if rec.Code != http.StatusGatewayTimeout || errCode(t, out) != string(CodeDeadlineExceeded) {
+		t.Fatalf("train with expired deadline: %d %v, want 504 deadline_exceeded", rec.Code, out)
+	}
+}
+
+func TestPredictDeadlineMapsToDeadlineExceeded(t *testing.T) {
+	a := testAPI(t, func(c *Config) { c.PredictDeadline = time.Nanosecond })
+	rec, out := doJSON(t, a, http.MethodPost, "/v1/predict", PredictRequest{Queries: [][]float64{{0.1, 0.2}}})
+	if rec.Code != http.StatusGatewayTimeout || errCode(t, out) != string(CodeDeadlineExceeded) {
+		t.Fatalf("predict with expired deadline: %d %v, want 504 deadline_exceeded", rec.Code, out)
+	}
+}

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -58,6 +59,9 @@ func (g *gate) acquire(ctx context.Context) *Error {
 		return nil
 	case <-ctx.Done():
 		g.rejected.Add(1)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return Errorf(CodeDeadlineExceeded, "deadline expired while queued for admission")
+		}
 		return Errorf(CodeUnavailable, "request canceled while queued: %v", ctx.Err())
 	}
 }

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +48,14 @@ type Config struct {
 	// StreamBatch is how many NDJSON rows the streaming endpoints coalesce
 	// into one ServerBatch / PredictBatch. <= 0 selects 256.
 	StreamBatch int
+	// WriteDeadline bounds each write batch server-side (unary train, and
+	// each coalesced ingest-stream batch): a write still queued behind a
+	// slow disk when the deadline expires fails with deadline_exceeded
+	// instead of holding the connection. 0 disables the bound.
+	WriteDeadline time.Duration
+	// PredictDeadline bounds the read plane's queueing the same way
+	// (predict, lookup, predict-stream admission). 0 disables the bound.
+	PredictDeadline time.Duration
 }
 
 func (c *Config) norm() {
@@ -146,7 +155,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, e *Error) {
-	if e.Code == CodeOverloaded {
+	if e.RetryAfterMS > 0 {
 		secs := (e.RetryAfterMS + 999) / 1000 // Retry-After is whole seconds; round up
 		if secs < 1 {
 			secs = 1
@@ -223,14 +232,39 @@ func (a *API) decodeBody(w http.ResponseWriter, r *http.Request, dst any) *Error
 }
 
 // applyError classifies a serving-core write failure for the wire: a
-// closed server or a sticky write-ahead fault is 503 (the request may
-// succeed elsewhere/later), everything else the core rejects is the
-// client's batch.
-func applyError(err error) *Error {
-	if errors.Is(err, serve.ErrClosed) || errors.Is(err, serve.ErrWALFailed) {
+// degraded server is read_only with a retry hint (the node may
+// auto-recover, and reads still work here), a closed server is
+// unavailable, an expired deadline is deadline_exceeded, and everything
+// else the core rejects is the client's batch.
+func (a *API) applyError(err error) *Error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return Errorf(CodeDeadlineExceeded, "%v", err)
+	case errors.Is(err, serve.ErrDegraded):
+		e := Errorf(CodeReadOnly, "%v", err)
+		e.RetryAfterMS = a.cfg.RetryAfter.Milliseconds()
+		return e
+	case errors.Is(err, serve.ErrClosed) || errors.Is(err, serve.ErrWALFailed):
 		return Errorf(CodeUnavailable, "%v", err)
+	default:
+		return Errorf(CodeInvalidRequest, "%v", err)
 	}
-	return Errorf(CodeInvalidRequest, "%v", err)
+}
+
+// writeCtx bounds a write-plane request by Config.WriteDeadline.
+func (a *API) writeCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if a.cfg.WriteDeadline > 0 {
+		return context.WithTimeout(r.Context(), a.cfg.WriteDeadline)
+	}
+	return r.Context(), func() {}
+}
+
+// readCtx bounds a read-plane request by Config.PredictDeadline.
+func (a *API) readCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if a.cfg.PredictDeadline > 0 {
+		return context.WithTimeout(r.Context(), a.cfg.PredictDeadline)
+	}
+	return r.Context(), func() {}
 }
 
 // ---------------------------------------------------------------------------
@@ -253,7 +287,9 @@ func (a *API) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, Errorf(CodeInvalidRequest, "empty batch: no samples, no symbols"))
 		return
 	}
-	if e := a.gate.acquire(r.Context()); e != nil {
+	ctx, cancel := a.writeCtx(r)
+	defer cancel()
+	if e := a.gate.acquire(ctx); e != nil {
 		writeError(w, e)
 		return
 	}
@@ -263,9 +299,9 @@ func (a *API) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	snap, err := a.cfg.Server.ApplyBatch(batch)
+	snap, err := a.cfg.Server.ApplyBatchContext(ctx, batch)
 	if err != nil {
-		writeError(w, applyError(err))
+		writeError(w, a.applyError(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, TrainResponse{
@@ -307,11 +343,17 @@ func (a *API) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, Errorf(CodeInvalidRequest, "no queries"))
 		return
 	}
-	if e := a.gate.acquire(r.Context()); e != nil {
+	ctx, cancel := a.readCtx(r)
+	defer cancel()
+	if e := a.gate.acquire(ctx); e != nil {
 		writeError(w, e)
 		return
 	}
 	defer a.gate.release()
+	if err := ctx.Err(); err != nil {
+		writeError(w, Errorf(CodeDeadlineExceeded, "%v", err))
+		return
+	}
 	hvs, e := encodeRecords(a.cfg.Encoder, a.cfg.Server.Pool(), req.Queries)
 	if e != nil {
 		writeError(w, e)
@@ -354,7 +396,9 @@ func (a *API) handleLookup(w http.ResponseWriter, r *http.Request) {
 			writeError(w, e)
 			return
 		}
-		if e := a.gate.acquire(r.Context()); e != nil {
+		ctx, cancel := a.readCtx(r)
+		defer cancel()
+		if e := a.gate.acquire(ctx); e != nil {
 			writeError(w, e)
 			return
 		}
@@ -383,7 +427,25 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Version: a.cfg.Server.Snapshot().Version()})
+	srv := a.cfg.Server
+	resp := HealthResponse{Status: "ok", Version: srv.Snapshot().Version()}
+	switch srv.State() {
+	case serve.StateDegraded:
+		reason, since, _ := srv.Degraded()
+		resp.Status = "degraded"
+		resp.Reason = reason.Error()
+		resp.DegradedSince = since
+	case serve.StateClosed:
+		resp.Status = "closed"
+	}
+	// The read plane of a degraded node is healthy (200); only a probe
+	// asking specifically about the write plane gets the 503 that tells a
+	// write-routing balancer to drain this node.
+	if r.URL.Query().Get("plane") == "write" && resp.Status != "ok" {
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSnapshot streams the current snapshot's binary serialization.
@@ -510,8 +572,13 @@ func (a *API) handlePredictStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// One gate slot covers the whole stream: a bulk caller is one unit of
-	// admitted work no matter how many rows it pushes.
-	if e := a.gate.acquire(r.Context()); e != nil {
+	// admitted work no matter how many rows it pushes. PredictDeadline
+	// bounds admission only — the stream itself lives as long as the
+	// client keeps rows coming.
+	ctx, cancel := a.readCtx(r)
+	e := a.gate.acquire(ctx)
+	cancel()
+	if e != nil {
 		writeError(w, e)
 		return
 	}
@@ -602,9 +669,13 @@ func (a *API) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 		if e != nil {
 			return e
 		}
-		snap, err := a.cfg.Server.ApplyBatch(b)
+		// Each coalesced batch gets its own WriteDeadline window: a stream
+		// is many writes, and the bound is per write, not per stream.
+		ctx, cancel := a.writeCtx(r)
+		snap, err := a.cfg.Server.ApplyBatchContext(ctx, b)
+		cancel()
 		if err != nil {
-			return applyError(err)
+			return a.applyError(err)
 		}
 		version = snap.Version()
 		batches++

@@ -47,6 +47,7 @@ package httpapi
 import (
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // Code is a machine-readable error class carried in the error envelope.
@@ -77,6 +78,15 @@ const (
 	// CodeUnavailable: the server can no longer accept this request class —
 	// closed, or the write-ahead log failed sticky. Reads may still work. 503.
 	CodeUnavailable Code = "unavailable"
+	// CodeReadOnly: the server is in degraded read-only mode — a storage
+	// fault stopped the write plane while reads keep serving. Writes are
+	// worth retrying after the hinted delay (the degraded server may
+	// auto-recover); reads are unaffected. 503 with Retry-After.
+	CodeReadOnly Code = "read_only"
+	// CodeDeadlineExceeded: the request's server-side deadline expired
+	// before the work ran (typically while queued behind a slow disk or a
+	// saturated gate). The request was NOT applied. 504.
+	CodeDeadlineExceeded Code = "deadline_exceeded"
 	// CodeInternal: a fault on the server side that is not the client's
 	// doing. 500.
 	CodeInternal Code = "internal"
@@ -111,8 +121,10 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusRequestEntityTooLarge
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
-	case CodeUnavailable:
+	case CodeUnavailable, CodeReadOnly:
 		return http.StatusServiceUnavailable
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
@@ -188,10 +200,18 @@ type LookupResponse struct {
 	Version    uint64  `json:"version"`
 }
 
-// HealthResponse is the GET /v1/healthz body.
+// HealthResponse is the GET /v1/healthz body. Status is "ok" on a healthy
+// server, "degraded" when a storage fault stopped the write plane (reads
+// keep serving; Reason and DegradedSince say why and since when), and
+// "closed" after shutdown began. The route answers 200 regardless — a
+// degraded node is a HEALTHY read replica — unless the probe asks about
+// the write plane (?plane=write), which answers 503 for anything but "ok"
+// so write-routing load balancers drain the node.
 type HealthResponse struct {
-	Status  string `json:"status"` // always "ok" when the handler answers
-	Version uint64 `json:"version"`
+	Status        string    `json:"status"`
+	Version       uint64    `json:"version"`
+	Reason        string    `json:"reason,omitempty"`
+	DegradedSince time.Time `json:"degraded_since,omitzero"`
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,142 @@
+package serve
+
+// Shutdown under pressure: Close racing in-flight writes, the background
+// checkpointer, and the auto-retry probe must neither panic nor lie —
+// double-close stays idempotent, and a write that arrives after Close is
+// ErrClosed (an orderly shutdown), never ErrWALFailed (a disk lie).
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hdcirc/internal/rng"
+	"hdcirc/internal/vfs"
+)
+
+func TestCloseRacesApplyBatchDuringSlowFsync(t *testing.T) {
+	cfg, ffs := faultedConfig(t)
+	s := mustOpen(t, cfg)
+
+	src := rng.New(17)
+	if _, err := s.ApplyBatch(randomBatch(cfg, src)); err != nil {
+		t.Fatal(err)
+	}
+	// The next fsync stalls 150ms with no error — a disk having a moment.
+	ffs.Arm(vfs.Fault{Op: vfs.OpSync, Path: ".seg", Delay: 150 * time.Millisecond, Count: 1})
+
+	var wg sync.WaitGroup
+	writeErrs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.ApplyBatch(randomBatch(cfg, rng.New(uint64(100+i))))
+			writeErrs <- err
+		}()
+	}
+	// Close lands while the first of them is provably inside the stalled
+	// fsync; it must wait the write out, not panic, not corrupt.
+	for ffs.Fired() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close during slow fsync: %v", err)
+	}
+	wg.Wait()
+	close(writeErrs)
+	for err := range writeErrs {
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("racing write: %v, want nil or ErrClosed", err)
+		}
+	}
+}
+
+func TestCloseRacesBackgroundCheckpointer(t *testing.T) {
+	cfg, ffs := faultedConfig(t)
+	cfg.WAL.CheckpointEvery = 1 // every batch spawns a background checkpoint
+	s := mustOpen(t, cfg)
+
+	// Checkpoint fsyncs stall so Close reliably lands mid-checkpoint.
+	ffs.Arm(vfs.Fault{Op: vfs.OpSync, Path: ".ckpt", Delay: 50 * time.Millisecond})
+	src := rng.New(23)
+	for i := 0; i < 3; i++ {
+		if _, err := s.ApplyBatch(randomBatch(cfg, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close during background checkpoint: %v", err)
+	}
+}
+
+func TestDoubleCloseIdempotent(t *testing.T) {
+	cfg, _ := faultedConfig(t)
+	s := mustOpen(t, cfg)
+	if _, err := s.ApplyBatch(randomBatch(cfg, rng.New(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v, want nil", err)
+	}
+	// Concurrent double-close is just as idempotent.
+	s2 := mustOpen(t, durableConfig(t.TempDir()))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s2.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWriteAfterCloseIsErrClosedNotWALFailed(t *testing.T) {
+	cfg, _ := faultedConfig(t)
+	s := mustOpen(t, cfg)
+	if _, err := s.ApplyBatch(randomBatch(cfg, rng.New(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.ApplyBatch(randomBatch(cfg, rng.New(3)))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v, want ErrClosed", err)
+	}
+	if errors.Is(err, ErrWALFailed) || errors.Is(err, ErrDegraded) {
+		t.Fatalf("write after close claims a disk fault: %v", err)
+	}
+	// Reads outlive Close: the published snapshot stays serviceable.
+	if snap := s.Snapshot(); snap == nil || snap.Version() != 1 {
+		t.Fatalf("snapshot after close: %v", snap)
+	}
+}
+
+func TestCloseStopsAutoRetryProbe(t *testing.T) {
+	cfg, ffs := faultedConfig(t)
+	cfg.WAL.RetryInterval = time.Hour // would park a probe ~forever
+	s := mustOpen(t, cfg)
+
+	ffs.Arm(vfs.Fault{Op: vfs.OpWrite, Path: ".seg", Err: vfs.ErrIO})
+	if _, err := s.ApplyBatch(randomBatch(cfg, rng.New(4))); err == nil {
+		t.Fatal("faulted append succeeded")
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close with parked probe: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung waiting for the retry probe")
+	}
+}

@@ -33,10 +33,12 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hdcirc/internal/batch"
 	"hdcirc/internal/bitvec"
@@ -106,6 +108,11 @@ type Server struct {
 	ring    *hashring.Ring
 	shardOf []int // global class id → shard
 
+	// wsem admits one writer at a time ahead of mu, so a writer stalled on
+	// a slow disk (fsync under mu) queues later writers HERE, where their
+	// context deadline still applies, instead of on the uncancellable mutex.
+	wsem chan struct{}
+
 	mu      sync.Mutex // the single-writer apply path
 	shards  []*shardState
 	reg     *model.Regressor
@@ -115,7 +122,15 @@ type Server struct {
 	nitems  int
 	version uint64
 	closed  bool  // Close called; writes fail, reads keep serving
-	walErr  error // sticky write-ahead failure; fail writes fast afterwards
+	walErr  error // sticky write-ahead failure; server is degraded until Recover
+
+	// Degraded-mode bookkeeping, under mu.
+	degradedSince time.Time
+	probing       bool // a recovery probe goroutine is live
+
+	probeStop chan struct{}
+	stopProbe sync.Once
+	probeWG   sync.WaitGroup
 
 	// Durability (nil/zero on purely in-memory servers; see wal.go).
 	wal       *wal.Log
@@ -140,6 +155,48 @@ var ErrClosed = errors.New("serve: server is closed")
 // after a sticky write-ahead failure: the in-memory state is still
 // consistent, but the server refuses to diverge from its log.
 var ErrWALFailed = errors.New("serve: write-ahead log failed")
+
+// ErrDegraded is returned (wrapped, alongside ErrWALFailed) by writes
+// against a degraded server: reads keep serving the published snapshot,
+// writes fail fast until Recover (or the auto-retry probe) clears the
+// storage fault.
+var ErrDegraded = errors.New("serve: server is degraded (read-only)")
+
+// ErrUnrecoverable marks a recovery attempt that found the log missing
+// acknowledged records: the on-disk prefix is shorter than what callers
+// were promised, so clearing the fault would silently lose writes. The
+// server stays degraded; an operator must restore the log (or accept the
+// loss by reopening from the directory as a fresh process).
+var ErrUnrecoverable = errors.New("serve: log lost acknowledged writes")
+
+// State is the server's position in the healthy → degraded → closed
+// lifecycle.
+type State int
+
+const (
+	// StateHealthy accepts writes and reads.
+	StateHealthy State = iota
+	// StateDegraded serves reads from the published snapshot but fails
+	// writes fast: the write-ahead log hit a sticky storage fault. A
+	// successful Recover returns the server to StateHealthy.
+	StateDegraded
+	// StateClosed is terminal: Close has run. Published snapshots remain
+	// readable through held references.
+	StateClosed
+)
+
+func (st State) String() string {
+	switch st {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("State(%d)", int(st))
+	}
+}
 
 // shardMember returns shard i's ring member name.
 func shardMember(i int) string { return fmt.Sprintf("shard/%d", i) }
@@ -184,12 +241,14 @@ func NewServer(cfg Config) (*Server, error) {
 		ixCfg = *cfg.Index
 	}
 	s := &Server{
-		cfg:     cfg,
-		ixCfg:   ixCfg,
-		pool:    batch.New(cfg.Workers),
-		ring:    ring,
-		shardOf: make([]int, cfg.Classes),
-		shards:  make([]*shardState, cfg.Shards),
+		cfg:       cfg,
+		ixCfg:     ixCfg,
+		pool:      batch.New(cfg.Workers),
+		ring:      ring,
+		shardOf:   make([]int, cfg.Classes),
+		shards:    make([]*shardState, cfg.Shards),
+		wsem:      make(chan struct{}, 1),
+		probeStop: make(chan struct{}),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shardState{
@@ -389,21 +448,44 @@ func (s *Server) validate(b *Batch) error {
 // the in-memory state stays consistent, but further writes fail fast
 // rather than silently diverging from the log.
 func (s *Server) ApplyBatch(b Batch) (*Snapshot, error) {
+	return s.ApplyBatchContext(context.Background(), b)
+}
+
+// ApplyBatchContext is ApplyBatch bounded by a context: a caller whose
+// deadline expires while queued behind another writer gets ctx.Err()
+// instead of waiting out someone else's slow fsync. The bound covers
+// ADMISSION only — once this writer holds the write slot the batch runs
+// to completion, because abandoning a batch after its log append would
+// desync the log from memory.
+func (s *Server) ApplyBatchContext(ctx context.Context, b Batch) (*Snapshot, error) {
+	// Checked before the select: a context that is already expired (a 0
+	// deadline, a cancelled request) must fail deterministically rather
+	// than win a race against the free write slot.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case s.wsem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.wsem }()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
 	if s.walErr != nil {
-		return nil, fmt.Errorf("%w earlier: %v", ErrWALFailed, s.walErr)
+		return nil, fmt.Errorf("%w: %w earlier: %v", ErrDegraded, ErrWALFailed, s.walErr)
 	}
 	if err := s.validate(&b); err != nil {
 		return nil, err
 	}
 	if s.wal != nil {
 		if _, err := s.wal.Append(encodeBatch(&b, s.cfg.Dim)); err != nil {
-			s.walErr = err
-			return nil, fmt.Errorf("serve: write-ahead append: %w", err)
+			s.degradeLocked(err)
+			return nil, fmt.Errorf("%w: %w: write-ahead append: %w", ErrDegraded, ErrWALFailed, err)
 		}
 	}
 	snap, err := s.applyLocked(&b)
@@ -414,12 +496,162 @@ func (s *Server) ApplyBatch(b Batch) (*Snapshot, error) {
 		// fail-stop exactly like a log error rather than let the
 		// record-seq == version invariant silently desync.
 		if s.wal != nil {
-			s.walErr = err
+			s.degradeLocked(err)
 		}
 		return nil, err
 	}
 	s.maybeCheckpointLocked()
 	return snap, nil
+}
+
+// degradeLocked moves the server to StateDegraded under mu: the cause
+// becomes the sticky walErr, the transition is timestamped, and (when the
+// config arms one) a bounded background probe starts retrying recovery.
+func (s *Server) degradeLocked(cause error) {
+	if s.walErr != nil {
+		return
+	}
+	s.walErr = cause
+	s.degradedSince = time.Now()
+	if s.walCfg.RetryInterval > 0 && !s.probing && !s.closed {
+		s.probing = true
+		s.probeWG.Add(1)
+		go s.probeLoop()
+	}
+}
+
+// probeLoop retries Recover every WALConfig.RetryInterval, up to RetryMax
+// attempts. It stops early on success, on Close, and on an unrecoverable
+// log (retrying cannot grow a log that lost acknowledged records).
+func (s *Server) probeLoop() {
+	defer s.probeWG.Done()
+	defer func() {
+		s.mu.Lock()
+		s.probing = false
+		s.mu.Unlock()
+	}()
+	ticker := time.NewTicker(s.walCfg.RetryInterval)
+	defer ticker.Stop()
+	for attempt := 0; attempt < s.walCfg.retryMax(); attempt++ {
+		select {
+		case <-s.probeStop:
+			return
+		case <-ticker.C:
+		}
+		switch err := s.Recover(); {
+		case err == nil:
+			return
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrUnrecoverable):
+			return
+		}
+	}
+}
+
+// Recover attempts to clear a degraded server's storage fault: the log is
+// reopened (which truncates any partial frame the fault left mid-segment),
+// any intact records beyond the applied version are replayed into the
+// models (they were written but never acknowledged — the same catch-up a
+// crash restart performs), and writes are re-enabled. If the reopened log
+// resumes BEFORE the acknowledged version and no checkpoint covers the
+// gap, acknowledged writes are gone: Recover returns ErrUnrecoverable and
+// the server stays degraded. On a healthy (or non-durable) server Recover
+// is a no-op.
+func (s *Server) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoverLocked()
+}
+
+func (s *Server) recoverLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.walErr == nil || s.wal == nil {
+		return nil
+	}
+	// The old handle is poisoned (fail-stop after its first fault); its
+	// close error carries no new information.
+	_ = s.wal.Close()
+	log, err := wal.Open(s.walCfg.Dir, wal.Options{
+		SegmentBytes: s.walCfg.SegmentBytes,
+		SyncEvery:    s.walCfg.SyncEvery,
+		FS:           s.walCfg.FS,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: reopening log: %w", err)
+	}
+	next, want := log.NextSeq(), s.version+1
+	switch {
+	case next < want && s.lastCkpt.Load() < s.version:
+		// The intact log prefix ends before the acknowledged version and no
+		// checkpoint bridges the gap — acked writes are lost. Failing here
+		// (instead of resuming) is the whole point of the acked-durability
+		// contract.
+		log.Close()
+		return fmt.Errorf("%w: log resumes at seq %d but version %d was acknowledged", ErrUnrecoverable, next, s.version)
+	case next > want:
+		// Records the faulty append wrote but never acknowledged: apply
+		// them, exactly as a crash restart would, so the log and the models
+		// agree again.
+		err := log.Replay(want, func(seq uint64, payload []byte) error {
+			var b Batch
+			if err := decodeBatch(payload, s.cfg.Dim, &b); err != nil {
+				return fmt.Errorf("serve: decoding log record %d: %w", seq, err)
+			}
+			if err := s.validate(&b); err != nil {
+				return fmt.Errorf("serve: catching up log record %d: %w", seq, err)
+			}
+			if s.version+1 != seq {
+				return fmt.Errorf("serve: log record %d cannot follow version %d", seq, s.version)
+			}
+			if _, err := s.applyLocked(&b); err != nil {
+				return fmt.Errorf("serve: catching up log record %d: %w", seq, err)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Close()
+			return err
+		}
+	}
+	// A checkpoint newer than every surviving record (compaction, or an
+	// empty log) needs numbering resumed past it.
+	if log.NextSeq() < s.version+1 {
+		if err := log.SkipTo(s.version + 1); err != nil {
+			log.Close()
+			return err
+		}
+	}
+	s.wal = log
+	s.walErr = nil
+	s.degradedSince = time.Time{}
+	return nil
+}
+
+// State reports where the server is in its lifecycle: healthy, degraded
+// (reads only), or closed.
+func (s *Server) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return StateClosed
+	case s.walErr != nil:
+		return StateDegraded
+	default:
+		return StateHealthy
+	}
+}
+
+// Degraded reports whether the server is in degraded read-only mode, and
+// if so since when and why.
+func (s *Server) Degraded() (reason error, since time.Time, degraded bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.walErr == nil || s.closed {
+		return nil, time.Time{}, false
+	}
+	return s.walErr, s.degradedSince, true
 }
 
 // applyLocked applies a validated batch to the master models and publishes
@@ -682,6 +914,11 @@ type Stats struct {
 	WALSeq      uint64 `json:"wal_seq,omitempty"`
 	WALSegments int    `json:"wal_segments,omitempty"`
 	WALError    string `json:"wal_error,omitempty"`
+	// Degraded reports read-only mode: a sticky storage fault stopped the
+	// write plane while reads keep serving the published snapshot.
+	// DegradedSince timestamps the transition.
+	Degraded      bool      `json:"degraded,omitempty"`
+	DegradedSince time.Time `json:"degraded_since,omitzero"`
 }
 
 // Stats summarizes the current snapshot plus served-read counters.
@@ -699,18 +936,25 @@ func (s *Server) Stats() Stats {
 		ReadsServed: s.reads.Load(),
 		Regression:  s.cfg.Labels != nil,
 		HasCleanup:  snap.mem != nil,
-		Durable:     s.wal != nil,
 	}
 	if snap.mem != nil {
 		st.MemWrites = snap.mem.Writes()
 	}
-	if s.wal != nil {
+	// The log handle is read under mu: recovery swaps it for a fresh one
+	// when a degraded server heals.
+	s.mu.Lock()
+	log := s.wal
+	werr := s.walErr
+	if log != nil && werr != nil && !s.closed {
+		st.Degraded = true
+		st.DegradedSince = s.degradedSince
+	}
+	s.mu.Unlock()
+	if log != nil {
+		st.Durable = true
 		st.LastCheckpoint = s.lastCkpt.Load()
-		st.WALSeq = s.wal.NextSeq() - 1
-		st.WALSegments = len(s.wal.Segments())
-		s.mu.Lock()
-		werr := s.walErr
-		s.mu.Unlock()
+		st.WALSeq = log.NextSeq() - 1
+		st.WALSegments = len(log.Segments())
 		s.errMu.Lock()
 		cerr := s.ckptErr
 		s.errMu.Unlock()

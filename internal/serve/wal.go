@@ -39,8 +39,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"hdcirc/internal/bitvec"
+	"hdcirc/internal/vfs"
 	"hdcirc/internal/wal"
 )
 
@@ -89,6 +91,28 @@ type WALConfig struct {
 	// KeepCheckpoints retains this many newest checkpoint files; <= 0
 	// selects 2 (the newest plus one fallback).
 	KeepCheckpoints int
+	// FS is the filesystem the log and checkpoints live on; nil selects
+	// the real one. Chaos tests hand in a vfs.FaultFS to inject storage
+	// faults into the whole durability path.
+	FS vfs.FS
+	// RetryInterval, when > 0, arms the degraded-mode recovery probe: a
+	// server that entered degraded state on a WAL fault re-tries recovery
+	// every RetryInterval until it succeeds or RetryMax attempts are
+	// spent. 0 (the default) disables the probe — recovery then only
+	// happens through an explicit Recover call.
+	RetryInterval time.Duration
+	// RetryMax bounds the probe's attempts; <= 0 selects 8.
+	RetryMax int
+}
+
+// fs resolves the configured filesystem (nil means the real one).
+func (w WALConfig) fs() vfs.FS { return vfs.Default(w.FS) }
+
+func (w WALConfig) retryMax() int {
+	if w.RetryMax > 0 {
+		return w.RetryMax
+	}
+	return 8
 }
 
 func (w WALConfig) checkpointEvery() int {
@@ -122,19 +146,23 @@ func Open(cfg Config) (*Server, error) {
 	if w.Dir == "" {
 		return nil, errors.New("serve: WAL config needs a directory")
 	}
-	if err := os.MkdirAll(w.Dir, 0o755); err != nil {
+	fs := w.fs()
+	if err := fs.MkdirAll(w.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: creating durability directory: %w", err)
+	}
+	if err := removeStaleCheckpointTmp(fs, w.Dir); err != nil {
+		return nil, err
 	}
 
 	// Newest loadable checkpoint wins; unreadable ones are set aside (never
 	// deleted) and the next older one is tried on a fresh server, so a
 	// half-written or bit-rotted checkpoint cannot poison recovery.
-	s, ckptVersion, err := loadLatestCheckpoint(cfg, w.Dir)
+	s, ckptVersion, err := loadLatestCheckpoint(cfg, fs, w.Dir)
 	if err != nil {
 		return nil, err
 	}
 
-	log, err := wal.Open(w.Dir, wal.Options{SegmentBytes: w.SegmentBytes, SyncEvery: w.SyncEvery})
+	log, err := wal.Open(w.Dir, wal.Options{SegmentBytes: w.SegmentBytes, SyncEvery: w.SyncEvery, FS: w.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -179,9 +207,30 @@ func checkpointName(version uint64) string {
 	return fmt.Sprintf("%s%020d%s", ckptPrefix, version, ckptExt)
 }
 
+// removeStaleCheckpointTmp deletes ckpt-*.hckp.tmp files left behind by a
+// crash mid-checkpoint. They were never renamed into place, so they hold
+// no recoverable state — only the rename publishes a checkpoint — and
+// each abandoned one otherwise leaks a full model image of disk forever.
+func removeStaleCheckpointTmp(fs vfs.FS, dir string) error {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("serve: reading durability directory: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.Type().IsRegular() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptExt+".tmp") {
+			continue
+		}
+		if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("serve: removing stale checkpoint temp file: %w", err)
+		}
+	}
+	return nil
+}
+
 // checkpointVersions lists checkpoint versions present in dir, descending.
-func checkpointVersions(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func checkpointVersions(fs vfs.FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("serve: reading durability directory: %w", err)
 	}
@@ -205,8 +254,8 @@ func checkpointVersions(dir string) ([]uint64, error) {
 // loadable checkpoint in dir (and that checkpoint's version), or a fresh
 // empty server when none loads. Each candidate is tried on its own fresh
 // server so a failed partial load never pollutes the survivor.
-func loadLatestCheckpoint(cfg Config, dir string) (*Server, uint64, error) {
-	versions, err := checkpointVersions(dir)
+func loadLatestCheckpoint(cfg Config, fs vfs.FS, dir string) (*Server, uint64, error) {
+	versions, err := checkpointVersions(fs, dir)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -216,13 +265,13 @@ func loadLatestCheckpoint(cfg Config, dir string) (*Server, uint64, error) {
 			return nil, 0, err
 		}
 		path := filepath.Join(dir, checkpointName(v))
-		switch err := loadCheckpointFile(s, path); {
+		switch err := loadCheckpointFile(s, fs, path); {
 		case err == nil:
 			return s, v, nil
 		case errors.Is(err, errCkptCorrupt):
 			// Damaged bytes: keep them for forensics, fall back to the
 			// next older checkpoint.
-			_ = os.Rename(path, path+".corrupt")
+			_ = fs.Rename(path, path+".corrupt")
 		default:
 			// Shape/config mismatch or I/O fault — not corruption. Abort
 			// with the checkpoint set intact so a correctly-configured
@@ -238,8 +287,8 @@ func loadLatestCheckpoint(cfg Config, dir string) (*Server, uint64, error) {
 // checkpoint file. The whole file is verified against its CRC trailer
 // before a byte of it is parsed, so bit rot anywhere — even in sections
 // later superseded by the exact-state ones — is detected, not absorbed.
-func loadCheckpointFile(s *Server, path string) error {
-	raw, err := os.ReadFile(path)
+func loadCheckpointFile(s *Server, fs vfs.FS, path string) error {
+	raw, err := vfs.ReadFile(fs, path)
 	if err != nil {
 		return err
 	}
@@ -328,7 +377,10 @@ func loadCheckpointFile(s *Server, path string) error {
 // encoding to memory; the file I/O runs unlocked, so reads and writes keep
 // flowing. Safe for concurrent callers (checkpoints serialize internally).
 func (s *Server) Checkpoint() (uint64, error) {
-	if s.wal == nil {
+	s.mu.Lock()
+	durable := s.wal != nil
+	s.mu.Unlock()
+	if !durable {
 		return 0, errors.New("serve: Checkpoint needs a durable server (Config.WAL)")
 	}
 	s.ckptMu.Lock()
@@ -353,32 +405,35 @@ func (s *Server) Checkpoint() (uint64, error) {
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, ckptCRCTable))
 	buf = append(buf, crc[:]...)
 
+	fs := s.walCfg.fs()
 	path := filepath.Join(s.walCfg.Dir, checkpointName(version))
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("serve: creating checkpoint: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return 0, fmt.Errorf("serve: writing checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return 0, fmt.Errorf("serve: syncing checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return 0, fmt.Errorf("serve: closing checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return 0, fmt.Errorf("serve: publishing checkpoint: %w", err)
 	}
-	if err := wal.SyncDir(s.walCfg.Dir); err != nil {
-		return 0, err
+	// The rename is not durable until the directory entry is — without
+	// this fsync a machine crash can resurrect the pre-rename state.
+	if err := fs.SyncDir(s.walCfg.Dir); err != nil {
+		return 0, fmt.Errorf("serve: syncing durability directory: %w", err)
 	}
 	s.lastCkpt.Store(version)
 
@@ -386,18 +441,21 @@ func (s *Server) Checkpoint() (uint64, error) {
 	// only up to the OLDEST retained checkpoint — the fallback checkpoints
 	// are worthless unless the records between them and the newest one
 	// stay replayable.
-	versions, err := checkpointVersions(s.walCfg.Dir)
+	versions, err := checkpointVersions(fs, s.walCfg.Dir)
 	if err != nil {
 		return version, err
 	}
 	keep := min(len(versions), s.walCfg.keepCheckpoints())
 	for _, v := range versions[keep:] {
-		if err := os.Remove(filepath.Join(s.walCfg.Dir, checkpointName(v))); err != nil {
+		if err := fs.Remove(filepath.Join(s.walCfg.Dir, checkpointName(v))); err != nil {
 			return version, fmt.Errorf("serve: retiring old checkpoint: %w", err)
 		}
 	}
 	oldestRetained := versions[keep-1] // versions is non-empty: we just wrote one
-	if err := s.wal.TruncateBefore(oldestRetained + 1); err != nil {
+	s.mu.Lock()
+	log := s.wal // recovery may have swapped the handle; compact the live one
+	s.mu.Unlock()
+	if err := log.TruncateBefore(oldestRetained + 1); err != nil {
 		return version, err
 	}
 	// A manual checkpoint restarts the background cadence — the next
@@ -493,10 +551,15 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 
+	s.stopProbe.Do(func() { close(s.probeStop) })
+	s.probeWG.Wait()
 	s.ckptWG.Wait()
+	s.mu.Lock()
+	log := s.wal // recovery may have swapped the handle
+	s.mu.Unlock()
 	var err error
-	if s.wal != nil {
-		err = s.wal.Close()
+	if log != nil {
+		err = log.Close()
 	}
 	s.errMu.Lock()
 	if err == nil && s.ckptErr != nil {

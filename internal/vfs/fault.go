@@ -1,0 +1,321 @@
+package vfs
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"hdcirc/internal/rng"
+)
+
+// Injected fault errors. They wrap the real syscall errno so code (and
+// tests) matching errors.Is(err, syscall.ENOSPC) behaves exactly as it
+// would against a genuinely full or dying disk.
+var (
+	// ErrNoSpace is an injected ENOSPC: the disk is full.
+	ErrNoSpace = &os.PathError{Op: "write", Path: "<injected>", Err: syscall.ENOSPC}
+	// ErrIO is an injected EIO: the device is failing.
+	ErrIO = &os.PathError{Op: "write", Path: "<injected>", Err: syscall.EIO}
+)
+
+// Op names a filesystem operation class for fault matching.
+type Op string
+
+const (
+	// OpOpen matches read-only opens (and OpenFile without O_CREATE).
+	OpOpen Op = "open"
+	// OpCreate matches OpenFile calls carrying O_CREATE.
+	OpCreate Op = "create"
+	// OpRead matches File.Read.
+	OpRead Op = "read"
+	// OpWrite matches File.Write.
+	OpWrite Op = "write"
+	// OpSync matches File.Sync.
+	OpSync Op = "sync"
+	// OpSyncDir matches FS.SyncDir.
+	OpSyncDir Op = "syncdir"
+	// OpRename matches FS.Rename (matched against the old path).
+	OpRename Op = "rename"
+	// OpRemove matches FS.Remove.
+	OpRemove Op = "remove"
+	// OpTruncate matches FS.Truncate.
+	OpTruncate Op = "truncate"
+)
+
+// Fault is one armed failure rule. The zero value of each field widens the
+// match (any path, fire immediately, fire forever, probability 1).
+type Fault struct {
+	// Op is the operation class the fault applies to (required).
+	Op Op
+	// Path narrows the fault to paths containing this substring; empty
+	// matches every path.
+	Path string
+	// Err is returned by matching operations. Nil makes the fault benign —
+	// combined with Delay it models a fail-slow disk that stalls but
+	// eventually succeeds.
+	Err error
+	// After skips this many matching operations before the fault starts
+	// firing — "the 3rd append fails".
+	After int
+	// Count bounds how many times the fault fires; 0 fires until cleared.
+	Count int
+	// Prob, in (0,1), fires the fault on a matching operation with this
+	// probability, drawn from the FaultFS's seeded stream; 0 (and >= 1)
+	// fires deterministically.
+	Prob float64
+	// AtOffset, when > 0 and Op is OpWrite, fires only when the write spans
+	// that byte offset of the file. (An offset-0 trigger is just the first
+	// write: use After/Count.)
+	AtOffset int64
+	// KeepBytes, for a failing OpWrite, persists that many leading bytes of
+	// the buffer to the underlying file before returning Err — the torn
+	// write: what a crashed kernel leaves behind is a prefix, not nothing.
+	// 0 persists nothing.
+	KeepBytes int
+	// Delay stalls matching operations before they execute (or fail) — the
+	// fail-slow mode.
+	Delay time.Duration
+}
+
+// armed is a Fault plus its live counters.
+type armed struct {
+	Fault
+	seen  int // matching ops observed
+	fired int // times actually fired
+}
+
+// FaultFS wraps an inner FS and injects the armed faults into matching
+// operations. All methods are safe for concurrent use. With no faults
+// armed every operation passes straight through (plus an op counter), so a
+// FaultFS can stay in place for a whole test or benchmark.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	faults []*armed
+	src    *rng.Stream
+	counts map[Op]uint64
+	fired  uint64
+}
+
+// NewFaultFS builds a FaultFS over inner (nil selects the OS filesystem)
+// with no faults armed and the probability stream seeded at 1.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: Default(inner), src: rng.New(1), counts: make(map[Op]uint64)}
+}
+
+// Seed reseeds the stream behind probabilistic faults, making a random
+// schedule reproducible.
+func (f *FaultFS) Seed(seed uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.src = rng.New(seed)
+}
+
+// Arm adds a fault rule. Rules are evaluated in arming order; the first
+// one that fires wins.
+func (f *FaultFS) Arm(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, &armed{Fault: fault})
+}
+
+// Clear disarms every fault — the disk is healthy again. Op counters are
+// preserved.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+}
+
+// Ops reports how many operations of the class have been observed
+// (injected or not).
+func (f *FaultFS) Ops(op Op) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// Fired reports how many faults have been injected so far.
+func (f *FaultFS) Fired() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// match records one operation and returns a copy of the fault that fires
+// on it, if any. offset/length describe writes (for AtOffset matching);
+// other ops pass -1/0.
+func (f *FaultFS) match(op Op, path string, offset int64, length int) (Fault, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	for _, a := range f.faults {
+		if a.Op != op {
+			continue
+		}
+		if a.Path != "" && !strings.Contains(path, a.Path) {
+			continue
+		}
+		if a.AtOffset > 0 {
+			if op != OpWrite || offset < 0 || offset > a.AtOffset || a.AtOffset >= offset+int64(length) {
+				continue
+			}
+		}
+		a.seen++
+		if a.seen <= a.After {
+			continue
+		}
+		if a.Count > 0 && a.fired >= a.Count {
+			continue
+		}
+		if a.Prob > 0 && a.Prob < 1 && f.src.Float64() >= a.Prob {
+			continue
+		}
+		a.fired++
+		f.fired++
+		return a.Fault, true
+	}
+	return Fault{}, false
+}
+
+// inject runs the shared fire behavior for non-write ops: stall, then fail
+// if the fault carries an error.
+func (f *FaultFS) inject(op Op, path string) error {
+	fault, ok := f.match(op, path, -1, 0)
+	if !ok {
+		return nil
+	}
+	if fault.Delay > 0 {
+		time.Sleep(fault.Delay)
+	}
+	return fault.Err
+}
+
+// OpenFile opens path, injecting OpCreate or OpOpen faults.
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	op := OpOpen
+	if flag&os.O_CREATE != 0 {
+		op = OpCreate
+	}
+	if err := f.inject(op, path); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file, name: path}, nil
+}
+
+// Open opens path read-only, injecting OpOpen faults.
+func (f *FaultFS) Open(path string) (File, error) {
+	return f.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// ReadDir lists the directory on the inner filesystem (not a fault target).
+func (f *FaultFS) ReadDir(path string) ([]os.DirEntry, error) { return f.inner.ReadDir(path) }
+
+// MkdirAll creates the directory tree on the inner filesystem (not a
+// fault target).
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+// Rename moves oldPath to newPath, injecting OpRename faults (matched
+// against oldPath).
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if err := f.inject(OpRename, oldPath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+// Remove deletes path, injecting OpRemove faults.
+func (f *FaultFS) Remove(path string) error {
+	if err := f.inject(OpRemove, path); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// Truncate resizes path, injecting OpTruncate faults.
+func (f *FaultFS) Truncate(path string, size int64) error {
+	if err := f.inject(OpTruncate, path); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+// Stat describes path on the inner filesystem (not a fault target).
+func (f *FaultFS) Stat(path string) (os.FileInfo, error) { return f.inner.Stat(path) }
+
+// SyncDir fsyncs the directory, injecting OpSyncDir faults.
+func (f *FaultFS) SyncDir(path string) error {
+	if err := f.inject(OpSyncDir, path); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
+}
+
+// faultFile wraps an open file, tracking the write position so AtOffset
+// faults and torn writes know where the knife lands.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	name  string
+	pos   int64
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.fs.inject(OpRead, ff.name); err != nil {
+		return 0, err
+	}
+	n, err := ff.inner.Read(p)
+	ff.pos += int64(n)
+	return n, err
+}
+
+// Write injects OpWrite faults: a firing fault persists only the first
+// KeepBytes bytes (the torn prefix) before returning its error, so the
+// on-disk state afterwards is exactly what a crash mid-write leaves.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	fault, fired := ff.fs.match(OpWrite, ff.name, ff.pos, len(p))
+	if fired && fault.Delay > 0 {
+		time.Sleep(fault.Delay)
+	}
+	if fired && fault.Err != nil {
+		keep := fault.KeepBytes
+		if keep > len(p) {
+			keep = len(p)
+		}
+		n := 0
+		if keep > 0 {
+			n, _ = ff.inner.Write(p[:keep])
+		}
+		ff.pos += int64(n)
+		return n, fault.Err
+	}
+	n, err := ff.inner.Write(p)
+	ff.pos += int64(n)
+	return n, err
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := ff.inner.Seek(offset, whence)
+	if err == nil {
+		ff.pos = pos
+	}
+	return pos, err
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.inject(OpSync, ff.name); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }
+
+func (ff *faultFile) Name() string { return ff.name }

@@ -12,6 +12,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"hdcirc/internal/vfs"
 )
 
 func FuzzWALRecover(f *testing.F) {
@@ -40,7 +42,7 @@ func FuzzWALRecover(f *testing.F) {
 		}
 
 		// Mangle one of the segment files at fuzzed positions.
-		names, err := segmentNames(dir)
+		names, err := segmentNames(vfs.OS{}, dir)
 		if err != nil || len(names) == 0 {
 			t.Fatal("no segments written")
 		}

@@ -43,6 +43,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"hdcirc/internal/vfs"
 )
 
 const (
@@ -76,6 +78,9 @@ type Options struct {
 	// and a machine crash may lose the unsynced suffix (a process crash
 	// does not).
 	SyncEvery int
+	// FS is the filesystem the log lives on; nil selects the real one.
+	// Tests hand in a vfs.FaultFS to inject storage faults.
+	FS vfs.FS
 }
 
 func (o *Options) norm() {
@@ -85,6 +90,7 @@ func (o *Options) norm() {
 	if o.SyncEvery == 0 {
 		o.SyncEvery = 1
 	}
+	o.FS = vfs.Default(o.FS)
 }
 
 // segment is one on-disk segment file.
@@ -100,10 +106,11 @@ type segment struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu       sync.Mutex
 	segs     []segment // all live segments, ascending firstSeq
-	cur      *os.File  // open tail segment (nil until first append after SkipTo)
+	cur      vfs.File  // open tail segment (nil until first append after SkipTo)
 	curSize  int64
 	nextSeq  uint64
 	unsynced int
@@ -118,14 +125,15 @@ type Log struct {
 // aside. The returned log appends at one past the last intact record.
 func Open(dir string, opts Options) (*Log, error) {
 	opts.norm()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating directory: %w", err)
 	}
-	names, err := segmentNames(dir)
+	names, err := segmentNames(fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	l := &Log{dir: dir, opts: opts, fs: fs, nextSeq: 1}
 	for i, name := range names {
 		path := filepath.Join(dir, name)
 		// The first surviving segment may start anywhere (earlier ones get
@@ -134,21 +142,21 @@ func Open(dir string, opts Options) (*Log, error) {
 		if i == 0 {
 			wantSeq = 0
 		}
-		seg, intactBytes, scanErr := scanSegment(path, wantSeq)
+		seg, intactBytes, scanErr := scanSegment(fs, path, wantSeq)
 		if scanErr != nil {
 			// This segment is unusable from intactBytes on. Keep its intact
 			// prefix when it has one; set aside everything after the fault.
 			if seg.records > 0 || intactBytes > segHeaderLen {
-				if err := os.Truncate(path, intactBytes); err != nil {
+				if err := fs.Truncate(path, intactBytes); err != nil {
 					return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", name, err)
 				}
 				l.segs = append(l.segs, seg)
 				l.nextSeq = seg.firstSeq + seg.records
-			} else if err := setAside(path); err != nil {
+			} else if err := setAside(fs, path); err != nil {
 				return nil, err
 			}
 			for _, later := range names[i+1:] {
-				if err := setAside(filepath.Join(dir, later)); err != nil {
+				if err := setAside(fs, filepath.Join(dir, later)); err != nil {
 					return nil, err
 				}
 			}
@@ -161,7 +169,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		// A crash between rotation and the first record leaves an empty tail
 		// segment whose name the next rotation would want back; drop it.
 		tail := l.segs[len(l.segs)-1]
-		if err := os.Remove(tail.path); err != nil {
+		if err := fs.Remove(tail.path); err != nil {
 			return nil, fmt.Errorf("wal: removing empty tail segment: %w", err)
 		}
 		l.segs = l.segs[:len(l.segs)-1]
@@ -170,8 +178,8 @@ func Open(dir string, opts Options) (*Log, error) {
 }
 
 // segmentNames lists the segment files in dir, ascending by firstSeq.
-func segmentNames(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func segmentNames(fs vfs.FS, dir string) ([]string, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: reading directory: %w", err)
 	}
@@ -205,16 +213,16 @@ func seqFromName(name string) (uint64, error) {
 
 // setAside renames an unusable segment out of the scan set, preserving the
 // bytes for forensics instead of deleting data on the recovery path.
-func setAside(path string) error {
+func setAside(fs vfs.FS, path string) error {
 	dst := path + ".corrupt"
 	// Never clobber evidence from an earlier recovery.
 	for i := 1; ; i++ {
-		if _, err := os.Stat(dst); os.IsNotExist(err) {
+		if _, err := fs.Stat(dst); os.IsNotExist(err) {
 			break
 		}
 		dst = fmt.Sprintf("%s.corrupt.%d", path, i)
 	}
-	if err := os.Rename(path, dst); err != nil {
+	if err := fs.Rename(path, dst); err != nil {
 		return fmt.Errorf("wal: setting aside corrupt segment: %w", err)
 	}
 	return nil
@@ -226,8 +234,8 @@ func setAside(path string) error {
 // in which case the summary covers the intact prefix only. wantSeq is the
 // sequence number the first record must carry (0 skips the continuity
 // check for the first segment).
-func scanSegment(path string, wantSeq uint64) (segment, int64, error) {
-	f, err := os.Open(path)
+func scanSegment(fs vfs.FS, path string, wantSeq uint64) (segment, int64, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return segment{}, 0, fmt.Errorf("wal: opening segment: %w", err)
 	}
@@ -332,15 +340,15 @@ func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) err
 		if seg.firstSeq+seg.records <= from {
 			continue // fully below the replay point
 		}
-		if err := replaySegment(seg, from, fn); err != nil {
+		if err := replaySegment(l.fs, seg, from, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func replaySegment(seg segment, from uint64, fn func(uint64, []byte) error) error {
-	f, err := os.Open(seg.path)
+func replaySegment(fs vfs.FS, seg segment, from uint64, fn func(uint64, []byte) error) error {
+	f, err := fs.Open(seg.path)
 	if err != nil {
 		return fmt.Errorf("wal: reopening segment for replay: %w", err)
 	}
@@ -442,7 +450,7 @@ func (l *Log) rotateLocked() error {
 		l.cur = nil
 	}
 	path := filepath.Join(l.dir, segmentName(l.nextSeq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: creating segment: %w", err)
 	}
@@ -459,9 +467,9 @@ func (l *Log) rotateLocked() error {
 			f.Close()
 			return fmt.Errorf("wal: syncing segment header: %w", err)
 		}
-		if err := SyncDir(l.dir); err != nil {
+		if err := l.fs.SyncDir(l.dir); err != nil {
 			f.Close()
-			return err
+			return fmt.Errorf("wal: syncing directory after segment create: %w", err)
 		}
 	}
 	l.cur = f
@@ -503,7 +511,7 @@ func (l *Log) TruncateBefore(from uint64) error {
 		last := i == len(l.segs)-1
 		end := seg.firstSeq + seg.records // one past the last record
 		if !last && end <= from {
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				// Keep state consistent with disk on failure.
 				kept = append(kept, l.segs[i:]...)
 				l.segs = kept
@@ -560,19 +568,4 @@ func (l *Log) Close() error {
 	}
 	l.cur = nil
 	return err
-}
-
-// SyncDir fsyncs a directory so renames and creations within it are
-// durable. Shared with the checkpoint layer (internal/serve), which has
-// the same rename-then-sync publication step.
-func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: opening directory for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: syncing directory: %w", err)
-	}
-	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hdcirc/internal/vfs"
 )
 
 // appendN appends n payloads ("payload/<seq>") and returns them by seq.
@@ -163,7 +165,7 @@ func TestTornTailTruncatedOnOpen(t *testing.T) {
 			appendN(t, l, 10)
 			l.Close()
 
-			segs, err := segmentNames(dir)
+			segs, err := segmentNames(vfs.OS{}, dir)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -205,7 +207,7 @@ func TestCorruptMiddleSegmentSetsAsideSuffix(t *testing.T) {
 	appendN(t, l, 30)
 	l.Close()
 
-	segs, err := segmentNames(dir)
+	segs, err := segmentNames(vfs.OS{}, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
