@@ -17,12 +17,29 @@ import (
 // Safe for any number of concurrent callers.
 type Coalescer struct {
 	c        *Client
+	ctx      context.Context // base context for every wire-level flush
 	maxBatch int
 	maxDelay time.Duration
+	flushTO  time.Duration // per-flush deadline; 0 means none
 
 	mu      sync.Mutex
 	pending []*coalesceCall
 	armed   bool // an AfterFunc is outstanding
+}
+
+// CoalescerOption configures a Coalescer at construction.
+type CoalescerOption func(*Coalescer)
+
+// WithFlushTimeout bounds each wire-level flush: the batched request is
+// abandoned (and every waiting caller in the batch gets the deadline
+// error) if the server has not answered within d. Zero or negative means
+// no per-flush deadline beyond the coalescer's base context.
+func WithFlushTimeout(d time.Duration) CoalescerOption {
+	return func(co *Coalescer) {
+		if d > 0 {
+			co.flushTO = d
+		}
+	}
 }
 
 type coalesceCall struct {
@@ -37,17 +54,30 @@ type coalesceResult struct {
 	err      error
 }
 
-// NewCoalescer builds a coalescer over this client. maxBatch <= 0 selects
-// 64 rows; maxDelay <= 0 selects 2ms — small enough to be invisible next
-// to a network round trip, large enough to merge a burst.
-func (c *Client) NewCoalescer(maxBatch int, maxDelay time.Duration) *Coalescer {
+// NewCoalescer builds a coalescer whose flushes live as long as the
+// process. Use NewCoalescerContext to tie the flush lifetime to a server
+// loop or request scope instead.
+func (c *Client) NewCoalescer(maxBatch int, maxDelay time.Duration, opts ...CoalescerOption) *Coalescer {
+	return c.NewCoalescerContext(context.Background(), maxBatch, maxDelay, opts...)
+}
+
+// NewCoalescerContext builds a coalescer over this client. Every
+// wire-level flush derives from ctx: cancelling it fails all waiting
+// callers promptly instead of leaving batches in flight. maxBatch <= 0
+// selects 64 rows; maxDelay <= 0 selects 2ms — small enough to be
+// invisible next to a network round trip, large enough to merge a burst.
+func (c *Client) NewCoalescerContext(ctx context.Context, maxBatch int, maxDelay time.Duration, opts ...CoalescerOption) *Coalescer {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
 	if maxDelay <= 0 {
 		maxDelay = 2 * time.Millisecond
 	}
-	return &Coalescer{c: c, maxBatch: maxBatch, maxDelay: maxDelay}
+	co := &Coalescer{c: c, ctx: ctx, maxBatch: maxBatch, maxDelay: maxDelay}
+	for _, opt := range opts {
+		opt(co)
+	}
+	return co
 }
 
 // Predict classifies one record, transparently batched with concurrent
@@ -90,8 +120,10 @@ func (co *Coalescer) onTimer() {
 }
 
 // flush runs one wire call for the batch and broadcasts per-call results.
-// The wire context is Background on purpose: the request serves every
-// caller in the batch, so one caller's cancellation must not kill it.
+// The wire context is the coalescer's base context, not any single
+// caller's: the request serves every caller in the batch, so one caller's
+// cancellation must not kill it — but tearing down the coalescer's scope
+// must.
 func (co *Coalescer) flush(batch []*coalesceCall) {
 	if len(batch) == 0 {
 		return
@@ -100,7 +132,13 @@ func (co *Coalescer) flush(batch []*coalesceCall) {
 	for i, call := range batch {
 		queries[i] = call.features
 	}
-	res, err := co.c.Predict(context.Background(), queries)
+	fctx := co.ctx
+	if co.flushTO > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(fctx, co.flushTO)
+		defer cancel()
+	}
+	res, err := co.c.Predict(fctx, queries)
 	for i, call := range batch {
 		if err != nil {
 			call.done <- coalesceResult{err: err}

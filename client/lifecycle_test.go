@@ -1,0 +1,167 @@
+package client
+
+// Lifecycle tests: cancellation and deadlines must reach every blocking
+// path in the client — a coalesced flush in flight, a stream Recv with no
+// response coming — instead of stranding goroutines on channels nothing
+// will close.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// stuckBackend serves requests that block until the test releases them (or
+// the request's own context dies), signalling each arrival on entered.
+func stuckBackend(t *testing.T) (url string, entered chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	entered = make(chan struct{}, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(func() { close(release); ts.Close() })
+	return ts.URL, entered
+}
+
+// Cancelling the coalescer's base context must abort an in-flight flush
+// and fail the waiting callers promptly — even callers whose own Predict
+// context is still alive, since the wire request runs under the base
+// context, not theirs.
+func TestCoalescerCancellationMidFlush(t *testing.T) {
+	url, entered := stuckBackend(t)
+	c, err := New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	co := c.NewCoalescerContext(ctx, 1, time.Hour) // maxBatch 1: flush on first call
+
+	errc := make(chan error, 1)
+	go func() {
+		_, _, _, err := co.Predict(context.Background(), []float64{0.1, 0.1})
+		errc <- err
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush never reached the wire")
+	}
+	cancel()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Predict after base-context cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Predict still blocked after the coalescer's context was cancelled")
+	}
+}
+
+// WithFlushTimeout bounds each wire flush on its own, with no caller or
+// base-context deadline involved.
+func TestCoalescerFlushTimeout(t *testing.T) {
+	url, entered := stuckBackend(t)
+	c, err := New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := c.NewCoalescer(1, time.Hour, WithFlushTimeout(30*time.Millisecond))
+
+	errc := make(chan error, 1)
+	go func() {
+		_, _, _, err := co.Predict(context.Background(), []float64{0.1, 0.1})
+		errc <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush never reached the wire")
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Predict with expired flush timeout = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Predict still blocked past the flush timeout")
+	}
+}
+
+// When the dial itself fails, the response consumer never runs, so the
+// results channel never closes. Recv must still return the transport
+// fault instead of blocking forever.
+func TestPredictStreamRecvUnblocksOnDialFailure(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // every dial to url now fails outright
+
+	c, err := New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := c.PredictStream(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ps.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Fatalf("Recv after dial failure = %v, want a transport error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv hung after the dial failed")
+	}
+}
+
+// Recv is bounded by the context the stream was opened with: cancelling it
+// while the server sits on the request unblocks the receiver.
+func TestPredictStreamRecvHonorsContext(t *testing.T) {
+	url, entered := stuckBackend(t)
+	c, err := New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ps, err := c.PredictStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ps.Recv()
+		done <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream request never reached the wire")
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Recv after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after the stream context was cancelled")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 // stream is the shared duplex plumbing of both stream kinds.
 type stream struct {
+	ctx   context.Context // the request context; bounds every blocking wait
 	pw    *io.PipeWriter
 	bw    *bufio.Writer
 	enc   *json.Encoder
@@ -42,6 +43,7 @@ func (c *Client) startStream(ctx context.Context, path string, consume func(*jso
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
 	s := &stream{
+		ctx:      ctx,
 		pw:       pw,
 		bw:       bufio.NewWriterSize(pw, 64<<10),
 		batch:    c.streamBatch,
@@ -257,20 +259,47 @@ func (ps *PredictStream) CloseSend() error {
 	return err
 }
 
-// Recv returns the next result, or io.EOF after the last one.
+// Recv returns the next result, or io.EOF after the last one. It is
+// bounded by the context the stream was opened with: if that context ends,
+// or the response goroutine dies without ever running the result consumer
+// (e.g. the dial itself failed), Recv returns the fault instead of
+// blocking forever on a channel nothing will ever close.
 func (ps *PredictStream) Recv() (PredictResult, error) {
-	res, ok := <-ps.results
-	if !ok {
-		// The results channel closes (inside consume) before startStream
-		// records a server-reported fault via fail; wait for the response
-		// goroutine to finish so a stream error is never misread as EOF.
-		<-ps.s.respDone
-		if err := ps.s.asyncErr(); err != nil {
-			return PredictResult{}, err
+	select {
+	case res, ok := <-ps.results:
+		if !ok {
+			return ps.endOfStream()
 		}
-		return PredictResult{}, io.EOF
+		return res, nil
+	case <-ps.s.respDone:
+		// The response side is finished, but results may still be
+		// buffered (the consumer closes the channel before respDone
+		// closes) — drain those before reporting the stream's fate.
+		select {
+		case res, ok := <-ps.results:
+			if ok {
+				return res, nil
+			}
+		default:
+			// The consumer never ran, so the channel never closes: the
+			// request failed before a response arrived.
+		}
+		return ps.endOfStream()
+	case <-ps.s.ctx.Done():
+		return PredictResult{}, ps.s.ctx.Err()
 	}
-	return res, nil
+}
+
+// endOfStream reports why no further results will arrive.
+func (ps *PredictStream) endOfStream() (PredictResult, error) {
+	// The results channel closes (inside consume) before startStream
+	// records a server-reported fault via fail; wait for the response
+	// goroutine to finish so a stream error is never misread as EOF.
+	<-ps.s.respDone
+	if err := ps.s.asyncErr(); err != nil {
+		return PredictResult{}, err
+	}
+	return PredictResult{}, io.EOF
 }
 
 // PredictAll streams every row through one bulk-prediction request and

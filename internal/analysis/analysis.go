@@ -1,0 +1,64 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the golang.org/x/tools/go/analysis core: Analyzer, Pass and Diagnostic,
+// plus a module-aware package loader (Load) and a driver (Run). It exists
+// because this repository's correctness rests on cross-cutting conventions
+// — the vfs fault seam, immutable published snapshots, errors.Is sentinel
+// matching, context threading — that nothing but a machine check can hold
+// through refactors, and the build environment vendors no external
+// modules. The API deliberately mirrors go/analysis so the analyzers in
+// the subpackages (vfsdiscipline, sentinelcmp, snapshotmut, atomicloadmut,
+// ctxflow) would port to the real framework by changing one import line.
+//
+// The suite is exposed as the cmd/hdclint multichecker, which runs both
+// standalone (hdclint ./...) and as a `go vet -vettool` backend.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker: a name, prose documentation
+// of the invariant it holds, and a Run function applied to one package at
+// a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line. It must be a valid Go identifier.
+	Name string
+
+	// Doc states the invariant, why it exists, and what the fix is.
+	// The first sentence is the summary shown by `hdclint help`.
+	Doc string
+
+	// Run applies the analyzer to one package. Findings are delivered
+	// through pass.Report; the error return is for operational failures
+	// (not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work: the parsed and
+// type-checked package plus the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the pass's FileSet and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,254 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want expectations, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the stdlib only.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/*.go. A line expecting a
+// diagnostic carries a comment of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// where each quoted (or backquoted) regexp must match the message of one
+// diagnostic reported on that line. Diagnostics without a matching
+// expectation, and expectations without a matching diagnostic, both fail
+// the test. Unlike `go vet` over the real tree, fixture _test.go files ARE
+// loaded — that is how an analyzer's test-file allowlist is proven to
+// hold.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hdcirc/internal/analysis"
+)
+
+// Run loads each fixture package below testdata/src, applies the analyzer
+// to it, and reports every mismatch between diagnostics and // want
+// expectations as a test error.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	fset := token.NewFileSet()
+	imp, err := newFixtureImporter(fset, srcRoot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgPaths {
+		fix, err := imp.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %q: %v", path, err)
+		}
+		checkPackage(t, a, fset, fix)
+	}
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, fix *fixture) {
+	t.Helper()
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     fix.files,
+		Pkg:       fix.pkg,
+		TypesInfo: fix.info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s failed on %s: %v", a.Name, fix.path, err)
+	}
+
+	want := map[string][]*expectation{} // "file:line" → expectations
+	for _, f := range fix.files {
+		for key, exps := range parseExpectations(t, fset, f) {
+			want[key] = append(want[key], exps...)
+		}
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, exp := range want[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, exps := range want {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.re)
+			}
+		}
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseExpectations extracts // want comments, keyed by "file:line" of the
+// comment's position.
+func parseExpectations(t *testing.T, fset *token.FileSet, f *ast.File) map[string][]*expectation {
+	t.Helper()
+	out := map[string][]*expectation{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			rest := strings.TrimSpace(text)
+			for rest != "" {
+				q, err := strconv.QuotedPrefix(rest)
+				if err != nil {
+					// Trailing prose after at least one pattern is fine.
+					if len(out[key]) > 0 {
+						break
+					}
+					t.Fatalf("%s: malformed // want comment %q: %v", key, c.Text, err)
+				}
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: malformed // want pattern %q: %v", key, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad // want regexp %q: %v", key, pat, err)
+				}
+				out[key] = append(out[key], &expectation{re: re})
+				rest = strings.TrimSpace(rest[len(q):])
+			}
+		}
+	}
+	return out
+}
+
+// fixture is one loaded fixture package.
+type fixture struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureImporter type-checks fixture packages from testdata/src, letting
+// them import one another by relative path, and resolves every other
+// import (stdlib) through build-cache export data.
+type fixtureImporter struct {
+	fset     *token.FileSet
+	srcRoot  string
+	fallback types.ImporterFrom
+	cache    map[string]*fixture
+}
+
+func newFixtureImporter(fset *token.FileSet, srcRoot string) (*fixtureImporter, error) {
+	ext, err := externalImports(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := analysis.ExportFiles(".", ext)
+	if err != nil {
+		return nil, err
+	}
+	return &fixtureImporter{
+		fset:     fset,
+		srcRoot:  srcRoot,
+		fallback: analysis.NewImporter(fset, exports),
+		cache:    map[string]*fixture{},
+	}, nil
+}
+
+// externalImports scans every fixture file and returns the import paths
+// that do not resolve to fixture packages — the set needing export data.
+func externalImports(srcRoot string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(srcRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), p, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %v", p, err)
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if st, err := os.Stat(filepath.Join(srcRoot, path)); err != nil || !st.IsDir() {
+				seen[path] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(fi.srcRoot, path)); err == nil && st.IsDir() {
+		fix, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fix.pkg, nil
+	}
+	return fi.fallback.ImportFrom(path, fi.srcRoot, 0)
+}
+
+// load parses and type-checks one fixture package (all .go files in its
+// directory, _test.go included).
+func (fi *fixtureImporter) load(path string) (*fixture, error) {
+	if fix, ok := fi.cache[path]; ok {
+		return fix, nil
+	}
+	dir := filepath.Join(fi.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	pkg, info, err := analysis.Check(path, fi.fset, files, fi)
+	if err != nil {
+		return nil, err
+	}
+	fix := &fixture{path: path, files: files, pkg: pkg, info: info}
+	fi.cache[path] = fix
+	return fix, nil
+}

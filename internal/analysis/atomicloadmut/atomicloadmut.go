@@ -1,0 +1,88 @@
+// Package atomicloadmut forbids writing through a pointer obtained from
+// an atomic.Pointer.Load() (or atomic.Value.Load()) call expression.
+//
+// The serving layer's publication pattern is copy-on-write: build a fresh
+// value, then Store it; Load hands out a shared, published value that
+// concurrent readers are dereferencing with no lock. `p.Load().field = x`
+// therefore mutates state that other goroutines are reading right now —
+// a data race that types happily allow. This analyzer flags any
+// assignment, ++/--, element write or whole-value overwrite whose target
+// chain passes through a .Load() call on a sync/atomic pointer-like
+// type. The fix is always the same: copy, mutate the copy, Store.
+//
+// Known limitation: only writes syntactically rooted in the Load() call
+// are caught; laundering the pointer through a variable first
+// (v := p.Load(); v.f = x) needs the type-based snapshotmut check, which
+// covers the repo's published types by name.
+package atomicloadmut
+
+import (
+	"go/ast"
+
+	"hdcirc/internal/analysis"
+)
+
+// Analyzer is the atomicloadmut checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicloadmut",
+	Doc: "forbid writes through atomic.Pointer.Load() results; published " +
+		"values are shared with lock-free readers — copy, mutate, Store",
+	Run: run,
+}
+
+// loadedTypes are the sync/atomic types whose Load results are published
+// shared state.
+var loadedTypes = map[string]bool{"Pointer": true, "Value": true}
+
+// throughAtomicLoad reports whether the assignment target's chain is
+// rooted in a .Load() call on a sync/atomic published container.
+func throughAtomicLoad(pass *analysis.Pass, expr ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, e)
+			if fn == nil || fn.Name() != "Load" {
+				return nil, false
+			}
+			recv := analysis.ReceiverNamed(fn)
+			if recv == nil || recv.Obj().Pkg() == nil {
+				return nil, false
+			}
+			if recv.Obj().Pkg().Path() == "sync/atomic" && loadedTypes[recv.Obj().Name()] {
+				return e, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	check := func(expr ast.Expr) {
+		if _, ok := throughAtomicLoad(pass, expr); ok {
+			pass.Reportf(expr.Pos(),
+				"write through atomic Load() mutates a published value shared with lock-free readers; copy it, mutate the copy, then Store")
+		}
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(n.X)
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicloadmut_test
+
+import (
+	"testing"
+
+	"hdcirc/internal/analysis/analysistest"
+	"hdcirc/internal/analysis/atomicloadmut"
+)
+
+func TestAtomicLoadMut(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicloadmut.Analyzer, "a")
+}

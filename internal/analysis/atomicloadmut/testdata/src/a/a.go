@@ -1,0 +1,39 @@
+// Fixture: writes through atomic Load() results are reported; the
+// copy-mutate-Store pattern and plain reads are not.
+package a
+
+import "sync/atomic"
+
+type S struct {
+	f  int
+	sl []int
+}
+
+var p atomic.Pointer[S]
+var v atomic.Value
+
+func bad() {
+	p.Load().f = 1      // want `write through atomic Load\(\)`
+	p.Load().sl[0] = 2  // want `write through atomic Load\(\)`
+	*p.Load() = S{}     // want `write through atomic Load\(\)`
+	p.Load().f++        // want `write through atomic Load\(\)`
+	v.Load().(*S).f = 3 // want `write through atomic Load\(\)`
+}
+
+func good() {
+	cp := *p.Load() // no finding: copy…
+	cp.f = 1        // …mutate the copy…
+	p.Store(&cp)    // …Store the new value
+	_ = p.Load().f  // no finding: read
+	_ = len(p.Load().sl)
+}
+
+// ownLoad proves the check is type-keyed, not name-keyed.
+type box struct{ f int }
+
+func (b *box) Load() *box { return b }
+
+func alias() {
+	b := &box{}
+	b.Load().f = 1 // no finding: not a sync/atomic Load
+}

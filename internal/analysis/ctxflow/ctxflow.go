@@ -1,0 +1,241 @@
+// Package ctxflow enforces context threading through the library's
+// blocking paths.
+//
+// PR 6 made the request lifecycle deadline-bounded end to end: the server
+// admits writes under a context, the client SDK layers WithCallTimeout
+// under the caller's context, and cancellation is the only way to abandon
+// a stuck path without leaking it. One context.Background() in the middle
+// of that chain silently severs it — the coalescer bug fixed in this PR
+// dropped every caller's deadline on the floor exactly that way. Two
+// checks:
+//
+//  1. context.Background() and context.TODO() are forbidden in library
+//     code (any non-main package, non-test file). The one structural
+//     exception is the stdlib's own pairing idiom: inside a function
+//     named X, passing Background directly to XContext — e.g. ApplyBatch
+//     delegating to ApplyBatchContext — is the documented "caller opted
+//     out of deadlines" entry point and stays allowed.
+//
+//  2. An exported function or method of a library package that blocks —
+//     a channel send/receive, a select without default, a range over a
+//     channel, or time.Sleep, directly in its body — must either accept
+//     a context.Context parameter or be a method of a stream-like type
+//     that carries the context it was opened with (a struct reachable
+//     from the receiver holds a context.Context field). Close() error
+//     methods are exempt: io.Closer's signature is fixed by contract.
+//
+// Blocking inside a function literal (goroutines the method launches) is
+// the launcher's business, not the API's, and is not flagged.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hdcirc/internal/analysis"
+)
+
+// Analyzer is the ctxflow checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background/TODO in library code (except the X → " +
+		"XContext pairing idiom) and exported blocking APIs that neither take " +
+		"a context nor belong to a context-carrying stream type",
+	Run: run,
+}
+
+func isContextType(t types.Type) bool {
+	n := analysis.NamedOf(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// hasContextParam reports whether any parameter (including variadic) is a
+// context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// carriesContext reports whether t (a receiver type) transitively holds a
+// context.Context struct field within depth levels — the stream-object
+// pattern, where the type is constructed under a context and every
+// blocking method is bounded by it.
+func carriesContext(t types.Type, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	st, ok := analysis.Deref(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isContextType(ft) {
+			return true
+		}
+		if carriesContext(ft, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName returns the bare name a call is spelled with (x.Foo → Foo).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// pairedDelegation reports whether the Background/TODO call at
+// stack[len-1] is an argument of a call to <enclosing>Context — the
+// allowed X → XContext pairing.
+func pairedDelegation(stack []ast.Node) bool {
+	fd := analysis.EnclosingFunc(stack)
+	if fd == nil || len(stack) < 2 {
+		return false
+	}
+	parent, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return calleeName(parent) == fd.Name.Name+"Context"
+}
+
+// exportedAPI reports whether fd is part of the package's exported API:
+// an exported function, or an exported method on an exported named
+// receiver type.
+func exportedAPI(info *types.Info, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	def, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := analysis.ReceiverNamed(def)
+	return recv != nil && recv.Obj().Exported()
+}
+
+// isCloser reports the io.Closer shape: Close() error — a signature fixed
+// by stdlib contract that cannot grow a context parameter.
+func isCloser(fd *ast.FuncDecl, sig *types.Signature) bool {
+	return fd.Name.Name == "Close" && fd.Recv != nil &&
+		sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		sig.Results().At(0).Type().String() == "error"
+}
+
+// blockingOp finds the first directly blocking operation in a function
+// body — pruning function literals — and describes it. ok is false for a
+// body with no direct blocking.
+func blockingOp(pass *analysis.Pass, body *ast.BlockStmt) (pos ast.Node, what string, ok bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pos, what, ok = n, "channel send", true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pos, what, ok = n, "channel receive", true
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, isComm := c.(*ast.CommClause); isComm && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pos, what, ok = n, "select without default", true
+			}
+			return false // comm clauses of a non-blocking select are fine
+		case *ast.RangeStmt:
+			if tv, found := pass.TypesInfo.Types[n.X]; found {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pos, what, ok = n, "range over channel", true
+				}
+			}
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, n)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pos, what, ok = n, "time.Sleep", true
+			}
+		}
+		return !ok
+	})
+	return pos, what, ok
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+
+	// Check 1: Background/TODO in library code.
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); name != "Background" && name != "TODO" {
+			return true
+		}
+		if analysis.IsTestFile(pass.Fset, call.Pos()) || pairedDelegation(stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s in library code severs the caller's cancellation/deadline chain; "+
+				"thread a context parameter (or delegate from X to XContext)", fn.Name())
+		return true
+	})
+
+	// Check 2: exported blocking APIs without a context.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedAPI(pass.TypesInfo, fd) {
+				continue
+			}
+			if analysis.IsTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			def, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := def.Type().(*types.Signature)
+			if hasContextParam(sig) || isCloser(fd, sig) {
+				continue
+			}
+			if sig.Recv() != nil && carriesContext(sig.Recv().Type(), 3) {
+				continue
+			}
+			if op, what, blocked := blockingOp(pass, fd.Body); blocked {
+				pass.Reportf(op.Pos(),
+					"exported %s blocks (%s) but takes no context.Context and its receiver carries none; "+
+						"callers cannot bound or cancel it", fd.Name.Name, what)
+			}
+		}
+	}
+	return nil
+}

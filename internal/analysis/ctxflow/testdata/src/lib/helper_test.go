@@ -1,0 +1,8 @@
+// Fixture: _test.go files may use Background freely.
+package lib
+
+import "context"
+
+func testHarness() error {
+	return Work(context.Background()) // no finding: test file
+}

@@ -1,0 +1,97 @@
+// Fixture: a library package — Background/TODO and un-bounded exported
+// blocking APIs are reported; the pairing idiom, context-carrying stream
+// types, non-blocking selects and unexported helpers are not.
+package lib
+
+import (
+	"context"
+	"time"
+)
+
+func Work(ctx context.Context) error { return nil }
+
+func Bad() error {
+	return Work(context.Background()) // want `context\.Background in library code`
+}
+
+func BadTODO() error {
+	return Work(context.TODO()) // want `context\.TODO in library code`
+}
+
+// Apply → ApplyContext is the stdlib pairing idiom: the one sanctioned
+// Background.
+func Apply() error                           { return ApplyContext(context.Background()) }
+func ApplyContext(ctx context.Context) error { return nil }
+
+// BadIndirect launders Background through a variable first — not the
+// pairing shape, still a severed chain.
+func BadIndirect() error {
+	ctx := context.Background() // want `context\.Background in library code`
+	return BadIndirectContext(ctx)
+}
+func BadIndirectContext(ctx context.Context) error { return nil }
+
+type Q struct{ ch chan int }
+
+func (q *Q) Pop() int { return <-q.ch } // want `exported Pop blocks \(channel receive\)`
+
+func (q *Q) Push(v int) { q.ch <- v } // want `exported Push blocks \(channel send\)`
+
+func (q *Q) PopContext(ctx context.Context) int {
+	select { // no finding: context-bounded
+	case v := <-q.ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func (q *Q) TryPop() (int, bool) {
+	select { // no finding: select with default never blocks
+	case v := <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func (q *Q) Gather() int {
+	n := 0
+	for range q.ch { // want `exported Gather blocks \(range over channel\)`
+		n++
+	}
+	return n
+}
+
+func (q *Q) Close() error { // no finding: io.Closer's signature is contract
+	<-q.ch
+	return nil
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond) // want `exported Nap blocks \(time\.Sleep\)`
+}
+
+// Stream carries the context it was opened with; its blocking methods are
+// bounded by construction.
+type Stream struct {
+	ctx context.Context
+	ch  chan int
+}
+
+func (s *Stream) Recv() int { return <-s.ch } // no finding: receiver carries ctx
+
+// Wrapped reaches a context through a nested struct — still bounded.
+type Wrapped struct{ s *Stream }
+
+func (w *Wrapped) Recv() int { return <-w.s.ch } // no finding: nested ctx carrier
+
+func drain(ch chan int) int { return <-ch } // no finding: unexported
+
+type hidden struct{ ch chan int }
+
+func (h *hidden) Wait() int { return <-h.ch } // no finding: unexported receiver type
+
+func Launch(ch chan int) {
+	go func() { <-ch }() // no finding: blocking inside a launched goroutine
+}

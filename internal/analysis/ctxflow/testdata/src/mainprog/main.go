@@ -1,0 +1,14 @@
+// Fixture: package main owns its process lifecycle — Background is the
+// correct root there, and blocking is its own business.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // no finding: package main
+	run(ctx)
+}
+
+func run(ctx context.Context) {}
+
+func WaitForever(ch chan int) int { return <-ch } // no finding: package main

@@ -1,0 +1,26 @@
+// Package hdclint registers the repository's invariant analyzers — the
+// single source of truth for what the cmd/hdclint multichecker runs, both
+// standalone and as a `go vet -vettool` backend. Adding an analyzer means
+// adding it here; the registry meta-test pins the expected set so a
+// refactor cannot silently drop one.
+package hdclint
+
+import (
+	"hdcirc/internal/analysis"
+	"hdcirc/internal/analysis/atomicloadmut"
+	"hdcirc/internal/analysis/ctxflow"
+	"hdcirc/internal/analysis/sentinelcmp"
+	"hdcirc/internal/analysis/snapshotmut"
+	"hdcirc/internal/analysis/vfsdiscipline"
+)
+
+// Analyzers returns the full registered suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		vfsdiscipline.Analyzer,
+		sentinelcmp.Analyzer,
+		snapshotmut.Analyzer,
+		atomicloadmut.Analyzer,
+		ctxflow.Analyzer,
+	}
+}

@@ -1,0 +1,66 @@
+package hdclint_test
+
+import (
+	"strings"
+	"testing"
+
+	"hdcirc/internal/analysis"
+	"hdcirc/internal/analysis/hdclint"
+)
+
+// TestRegisteredAnalyzerSet pins the multichecker's contents: exactly the
+// five invariant analyzers, in a stable order, each well-formed. A
+// refactor that drops or renames one fails here before CI quietly stops
+// checking an invariant.
+func TestRegisteredAnalyzerSet(t *testing.T) {
+	want := []string{"vfsdiscipline", "sentinelcmp", "snapshotmut", "atomicloadmut", "ctxflow"}
+	got := hdclint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d analyzers, want %d", len(got), len(want))
+	}
+	seen := map[string]bool{}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the repository itself — the
+// same check CI's lint job performs. Every convention violation must be
+// fixed in code, never suppressed, so the expected finding count is
+// exactly zero.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go command; skipped in -short")
+	}
+	pkgs, err := analysis.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the module", len(pkgs))
+	}
+	findings, err := analysis.Run(hdclint.Analyzers(), pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString("\n  " + f.String())
+	}
+	if len(findings) > 0 {
+		t.Errorf("hdclint found %d violation(s) in the repo — fix them in code (no suppressions):%s",
+			len(findings), b.String())
+	}
+}

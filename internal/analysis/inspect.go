@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WalkStack traverses every node of every file in depth-first order,
+// calling fn with the node and the stack of its ancestors (outermost
+// first; stack[len-1] == n). fn returning false prunes the subtree.
+func WalkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				// Children are pruned, but ast.Inspect still delivers the
+				// pop event for n, so keep it on the stack.
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the nearest named function declaration on the
+// stack — function literals are attributed to the declaration they occur
+// in — or nil at file scope.
+func EnclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// IsTestFile reports whether the position lies in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// CalleeFunc resolves a call expression to the concrete function or
+// method it invokes, or nil for calls through function values, built-ins
+// and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// ReceiverNamed returns the named type of a method's receiver (pointer
+// receivers are dereferenced), or nil for plain functions.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return NamedOf(sig.Recv().Type())
+}
+
+// Deref unwraps one level of pointer type.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns the named type of t after stripping pointers and type
+// aliases, or nil.
+func NamedOf(t types.Type) *types.Named {
+	t = types.Unalias(Deref(types.Unalias(t)))
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -json=<fields>` with the given arguments in dir and
+// decodes the newline-separated JSON stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	full := append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,Module,Error"}, args...)
+	cmd := exec.Command("go", full...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewImporter returns a types importer that resolves every import path
+// through compiler export data, looked up in the given path→file map —
+// the same mechanism `go vet` hands its analysis tools. The map typically
+// comes from `go list -export -deps`.
+func NewImporter(fset *token.FileSet, exportFiles map[string]string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exportFiles[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// ExportFiles resolves the given import paths (plus all their
+// dependencies) to build-cache export-data files, compiling them if
+// needed. It is how fixture tests obtain stdlib type information without
+// an installed toolchain package tree. An empty path list yields an empty
+// map without invoking the go command.
+func ExportFiles(dir string, paths []string) (map[string]string, error) {
+	out := map[string]string{}
+	if len(paths) == 0 {
+		return out, nil
+	}
+	pkgs, err := goList(dir, append([]string{"-export", "-deps"}, paths...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// NewTypesInfo allocates the full set of type-information maps the
+// analyzers rely on (uses, defs, selections, expression types).
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Check parses nothing and type-checks the given parsed files as one
+// package, resolving imports through imp. It returns the package, its
+// type info, and the first type error encountered (with all errors
+// joined).
+func Check(pkgPath string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	var tcErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	info := NewTypesInfo()
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if len(tcErrs) > 0 {
+		return pkg, info, fmt.Errorf("type-checking %s: %w", pkgPath, errors.Join(tcErrs...))
+	}
+	if err != nil {
+		return pkg, info, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return pkg, info, nil
+}
+
+// Load lists the packages matching patterns (relative to dir), parses and
+// type-checks each one, and returns them ready for analysis. Imports —
+// stdlib and intra-module alike — are resolved through build-cache export
+// data, so loading N packages costs N type-checks, not N·deps. Test files
+// are not loaded, matching `go vet` unit semantics. Any listing, parse or
+// type error fails the load: the linters only run on code that compiles.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	universe, err := goList(dir, append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exportFiles := make(map[string]string, len(universe))
+	for _, p := range universe {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exportFiles)
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", filepath.Join(t.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(t.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			PkgPath:   t.ImportPath,
+			Name:      t.Name,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     pkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}

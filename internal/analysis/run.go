@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one diagnostic attributed to the analyzer and package that
+// produced it.
+type Finding struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Diagnostic
+}
+
+// Position resolves the finding's position against its package's FileSet.
+func (f Finding) Position() token.Position {
+	return f.Pkg.Fset.Position(f.Pos)
+}
+
+// String renders the finding the way `go vet` does: file:line:col:
+// message, with the analyzer name appended for attribution.
+func (f Finding) String() string {
+	p := f.Position()
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", p.Filename, p.Line, p.Column, f.Message, f.Analyzer.Name)
+}
+
+// Run applies every analyzer to every package and returns all findings
+// sorted by file, line, column and analyzer name — a deterministic order
+// regardless of analyzer registration or package iteration order. The
+// error return reports an analyzer's operational failure, not findings.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			p := pkg
+			pass.Report = func(d Diagnostic) {
+				out = append(out, Finding{Analyzer: a, Pkg: p, Diagnostic: d})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position(), out[j].Position()
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer.Name < out[j].Analyzer.Name
+	})
+	return out, nil
+}

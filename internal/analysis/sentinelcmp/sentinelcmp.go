@@ -1,0 +1,126 @@
+// Package sentinelcmp forbids comparing this module's sentinel errors
+// with == or !=.
+//
+// Since PR 6 a single failure deliberately wraps TWO sentinels into one
+// chain — a degraded-mode write fails with an error that is both
+// ErrDegraded and ErrWALFailed, with the original syscall errno still
+// matchable underneath. `err == serve.ErrDegraded` is therefore never
+// true for real errors and silently misclassifies them; only errors.Is
+// walks the chain. The check applies to every sentinel declared in this
+// module (package-level `var ErrX` of error type). Comparisons against
+// OTHER modules' sentinels — io.EOF above all, whose contract is
+// documented identity — stay allowed.
+package sentinelcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hdcirc/internal/analysis"
+)
+
+// Analyzer is the sentinelcmp checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelcmp",
+	Doc: "forbid ==/!= against this module's sentinel errors: wrapped chains " +
+		"(ErrDegraded+ErrWALFailed) make identity comparison silently wrong; " +
+		"use errors.Is",
+	Run: run,
+}
+
+// localPrefixes identify the module whose sentinels must be matched with
+// errors.Is. Sentinels from other modules (io.EOF, sql.ErrNoRows, …) keep
+// their documented identity contracts.
+var localPrefixes = []string{"hdcirc"}
+
+func isLocalPkg(pkg, current *types.Package) bool {
+	if pkg == current {
+		return true
+	}
+	for _, pre := range localPrefixes {
+		if pkg.Path() == pre || strings.HasPrefix(pkg.Path(), pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// sentinelObj resolves expr to a package-level error variable named
+// Err*, or nil.
+func sentinelObj(info *types.Info, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() { // not package-level
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !types.Implements(v.Type(), errorInterface()) {
+		return nil
+	}
+	return v
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+func run(pass *analysis.Pass) error {
+	report := func(pos token.Pos, v *types.Var, op string) {
+		pass.Reportf(pos,
+			"%s compared with %s; module sentinels may be wrapped (even two in one chain) — use errors.Is(err, %s)",
+			qualified(v), op, qualified(v))
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if v := sentinelObj(pass.TypesInfo, side); v != nil && isLocalPkg(v.Pkg(), pass.Pkg) {
+					report(n.Pos(), v, n.Op.String())
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[n.Tag]
+			if !ok || !types.Implements(tv.Type, errorInterface()) {
+				return true
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if v := sentinelObj(pass.TypesInfo, e); v != nil && isLocalPkg(v.Pkg(), pass.Pkg) {
+						report(e.Pos(), v, "switch case")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func qualified(v *types.Var) string {
+	return v.Pkg().Name() + "." + v.Name()
+}

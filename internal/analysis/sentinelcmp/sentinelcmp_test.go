@@ -1,0 +1,13 @@
+package sentinelcmp_test
+
+import (
+	"testing"
+
+	"hdcirc/internal/analysis/analysistest"
+	"hdcirc/internal/analysis/sentinelcmp"
+)
+
+func TestSentinelCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelcmp.Analyzer,
+		"hdcirc/serve", "hdcirc/app", "ext/lib")
+}

@@ -1,0 +1,9 @@
+// Fixture: a package OUTSIDE the hdcirc module prefix — its sentinels
+// keep whatever contract their module documents.
+package lib
+
+import "errors"
+
+// ErrOther is another module's sentinel; comparing against it elsewhere
+// is that module's documented business.
+var ErrOther = errors.New("lib: other")

@@ -1,0 +1,27 @@
+// Fixture: a consumer package — cross-package comparisons against module
+// sentinels are reported; io.EOF-style external contracts are not.
+package app
+
+import (
+	"errors"
+	"io"
+
+	"ext/lib"
+	"hdcirc/serve"
+)
+
+func consume(err error) int {
+	if err == serve.ErrDegraded { // want `serve\.ErrDegraded compared with ==`
+		return 1
+	}
+	if err == io.EOF { // no finding: stdlib identity contract
+		return 2
+	}
+	if err == lib.ErrOther { // no finding: other module's sentinel
+		return 3
+	}
+	if errors.Is(err, serve.ErrWALFailed) { // no finding
+		return 4
+	}
+	return 0
+}

@@ -1,0 +1,43 @@
+// Fixture: a module package (path prefix hdcirc/) declaring sentinels and
+// comparing them — identity comparisons must be reported, errors.Is must
+// not.
+package serve
+
+import "errors"
+
+var (
+	ErrDegraded  = errors.New("serve: degraded")
+	ErrWALFailed = errors.New("serve: wal failed")
+	ErrClosed    = errors.New("serve: closed")
+)
+
+// notASentinel is package-level but not named Err*.
+var notASentinel = errors.New("serve: misc")
+
+func classify(err error) int {
+	if err == ErrDegraded { // want `serve\.ErrDegraded compared with ==`
+		return 1
+	}
+	if err != ErrWALFailed { // want `serve\.ErrWALFailed compared with !=`
+		return 2
+	}
+	if ErrClosed == err { // want `serve\.ErrClosed compared with ==`
+		return 3
+	}
+	switch err {
+	case ErrClosed: // want `serve\.ErrClosed compared with switch case`
+		return 4
+	case nil:
+		return 5
+	}
+	if errors.Is(err, ErrDegraded) { // no finding: errors.Is walks the chain
+		return 6
+	}
+	if err == notASentinel { // no finding: not an Err* sentinel
+		return 7
+	}
+	if err == nil { // no finding
+		return 8
+	}
+	return 0
+}

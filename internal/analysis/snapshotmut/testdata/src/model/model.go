@@ -1,0 +1,32 @@
+// Fixture: the classifier's published prototype view — classView may be
+// populated in finalizeLocked and ReadClassifier only.
+package model
+
+type classView struct {
+	protos []string
+	ix     *int
+}
+
+type Classifier struct {
+	cur *classView
+}
+
+func (c *Classifier) finalizeLocked() *classView {
+	view := &classView{}
+	view.protos = []string{"a"} // no finding: designated builder
+	view.ix = new(int)          // no finding: designated builder
+	return view
+}
+
+func ReadClassifier(data []string) *classView {
+	view := &classView{protos: data}
+	view.ix = new(int) // no finding: designated builder
+	return view
+}
+
+func (c *Classifier) tamper(view *classView) {
+	view.protos = nil                      // want `write to classView\.protos outside builder\(s\) ReadClassifier/finalizeLocked`
+	view.protos = append(view.protos, "z") // want `write to classView\.protos outside`
+	*view.ix = 3                           // want `write to classView\.ix outside` — pointee of a published field is still shared state
+	view.ix = nil                          // want `write to classView\.ix outside`
+}

@@ -1,0 +1,12 @@
+// Fixture: same type NAMES in an unrelated package — out of scope, the
+// protection is keyed on (package name, type name).
+package other
+
+type Snapshot struct {
+	version uint64
+}
+
+func touch(s *Snapshot) {
+	s.version = 1 // no finding: not the serve package
+	s.version++   // no finding
+}

@@ -1,0 +1,47 @@
+// Fixture: a package named serve with Snapshot/shardView types — writes
+// are legal only inside buildSnapshotLocked.
+package serve
+
+type shardView struct {
+	classes []int
+	proto   []string
+}
+
+type Snapshot struct {
+	version uint64
+	shards  []shardView
+}
+
+type Server struct {
+	cur     *Snapshot
+	version uint64
+}
+
+// buildSnapshotLocked is the designated builder: every write here is
+// pre-publication and allowed.
+func (s *Server) buildSnapshotLocked() *Snapshot {
+	snap := &Snapshot{version: s.version}
+	snap.shards = make([]shardView, 2) // no finding: builder
+	view := shardView{}
+	view.classes = append(view.classes, 1) // no finding: builder
+	view.proto = []string{"p"}             // no finding: builder
+	snap.shards[0] = view                  // no finding: builder
+	snap.version++                         // no finding: builder
+	func() {
+		// Function literals inside the builder are attributed to it —
+		// buildSnapshotLocked fans writes out across a worker pool.
+		snap.shards[1] = view // no finding: builder (via func literal)
+	}()
+	return snap
+}
+
+func (s *Server) leak(snap *Snapshot) {
+	snap.version = 7              // want `write to Snapshot\.version outside builder\(s\) buildSnapshotLocked`
+	snap.version++                // want `write to Snapshot\.version outside`
+	snap.shards[0].proto = nil    // want `write to shardView\.proto outside`
+	snap.shards[0].classes[0] = 9 // want `write to shardView\.classes outside`
+	*snap = Snapshot{}            // want `write to Snapshot outside`
+	v := &snap.shards[1]
+	v.proto = append(v.proto, "q") // want `write to shardView\.proto outside`
+	_ = snap.version               // no finding: reads are the point
+}

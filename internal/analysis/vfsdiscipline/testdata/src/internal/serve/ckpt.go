@@ -1,0 +1,15 @@
+// Fixture: the checkpoint writer (import-path suffix internal/serve) is
+// in scope too.
+package serve
+
+import "os"
+
+func writeCheckpoint(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `direct os\.MkdirAll bypasses`
+		return err
+	}
+	if err := os.WriteFile(dir+"/ckpt.tmp", nil, 0o644); err != nil { // want `direct os\.WriteFile bypasses`
+		return err
+	}
+	return os.Rename(dir+"/ckpt.tmp", dir+"/ckpt") // want `direct os\.Rename bypasses`
+}

@@ -1,0 +1,13 @@
+// Fixture: the seam implementation itself (import-path suffix
+// internal/vfs) is the one place direct os calls are the point.
+package vfs
+
+import "os"
+
+func open(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0o644) // no finding: vfs is the passthrough
+}
+
+func remove(path string) error {
+	return os.Remove(path) // no finding
+}

@@ -1,0 +1,56 @@
+// Fixture: a durability package (import-path suffix internal/wal) where
+// direct os file I/O must be reported and seam-routed I/O must not.
+package wal
+
+import "os"
+
+// File and FS model the vfs seam: methods on these interfaces are the
+// sanctioned way to touch the file system.
+type File interface {
+	Sync() error
+	Close() error
+}
+
+type FS interface {
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	Rename(oldPath, newPath string) error
+}
+
+func rotate(fs FS) error {
+	f, err := os.OpenFile("seg", os.O_CREATE|os.O_WRONLY, 0o644) // want `direct os\.OpenFile bypasses the internal/vfs fault seam`
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `\(\*os\.File\)\.Sync bypasses the internal/vfs fault seam`
+		return err
+	}
+	if err := os.Rename("seg", "seg.1"); err != nil { // want `direct os\.Rename bypasses`
+		return err
+	}
+	if err := os.Remove("seg.corrupt"); err != nil { // want `direct os\.Remove bypasses`
+		return err
+	}
+	if _, err := os.Stat("seg.1"); os.IsNotExist(err) { // want `direct os\.Stat bypasses`
+		return err
+	}
+	return nil
+}
+
+// throughSeam exercises the allowed path: vfs-style interface calls and
+// os helpers without a seam equivalent stay silent.
+func throughSeam(fs FS) error {
+	g, err := fs.OpenFile("seg", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := g.Sync(); err != nil { // interface method, not (*os.File).Sync
+		return err
+	}
+	if err := fs.Rename("seg", "seg.1"); err != nil {
+		return err
+	}
+	if os.IsNotExist(err) { // predicate helpers are not file I/O
+		return nil
+	}
+	return g.Close()
+}

@@ -1,0 +1,16 @@
+// Fixture: _test.go files in a scoped package are allowlisted — tests may
+// arrange real files directly.
+package wal
+
+import "os"
+
+func helperForTests() error {
+	f, err := os.Create("fixture") // no finding: test file
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // no finding: test file
+		return err
+	}
+	return os.Remove("fixture") // no finding: test file
+}

@@ -1,0 +1,14 @@
+// Fixture: packages outside internal/wal and internal/serve are out of
+// scope entirely.
+package other
+
+import "os"
+
+func scratch() error {
+	f, err := os.Create("scratch") // no finding: out of scope
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync() // no finding: out of scope
+}

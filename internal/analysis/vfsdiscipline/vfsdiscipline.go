@@ -1,0 +1,101 @@
+// Package vfsdiscipline forbids direct os file-system calls in the
+// durability packages.
+//
+// PR 6 routed every file operation in internal/wal and the internal/serve
+// checkpoint writer through the internal/vfs seam so that FaultFS can
+// inject ENOSPC, EIO, torn writes and failed fsyncs underneath them. A
+// direct os.OpenFile / os.Rename / (*os.File).Sync in those packages
+// silently escapes the seam: the chaos tests keep passing while the code
+// path they were supposed to cover goes dark. This analyzer makes the
+// seam load-bearing: inside internal/wal and internal/serve, the os
+// functions that vfs.FS mirrors are compile-time-forbidden. internal/vfs
+// itself (the seam's OS passthrough), cmd/ binaries and _test.go files
+// are out of scope by construction.
+package vfsdiscipline
+
+import (
+	"go/ast"
+	"strings"
+
+	"hdcirc/internal/analysis"
+)
+
+// Analyzer is the vfsdiscipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "vfsdiscipline",
+	Doc: "forbid direct os file I/O in internal/wal and internal/serve; " +
+		"all file operations there must go through the internal/vfs fault seam " +
+		"so storage fault injection keeps covering them",
+	Run: run,
+}
+
+// scopedSuffixes are the import-path suffixes the discipline applies to.
+var scopedSuffixes = []string{"internal/wal", "internal/serve"}
+
+// forbiddenFuncs maps os package functions to the vfs.FS replacement that
+// keeps the operation inside the fault seam.
+var forbiddenFuncs = map[string]string{
+	"Open":       "FS.Open",
+	"OpenFile":   "FS.OpenFile",
+	"Create":     "FS.OpenFile",
+	"CreateTemp": "FS.OpenFile",
+	"ReadFile":   "FS.Open",
+	"WriteFile":  "FS.OpenFile",
+	"Mkdir":      "FS.MkdirAll",
+	"MkdirAll":   "FS.MkdirAll",
+	"Rename":     "FS.Rename",
+	"Remove":     "FS.Remove",
+	"RemoveAll":  "FS.Remove",
+	"Truncate":   "FS.Truncate",
+	"Stat":       "FS.Stat",
+	"ReadDir":    "FS.ReadDir",
+}
+
+// forbiddenFileMethods are *os.File methods with a vfs.File equivalent.
+var forbiddenFileMethods = map[string]string{
+	"Sync":     "File.Sync",
+	"Truncate": "FS.Truncate",
+}
+
+func inScope(pkgPath string) bool {
+	for _, suf := range scopedSuffixes {
+		if pkgPath == suf || strings.HasSuffix(pkgPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+			return true
+		}
+		if analysis.IsTestFile(pass.Fset, call.Pos()) {
+			return true
+		}
+		if recv := analysis.ReceiverNamed(fn); recv != nil {
+			if recv.Obj().Name() == "File" {
+				if repl, bad := forbiddenFileMethods[fn.Name()]; bad {
+					pass.Reportf(call.Pos(),
+						"(*os.File).%s bypasses the internal/vfs fault seam; use vfs.%s", fn.Name(), repl)
+				}
+			}
+			return true
+		}
+		if repl, bad := forbiddenFuncs[fn.Name()]; bad {
+			pass.Reportf(call.Pos(),
+				"direct os.%s bypasses the internal/vfs fault seam; use vfs.%s", fn.Name(), repl)
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,13 @@
+package vfsdiscipline_test
+
+import (
+	"testing"
+
+	"hdcirc/internal/analysis/analysistest"
+	"hdcirc/internal/analysis/vfsdiscipline"
+)
+
+func TestVFSDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", vfsdiscipline.Analyzer,
+		"internal/wal", "internal/serve", "internal/vfs", "other")
+}
