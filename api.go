@@ -13,6 +13,7 @@ import (
 	"hdcirc/internal/markov"
 	"hdcirc/internal/model"
 	"hdcirc/internal/rng"
+	"hdcirc/internal/scenario"
 	"hdcirc/internal/serve"
 )
 
@@ -453,3 +454,25 @@ func NewServeEncoder(cfg ServeEncoderConfig) (ServeEncoder, error) {
 // flag parsing; the Go client SDK for the protocol is package
 // hdcirc/client.
 func ServeHandler(cfg ServeHandlerConfig) (http.Handler, error) { return httpapi.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Served scenario workloads
+// ---------------------------------------------------------------------------
+
+// Scenario is one end-to-end served workload: model geometry, a
+// deterministic wire encoder for a domain pipeline (n-gram text, GraphHD
+// edge bundles, streaming EMG windows), train/test splits as wire rows,
+// and the accuracy floor the served pipeline must reach. cmd/hdcserve
+// hosts one with -scenario; cmd/hdcload replays its splits as traffic.
+type Scenario = scenario.Scenario
+
+// ScenarioRow is one labeled wire record of a scenario split.
+type ScenarioRow = scenario.Row
+
+// ScenarioNames lists the registered scenario workloads in stable order.
+func ScenarioNames() []string { return scenario.Names() }
+
+// BuildScenario constructs the named scenario deterministically: two
+// calls yield bit-identical encoders and splits, so a load generator and
+// a server agree on the workload without shipping model state.
+func BuildScenario(name string) (*Scenario, error) { return scenario.Build(name) }

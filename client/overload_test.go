@@ -1,0 +1,219 @@
+package client
+
+// Admission control under real concurrency: a fleet of parallel SDK
+// clients saturates a tightly-gated server over real TCP — requests
+// genuinely in flight, not recorded handlers — and the contract must
+// hold: the gate's capacity admits, the queue blocks, everything beyond
+// is shed as a structured 429 whose envelope carries the Retry-After
+// hint, the shed count lands on the http_rejected counter, and the
+// observability plane (stats, healthz) stays reachable the whole time.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/httpapi"
+	"hdcirc/internal/serve"
+)
+
+// gateStallEncoder blocks every Encode while armed, holding requests
+// inside the handler so the test can fill the admission gate and keep it
+// full deliberately. (httpapi.New probes Encode once at construction,
+// before the test arms it.)
+type gateStallEncoder struct {
+	dim     int
+	armed   atomic.Bool
+	entered chan struct{} // one token per Encode that reached the stall
+	release chan struct{} // closed to let them all through
+}
+
+func (e *gateStallEncoder) Fields() int { return 2 }
+
+func (e *gateStallEncoder) Encode(features []float64) *bitvec.Vector {
+	if e.armed.Load() {
+		e.entered <- struct{}{}
+		<-e.release
+	}
+	return bitvec.New(e.dim)
+}
+
+func TestAdmissionGateUnderConcurrentClients(t *testing.T) {
+	const (
+		maxInFlight = 2
+		maxQueue    = 2
+		retryAfter  = time.Second
+		lateComers  = 14 // fired once the gate's in-flight slots are held
+	)
+	srv, err := serve.NewServer(serve.Config{Dim: 256, Classes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := &gateStallEncoder{
+		dim:     256,
+		entered: make(chan struct{}, maxInFlight+maxQueue+lateComers),
+		release: make(chan struct{}),
+	}
+	api, err := httpapi.New(httpapi.Config{
+		Server: srv, Encoder: enc,
+		MaxInFlight: maxInFlight, MaxQueue: maxQueue, RetryAfter: retryAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	enc.armed.Store(true)
+	defer func() { // unblock any straggler before ts.Close waits on handlers
+		select {
+		case <-enc.release:
+		default:
+			close(enc.release)
+		}
+	}()
+
+	// Every worker gets its own Client with retries and the breaker off:
+	// one request, one verdict, nothing masked.
+	newCli := func() *Client {
+		cli, err := New(ts.URL, WithRetry(1, 0), WithCircuitBreaker(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cli
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	predict := func(results chan<- error) {
+		_, _, err := newCli().PredictOne(ctx, []float64{0.1, 0.2})
+		results <- err
+	}
+
+	// Phase 1: two requests take both in-flight slots and stall inside the
+	// handler — confirmed by the stall tokens, not by sleeping.
+	holders := make(chan error, maxInFlight)
+	for i := 0; i < maxInFlight; i++ {
+		go predict(holders)
+	}
+	for i := 0; i < maxInFlight; i++ {
+		select {
+		case <-enc.entered:
+		case <-ctx.Done():
+			t.Fatal("in-flight holders never reached the handler")
+		}
+	}
+
+	// While the gate is saturated, the observability plane must answer:
+	// stats and healthz bypass admission control by design.
+	obs := newCli()
+	if _, err := obs.Stats(ctx); err != nil {
+		t.Errorf("stats gated during saturation: %v", err)
+	}
+	if _, err := obs.Health(ctx); err != nil {
+		t.Errorf("healthz gated during saturation: %v", err)
+	}
+
+	// Phase 2: a concurrent burst. maxQueue of them block in the queue;
+	// the rest must be shed immediately with the full 429 contract.
+	late := make(chan error, lateComers)
+	var wg sync.WaitGroup
+	for i := 0; i < lateComers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			predict(late)
+		}()
+	}
+	// Sheds return immediately; queued waiters stay blocked until the
+	// stall is released. Drain rejections until the flow goes quiet. The
+	// gate's documented benign queue overshoot under contention can admit
+	// a few extra waiters, so the shed count is bounded, not exact — the
+	// books are balanced exactly after release below.
+	var shed int
+	var hintless int
+	for quiet := false; !quiet; {
+		select {
+		case err := <-late:
+			if err == nil {
+				t.Fatal("a burst request succeeded while the gate was held full")
+			}
+			var apiErr *Error
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("shed request returned a non-protocol error: %v", err)
+			}
+			if apiErr.Code != CodeOverloaded {
+				t.Fatalf("shed request code = %q, want %q", apiErr.Code, CodeOverloaded)
+			}
+			if apiErr.RetryAfterMS != retryAfter.Milliseconds() {
+				hintless++
+			}
+			shed++
+		case <-time.After(2 * time.Second):
+			quiet = true
+		}
+	}
+	if hintless > 0 {
+		t.Errorf("%d shed responses missing the %dms Retry-After hint", hintless, retryAfter.Milliseconds())
+	}
+	if shed < lateComers/2 {
+		t.Fatalf("only %d of %d burst requests were shed; the gate barely fired", shed, lateComers)
+	}
+	if shed > lateComers-maxQueue {
+		t.Fatalf("%d shed of %d: more than the queue capacity allows to be rejected", shed, lateComers)
+	}
+
+	// The shed traffic is visible to operators while the gate is STILL
+	// saturated — the counter must not wait for the stall to clear.
+	stats, err := obs.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HTTPRejected < uint64(shed) {
+		t.Errorf("http_rejected = %d, want >= %d", stats.HTTPRejected, shed)
+	}
+
+	// Phase 3: release the stall. The holders and every queued waiter
+	// complete successfully — queueing delayed them, it didn't drop them.
+	close(enc.release)
+	for i := 0; i < maxInFlight; i++ {
+		select {
+		case err := <-holders:
+			if err != nil {
+				t.Errorf("in-flight holder %d failed: %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("in-flight holder never completed")
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("burst workers never finished after release")
+	}
+	queued := 0
+	for drained := false; !drained; {
+		select {
+		case err := <-late:
+			if err != nil {
+				t.Errorf("queued waiter failed after release: %v", err)
+			}
+			queued++
+		default:
+			drained = true
+		}
+	}
+	// Exact books: every burst request either shed or queued-then-served.
+	if shed+queued != lateComers {
+		t.Errorf("accounting: %d shed + %d served != %d fired", shed, queued, lateComers)
+	}
+	if queued < maxQueue {
+		t.Errorf("%d queued waiters completed, want >= %d (the queue must delay, not drop)", queued, maxQueue)
+	}
+}

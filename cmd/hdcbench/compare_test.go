@@ -1,0 +1,138 @@
+package main
+
+// Self-tests for the statistical bench gate: a deliberate regression must
+// fire it, runner noise must not, and the exact allocs/op ratchet must
+// catch a single added allocation. These run against runCompare itself —
+// the same code path CI exercises — so a gate that silently stops gating
+// fails here first.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeReport marshals a report to a temp file and returns its path.
+func writeTestReport(t *testing.T, name string, rep report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func kernel(name string, samples []float64, allocs int64, workers int) kernelResult {
+	return kernelResult{
+		Name:        name,
+		NsPerOp:     medianFloat(samples),
+		AllocsPerOp: allocs,
+		Workers:     workers,
+		Samples:     samples,
+	}
+}
+
+func compareReports(t *testing.T, base, cur report) int {
+	t.Helper()
+	return runCompare(
+		writeTestReport(t, "base.json", base),
+		writeTestReport(t, "cur.json", cur),
+		0.35,
+	)
+}
+
+func TestCompareGateFiresOnDeliberateRegression(t *testing.T) {
+	// Median +60%, sample sets fully separated: unambiguous slowdown.
+	base := report{Kernels: []kernelResult{kernel("bind", []float64{100, 101, 102, 99, 100}, 0, 1)}}
+	cur := report{Kernels: []kernelResult{kernel("bind", []float64{160, 161, 159, 162, 160}, 0, 1)}}
+	if code := compareReports(t, base, cur); code != 1 {
+		t.Fatalf("deliberate regression passed the gate (exit %d)", code)
+	}
+}
+
+func TestCompareGatePassesEqualRuns(t *testing.T) {
+	base := report{Kernels: []kernelResult{kernel("bind", []float64{100, 101, 102, 99, 100}, 2, 1)}}
+	cur := report{Kernels: []kernelResult{kernel("bind", []float64{101, 100, 99, 102, 100}, 2, 1)}}
+	if code := compareReports(t, base, cur); code != 0 {
+		t.Fatalf("equal runs failed the gate (exit %d)", code)
+	}
+}
+
+func TestCompareGateIgnoresInsignificantMedianShift(t *testing.T) {
+	// The medians differ 2× but the sample sets interleave heavily: a
+	// bimodal runner, not a code change. The rank test must hold the gate.
+	base := report{Kernels: []kernelResult{kernel("bind", []float64{100, 100, 100, 200, 200}, 0, 1)}}
+	cur := report{Kernels: []kernelResult{kernel("bind", []float64{200, 100, 200, 100, 200}, 0, 1)}}
+	if code := compareReports(t, base, cur); code != 0 {
+		t.Fatalf("insignificant median shift fired the gate (exit %d)", code)
+	}
+}
+
+func TestCompareAllocGateIsExact(t *testing.T) {
+	flat := []float64{100, 100, 100, 100, 100}
+	base := report{Kernels: []kernelResult{kernel("predict_k32", flat, 3, 1)}}
+	worse := report{Kernels: []kernelResult{kernel("predict_k32", flat, 4, 1)}}
+	if code := compareReports(t, base, worse); code != 1 {
+		t.Fatalf("a single added alloc/op passed the gate (exit %d)", code)
+	}
+	better := report{Kernels: []kernelResult{kernel("predict_k32", flat, 2, 1)}}
+	if code := compareReports(t, base, better); code != 0 {
+		t.Fatalf("an alloc/op decrease failed the gate (exit %d)", code)
+	}
+}
+
+func TestCompareLegacyReportsFallBackToMedians(t *testing.T) {
+	// Sample-less reports (an old committed baseline) still gate on the
+	// point comparison — the gate never goes dark during a transition.
+	base := report{Kernels: []kernelResult{{Name: "bind", NsPerOp: 100, Workers: 1}}}
+	cur := report{Kernels: []kernelResult{{Name: "bind", NsPerOp: 150, Workers: 1}}}
+	if code := compareReports(t, base, cur); code != 1 {
+		t.Fatalf("legacy 50%% regression passed the gate (exit %d)", code)
+	}
+}
+
+func TestCompareSkipsMismatchedWorkerRows(t *testing.T) {
+	// Machine-width rows on machines of different width: reported, never
+	// gated — aggregate parallel ns/op is not comparable across widths.
+	base := report{Kernels: []kernelResult{kernel("serve_predict_par", []float64{100, 100, 100}, 0, 8)}}
+	cur := report{Kernels: []kernelResult{kernel("serve_predict_par", []float64{400, 400, 400}, 0, 2)}}
+	if code := compareReports(t, base, cur); code != 0 {
+		t.Fatalf("mismatched-workers row was gated (exit %d)", code)
+	}
+}
+
+func TestMannWhitneyGreater(t *testing.T) {
+	sep := mannWhitneyGreater([]float64{1, 2, 3, 4, 5}, []float64{10, 11, 12, 13, 14})
+	if !sep {
+		t.Error("fully separated samples not significant")
+	}
+	if mannWhitneyGreater([]float64{1, 2, 3, 4, 5}, []float64{1, 2, 3, 4, 5}) {
+		t.Error("identical samples reported significant")
+	}
+	if mannWhitneyGreater([]float64{10, 11, 12, 13, 14}, []float64{1, 2, 3, 4, 5}) {
+		t.Error("an improvement reported as a significant slowdown")
+	}
+}
+
+func TestMedians(t *testing.T) {
+	if m := medianFloat([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("medianFloat odd = %v", m)
+	}
+	if m := medianFloat([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("medianFloat even = %v", m)
+	}
+	if m := medianInt([]int64{5, 1, 3}); m != 3 {
+		t.Errorf("medianInt odd = %d", m)
+	}
+	if m := medianInt([]int64{1, 2, 3, 4}); m != 2 {
+		t.Errorf("medianInt even = %d", m)
+	}
+	if medianFloat(nil) != 0 || medianInt(nil) != 0 {
+		t.Error("empty medians must be 0")
+	}
+}

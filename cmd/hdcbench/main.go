@@ -8,6 +8,13 @@
 //	go run ./cmd/hdcbench            # d=10000, writes BENCH_kernels.json
 //	go run ./cmd/hdcbench -d 4096 -o -   # custom dimension, JSON to stdout
 //
+// Each kernel is measured -samples times in interleaved round-robin
+// order — every kernel once per round, then the next round — so drift in
+// the runner (thermal ramps, noisy neighbors) lands evenly across
+// kernels instead of poisoning whichever one ran last. The report
+// records the per-round samples; ns/op, B/op and allocs/op are the
+// medians across rounds.
+//
 // It is also the CI bench-regression gate: -compare diffs a freshly
 // measured report against a committed baseline and fails on any kernel
 // that regressed past the threshold:
@@ -15,9 +22,18 @@
 //	go run ./cmd/hdcbench -o current.json
 //	go run ./cmd/hdcbench -compare BENCH_kernels.json current.json
 //
-// Rows whose recorded worker counts differ between baseline and current
-// (the parallel benches on machines of different width) are reported but
-// not gated — their ns/op are not comparable across core counts.
+// The gate is statistical, not a single-number diff: a kernel fails only
+// when the median regression exceeds -max-regress AND a one-sided
+// Mann-Whitney rank test on the two sample sets rejects "no slowdown" at
+// α=0.05 — a noisy runner that happens to catch one bad round cannot
+// fail the build, and a consistent small-sample slowdown cannot hide
+// behind a lucky median. allocs/op is gated exactly: any increase fails,
+// since allocation counts are deterministic per code path. Rows whose
+// recorded worker counts differ between baseline and current (the
+// machine-width parallel benches on machines of different width) are
+// reported but not gated — their ns/op are not comparable across core
+// counts; the fixed-width _w2/_w4 scaling rows exist to stay gateable
+// everywhere.
 package main
 
 import (
@@ -25,10 +41,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"hdcirc/client"
@@ -45,16 +65,22 @@ import (
 )
 
 type kernelResult struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are medians across the
+	// interleaved measurement rounds.
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// Workers is the number of goroutines actually doing the work for this
 	// row: 1 for the serial kernels, the batch-pool width for pooled
-	// benches, GOMAXPROCS for the RunParallel benches. ns/op for rows with
-	// Workers > 1 is aggregate wall time per op at that fan-in, so it is
-	// only comparable between runs with equal Workers.
+	// benches, GOMAXPROCS for the RunParallel benches, the fixed width for
+	// the _wN scaling rows. ns/op for rows with Workers > 1 is aggregate
+	// wall time per op at that fan-in, so it is only comparable between
+	// runs with equal Workers.
 	Workers int `json:"workers"`
+	// Samples holds the per-round ns/op measurements behind the medians;
+	// -compare feeds them to the rank test.
+	Samples []float64 `json:"samples_ns,omitempty"`
 }
 
 type indexReport struct {
@@ -68,11 +94,18 @@ type indexReport struct {
 }
 
 type report struct {
-	Dimension  int            `json:"dimension"`
-	GoVersion  string         `json:"go_version"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Kernels    []kernelResult `json:"kernels"`
-	Index      *indexReport   `json:"index,omitempty"`
+	Dimension int    `json:"dimension"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the parallelism requested of the runtime; NumCPU is
+	// what the machine effectively offers. A report measured with the two
+	// diverging (a capped container, taskset) explains otherwise-puzzling
+	// parallel rows.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// SamplesPerKernel is the number of interleaved measurement rounds.
+	SamplesPerKernel int            `json:"samples_per_kernel"`
+	Kernels          []kernelResult `json:"kernels"`
+	Index            *indexReport   `json:"index,omitempty"`
 }
 
 func fatalf(format string, args ...any) {
@@ -83,8 +116,9 @@ func fatalf(format string, args ...any) {
 func main() {
 	d := flag.Int("d", 10000, "hypervector dimension")
 	out := flag.String("o", "BENCH_kernels.json", "output path, or - for stdout")
+	samples := flag.Int("samples", 5, "interleaved measurement rounds per kernel; medians are reported, the rounds feed -compare's rank test")
 	compare := flag.String("compare", "", "baseline report to diff against; the positional argument is the current report (compare-only mode, no benchmarks run)")
-	maxRegress := flag.Float64("max-regress", 0.35, "with -compare: maximum tolerated ns/op regression per kernel (0.35 = +35%)")
+	maxRegress := flag.Float64("max-regress", 0.35, "with -compare: maximum tolerated median ns/op regression per kernel (0.35 = +35%), gated at α=0.05 significance when both reports carry samples")
 	flag.Parse()
 	if *compare != "" {
 		if flag.NArg() != 1 {
@@ -94,6 +128,10 @@ func main() {
 	}
 	if *d <= 0 {
 		fmt.Fprintf(os.Stderr, "hdcbench: -d must be positive, got %d\n", *d)
+		os.Exit(2)
+	}
+	if *samples < 1 {
+		fmt.Fprintf(os.Stderr, "hdcbench: -samples must be at least 1, got %d\n", *samples)
 		os.Exit(2)
 	}
 
@@ -128,6 +166,11 @@ func main() {
 	}
 	clf.Finalize()
 	pool := batch.New(0)
+	// Fixed-width pools for the _wN scaling rows: unlike the machine-width
+	// pool above, their worker counts match on every machine, so the rows
+	// gate in -compare everywhere and their ratios expose scaling
+	// regressions (a lost parallel speedup) rather than core counts.
+	pool2, pool4 := batch.New(2), batch.New(4)
 
 	// Serving-layer fixture: the same 32-class workload behind snapshots.
 	srv, err := serve.NewServer(serve.Config{Dim: *d, Classes: k, Shards: 4, Seed: 7})
@@ -352,6 +395,16 @@ func main() {
 				_, _ = clf.PredictBatch(pool, queries)
 			}
 		}},
+		{"predict_batch256_w2", 2, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = clf.PredictBatch(pool2, queries)
+			}
+		}},
+		{"predict_batch256_w4", 4, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = clf.PredictBatch(pool4, queries)
+			}
+		}},
 		{"serve_predict", 1, func(b *testing.B) {
 			snap := srv.Snapshot()
 			for i := 0; i < b.N; i++ {
@@ -371,6 +424,8 @@ func main() {
 				}
 			})
 		}},
+		{"serve_predict_par_w2", 2, fixedParPredict(srv, queries, 2)},
+		{"serve_predict_par_w4", 4, fixedParPredict(srv, queries, 4)},
 		{"serve_apply_batch256", srv.Pool().Workers(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := srv.ApplyBatch(sb); err != nil {
@@ -475,21 +530,47 @@ func main() {
 		}},
 	}
 
-	rep := report{Dimension: *d, GoVersion: runtime.Version(), GOMAXPROCS: gmp}
+	rep := report{
+		Dimension: *d, GoVersion: runtime.Version(),
+		GOMAXPROCS: gmp, NumCPU: runtime.NumCPU(),
+		SamplesPerKernel: *samples,
+	}
+	// Interleaved rounds: every kernel once per round, so runner drift
+	// spreads across all kernels instead of concentrating in the last.
+	type measure struct {
+		ns     []float64
+		bytes  []int64
+		allocs []int64
+	}
+	measures := make([]measure, len(benches))
+	for round := 0; round < *samples; round++ {
+		fmt.Fprintf(os.Stderr, "round %d/%d\n", round+1, *samples)
+		for bi, bench := range benches {
+			res := testing.Benchmark(bench.fn)
+			measures[bi].ns = append(measures[bi].ns, float64(res.T.Nanoseconds())/float64(res.N))
+			measures[bi].bytes = append(measures[bi].bytes, res.AllocedBytesPerOp())
+			measures[bi].allocs = append(measures[bi].allocs, res.AllocsPerOp())
+		}
+	}
 	ns := make(map[string]float64, len(benches))
-	for _, bench := range benches {
-		res := testing.Benchmark(bench.fn)
-		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
-		ns[bench.name] = nsPerOp
+	for bi, bench := range benches {
+		m := measures[bi]
+		nsMed := medianFloat(m.ns)
+		ns[bench.name] = nsMed
 		rep.Kernels = append(rep.Kernels, kernelResult{
 			Name:        bench.name,
-			NsPerOp:     nsPerOp,
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
+			NsPerOp:     nsMed,
+			BytesPerOp:  medianInt(m.bytes),
+			AllocsPerOp: medianInt(m.allocs),
 			Workers:     bench.workers,
+			Samples:     m.ns,
 		})
-		fmt.Fprintf(os.Stderr, "%-26s %12.1f ns/op %8d B/op %6d allocs/op %4d workers\n",
-			bench.name, nsPerOp, res.AllocedBytesPerOp(), res.AllocsPerOp(), bench.workers)
+		lo, hi := m.ns[0], m.ns[0]
+		for _, v := range m.ns[1:] {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		fmt.Fprintf(os.Stderr, "%-26s %12.1f ns/op [%.1f..%.1f] %8d B/op %6d allocs/op %4d workers\n",
+			bench.name, nsMed, lo, hi, medianInt(m.bytes), medianInt(m.allocs), bench.workers)
 	}
 
 	// Measured recall of the indexed lookup against the exact scan over
@@ -530,6 +611,86 @@ func main() {
 	}
 }
 
+// fixedParPredict is a RunParallel-style snapshot-predict bench pinned to
+// an exact worker count, so the row's Workers field matches on machines of
+// any width and the row stays gateable in -compare.
+func fixedParPredict(srv *serve.Server, queries []*bitvec.Vector, workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				snap := srv.Snapshot()
+				for {
+					i := next.Add(1)
+					if i > int64(b.N) {
+						return
+					}
+					_, _ = snap.Predict(queries[int(i)%len(queries)])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// medianFloat returns the median of xs (0 when empty).
+func medianFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// medianInt returns the median of xs (0 when empty), rounding down on
+// even-length inputs so a count median is still a count.
+func medianInt(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// mannWhitneyGreater reports whether cur is stochastically greater than
+// base at one-sided α=0.05, via the rank-sum U statistic under the normal
+// approximation with continuity correction (ties split the pair). With
+// the 5-sample default the test needs near-total separation of the two
+// sample sets to fire — exactly the "is this real or runner noise" bar a
+// CI gate wants. Fewer than two samples on either side cannot carry a
+// rank test; the caller falls back to the median comparison alone.
+func mannWhitneyGreater(base, cur []float64) bool {
+	n, m := len(base), len(cur)
+	var u float64
+	for _, c := range cur {
+		for _, b := range base {
+			switch {
+			case c > b:
+				u++
+			case c == b:
+				u += 0.5
+			}
+		}
+	}
+	mean := float64(n*m) / 2
+	sd := math.Sqrt(float64(n*m*(n+m+1)) / 12)
+	z := (u - mean - 0.5) / sd
+	return z >= 1.645
+}
+
 // loadReport reads and decodes a benchmark report.
 func loadReport(path string) (*report, error) {
 	raw, err := os.ReadFile(path)
@@ -544,10 +705,16 @@ func loadReport(path string) (*report, error) {
 }
 
 // runCompare diffs current against baseline and returns the process exit
-// code: 0 when no gated kernel regressed more than maxRegress, 1 otherwise.
-// Kernels present in only one report are informational (new benches appear,
-// old ones retire); kernels whose worker counts differ are reported but not
-// gated, since aggregate parallel ns/op is machine-width-dependent.
+// code: 0 when no gated kernel regressed, 1 otherwise. A kernel regresses
+// when (a) its median ns/op worsened past maxRegress AND the Mann-Whitney
+// rank test on the two sample sets confirms the slowdown at α=0.05 (a
+// report without samples — a legacy baseline — falls back to the median
+// comparison alone), or (b) its allocs/op increased at all: allocation
+// counts are deterministic per code path, so the alloc gate is exact.
+// Kernels present in only one report are informational (new benches
+// appear, old ones retire); kernels whose worker counts differ are
+// reported but not gated, since aggregate parallel ns/op is
+// machine-width-dependent.
 func runCompare(basePath, curPath string, maxRegress float64) int {
 	base, err := loadReport(basePath)
 	if err != nil {
@@ -575,25 +742,33 @@ func runCompare(basePath, curPath string, maxRegress float64) int {
 		}
 		delete(baseBy, kc.Name)
 		delta := kc.NsPerOp/kb.NsPerOp - 1
-		switch {
-		case kb.Workers != kc.Workers:
+		if kb.Workers != kc.Workers {
 			fmt.Printf("%-26s %14.1f %14.1f %+8.1f%%  workers %d→%d (not gated)\n",
 				kc.Name, kb.NsPerOp, kc.NsPerOp, 100*delta, kb.Workers, kc.Workers)
-		case delta > maxRegress:
-			fmt.Printf("%-26s %14.1f %14.1f %+8.1f%%  REGRESSION (limit +%.0f%%)\n",
-				kc.Name, kb.NsPerOp, kc.NsPerOp, 100*delta, 100*maxRegress)
-			failed++
-		default:
-			fmt.Printf("%-26s %14.1f %14.1f %+8.1f%%  ok\n", kc.Name, kb.NsPerOp, kc.NsPerOp, 100*delta)
+			continue
 		}
+		verdict := "ok"
+		if delta > maxRegress {
+			if len(kb.Samples) >= 2 && len(kc.Samples) >= 2 && !mannWhitneyGreater(kb.Samples, kc.Samples) {
+				verdict = "ok (median past limit, not significant at α=0.05)"
+			} else {
+				verdict = fmt.Sprintf("REGRESSION (limit +%.0f%%)", 100*maxRegress)
+				failed++
+			}
+		}
+		if kc.AllocsPerOp > kb.AllocsPerOp {
+			verdict = fmt.Sprintf("ALLOC REGRESSION (%d → %d allocs/op)", kb.AllocsPerOp, kc.AllocsPerOp)
+			failed++
+		}
+		fmt.Printf("%-26s %14.1f %14.1f %+8.1f%%  %s\n", kc.Name, kb.NsPerOp, kc.NsPerOp, 100*delta, verdict)
 	}
 	for name := range baseBy {
 		fmt.Printf("%-26s %14.1f %14s %9s  missing from current (not gated)\n", name, baseBy[name].NsPerOp, "-", "-")
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "hdcbench: %d kernel(s) regressed beyond +%.0f%%\n", failed, 100*maxRegress)
+		fmt.Fprintf(os.Stderr, "hdcbench: %d kernel(s) regressed (median +%.0f%% with significance, or any allocs/op increase)\n", failed, 100*maxRegress)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "hdcbench: no kernel regressed beyond +%.0f%%\n", 100*maxRegress)
+	fmt.Fprintf(os.Stderr, "hdcbench: no kernel regressed beyond +%.0f%% (α=0.05) and no allocs/op increased\n", 100*maxRegress)
 	return 0
 }

@@ -1,0 +1,516 @@
+// Command hdcload is the SLO-proving load harness for serving protocol
+// v1: it replays scenario workloads (internal/scenario) against a server
+// through the client SDK and reports latency distributions, throughput
+// and a per-error-code breakdown as machine-readable JSON.
+//
+//	go run ./cmd/hdcload                       # self-serve all scenarios
+//	go run ./cmd/hdcload -scenario language -mode open -rate 500,2000
+//	go run ./cmd/hdcload -target http://127.0.0.1:8080 -scenario language
+//
+// Two scheduling disciplines (internal/loadgen): -mode closed runs a
+// fixed fleet of synchronous clients and measures capacity; -mode open
+// schedules arrivals at -rate per second and measures each latency from
+// the request's scheduled arrival time, so a stalled server inflates the
+// tail instead of silently suppressing samples (coordinated omission).
+// -workers sweeps closed-loop fleet sizes; -rate sweeps open-loop
+// arrival rates.
+//
+// Each scenario first runs a calibration pass — bulk-ingest of the
+// training split over /v1/ingest:stream, bulk prediction of the test
+// split over /v1/predict:stream — and asserts the scenario's accuracy
+// floor, so a server that stops learning fails the harness before any
+// load numbers are produced. The load phases then mix unary predicts
+// (reads) and single-sample train batches (writes) per -read-ratio.
+//
+// With -overload the harness deliberately saturates a tightly-gated
+// endpoint (its own gated listener in self-serve mode, the -target
+// server otherwise) and reports how admission control sheds the excess:
+// under -strict-overload every shed request must be a structured 429
+// carrying a Retry-After hint — any other error class fails the run.
+// -max-p99 turns the report into a gate: a nominal-phase p99 above the
+// budget exits non-zero. Both gates together are the CI smoke leg.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hdcirc/client"
+	"hdcirc/internal/httpapi"
+	"hdcirc/internal/loadgen"
+	"hdcirc/internal/scenario"
+	"hdcirc/internal/serve"
+)
+
+// latencySummary is the wire form of one latency distribution, in
+// microseconds for human-diffable reports.
+type latencySummary struct {
+	P50  float64 `json:"p50_us"`
+	P90  float64 `json:"p90_us"`
+	P99  float64 `json:"p99_us"`
+	P999 float64 `json:"p999_us"`
+	Mean float64 `json:"mean_us"`
+	Max  float64 `json:"max_us"`
+}
+
+func summarize(h *loadgen.Hist) latencySummary {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return latencySummary{
+		P50:  us(h.Quantile(0.5)),
+		P90:  us(h.Quantile(0.9)),
+		P99:  us(h.Quantile(0.99)),
+		P999: us(h.Quantile(0.999)),
+		Mean: us(h.Mean()),
+		Max:  us(h.Max()),
+	}
+}
+
+// runReport is one load phase in the JSON report.
+type runReport struct {
+	Scenario         string            `json:"scenario"`
+	Phase            string            `json:"phase"` // nominal | overload
+	Mode             string            `json:"mode"`
+	WorkersRequested int               `json:"workers_requested"`
+	WorkersEffective int               `json:"workers_effective"`
+	Rate             float64           `json:"rate_rps,omitempty"`
+	DurationMS       int64             `json:"duration_ms"`
+	Requests         uint64            `json:"requests"`
+	Success          uint64            `json:"success"`
+	ThroughputRPS    float64           `json:"throughput_rps"`
+	Latency          latencySummary    `json:"latency_us"`
+	Errors           map[string]uint64 `json:"errors,omitempty"`
+}
+
+// scenarioReport is one scenario's calibration summary.
+type scenarioReport struct {
+	Name          string  `json:"name"`
+	Dim           int     `json:"dim"`
+	Classes       int     `json:"classes"`
+	Fields        int     `json:"fields"`
+	TrainRows     int     `json:"train_rows"`
+	TestRows      int     `json:"test_rows"`
+	Accuracy      float64 `json:"accuracy"`
+	AccuracyFloor float64 `json:"accuracy_floor"`
+}
+
+// report is the full BENCH_load.json document.
+type report struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Target     string           `json:"target"`
+	ReadRatio  float64          `json:"read_ratio"`
+	Scenarios  []scenarioReport `json:"scenarios"`
+	Runs       []runReport      `json:"runs"`
+}
+
+// options is the flag surface.
+type options struct {
+	target          string
+	scenarios       string
+	mode            string
+	workers         string
+	rates           string
+	duration        time.Duration
+	readRatio       float64
+	overload        bool
+	overloadWorkers int
+	overloadBatch   int
+	gateInflight    int
+	gateQueue       int
+	maxP99          time.Duration
+	strictOverload  bool
+	out             string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.target, "target", "", "drive an external server at this base URL (start it with the matching hdcserve -scenario); empty = self-serve in-process")
+	flag.StringVar(&o.scenarios, "scenario", "all", "comma-separated scenario names, or all ("+strings.Join(scenario.Names(), ", ")+"); -target mode takes exactly one")
+	flag.StringVar(&o.mode, "mode", "closed", "scheduling discipline: closed (capacity) or open (fixed arrival rate, coordinated-omission-safe)")
+	flag.StringVar(&o.workers, "workers", "8", "closed-loop fleet sizes to sweep (comma-separated); first value caps open-loop in-flight requests")
+	flag.StringVar(&o.rates, "rate", "500", "open-loop arrival rates per second to sweep (comma-separated)")
+	flag.DurationVar(&o.duration, "duration", 3*time.Second, "scheduling window per load phase")
+	flag.Float64Var(&o.readRatio, "read-ratio", 0.9, "fraction of load-phase requests that are unary predicts; the rest are single-sample train batches")
+	flag.BoolVar(&o.overload, "overload", true, "after nominal phases, deliberately saturate admission control and report the shed traffic")
+	flag.IntVar(&o.overloadWorkers, "overload-workers", 64, "closed-loop fleet size for the overload phase")
+	flag.IntVar(&o.overloadBatch, "overload-batch", 64, "queries per batch-predict request in the overload phase; batches cost real handler time, so arrivals stack up at the gate even on one CPU")
+	flag.IntVar(&o.gateInflight, "gate-inflight", 2, "self-serve overload endpoint: max in-flight model requests")
+	flag.IntVar(&o.gateQueue, "gate-queue", 2, "self-serve overload endpoint: max queued waiters before 429s")
+	flag.DurationVar(&o.maxP99, "max-p99", 0, "fail (exit 1) if any nominal phase's success p99 exceeds this budget (0 = report only)")
+	flag.BoolVar(&o.strictOverload, "strict-overload", false, "fail (exit 1) unless every overload-phase error is a structured 429 with a Retry-After hint")
+	flag.StringVar(&o.out, "o", "-", "report path (- = stdout)")
+	flag.Parse()
+
+	if err := run(&o); err != nil {
+		fmt.Fprintf(os.Stderr, "hdcload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(o *options) error {
+	names := scenario.Names()
+	if o.scenarios != "all" {
+		names = strings.Split(o.scenarios, ",")
+	}
+	if o.target != "" && len(names) != 1 {
+		return errors.New("-target mode drives exactly one -scenario (the one the server hosts)")
+	}
+	mode := loadgen.Mode(o.mode)
+	if mode != loadgen.ModeClosed && mode != loadgen.ModeOpen {
+		return fmt.Errorf("unknown -mode %q", o.mode)
+	}
+	workers, err := parseInts(o.workers)
+	if err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
+	rates, err := parseFloats(o.rates)
+	if err != nil {
+		return fmt.Errorf("-rate: %w", err)
+	}
+
+	rep := &report{
+		Schema:     "hdcload/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Target:     o.target,
+		ReadRatio:  o.readRatio,
+	}
+	if o.target == "" {
+		rep.Target = "self-serve"
+	}
+
+	ctx := context.Background()
+	var violations []string
+	for _, name := range names {
+		sc, err := scenario.Build(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		if err := runScenario(ctx, o, mode, workers, rates, sc, rep, &violations); err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+
+	if err := writeReport(o.out, rep); err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("SLO gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
+// runScenario calibrates one scenario and drives its load phases,
+// appending to the report and collecting gate violations.
+func runScenario(ctx context.Context, o *options, mode loadgen.Mode, workers []int, rates []float64, sc *scenario.Scenario, rep *report, violations *[]string) error {
+	nominalURL, overloadURL := o.target, o.target
+	if o.target == "" {
+		stop, nurl, ourl, err := selfServe(sc, o.gateInflight, o.gateQueue)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		nominalURL, overloadURL = nurl, ourl
+	}
+	// Retries and the circuit breaker would mask exactly the behavior a
+	// load harness exists to observe; a load client reports raw outcomes.
+	cli, err := client.New(nominalURL, client.WithRetry(1, 0), client.WithCircuitBreaker(0, 0))
+	if err != nil {
+		return err
+	}
+
+	acc, err := calibrate(ctx, cli, sc)
+	if err != nil {
+		return err
+	}
+	rep.Scenarios = append(rep.Scenarios, scenarioReport{
+		Name: sc.Name, Dim: sc.Dim, Classes: sc.Classes, Fields: sc.Fields(),
+		TrainRows: len(sc.Train), TestRows: len(sc.Test),
+		Accuracy: acc, AccuracyFloor: sc.AccuracyFloor,
+	})
+	if acc < sc.AccuracyFloor {
+		*violations = append(*violations, fmt.Sprintf("%s: served accuracy %.3f below floor %.2f", sc.Name, acc, sc.AccuracyFloor))
+	}
+	fmt.Fprintf(os.Stderr, "hdcload: %s calibrated: accuracy %.3f (floor %.2f), %d train / %d test rows\n",
+		sc.Name, acc, sc.AccuracyFloor, len(sc.Train), len(sc.Test))
+
+	// Nominal phases: sweep fleet sizes (closed) or arrival rates (open).
+	type point struct {
+		workers int
+		rate    float64
+	}
+	var sweep []point
+	if mode == loadgen.ModeClosed {
+		for _, w := range workers {
+			sweep = append(sweep, point{workers: w})
+		}
+	} else {
+		for _, r := range rates {
+			sweep = append(sweep, point{workers: workers[0], rate: r})
+		}
+	}
+	for _, p := range sweep {
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			Mode: mode, Workers: p.workers, Rate: p.rate,
+			Duration: o.duration, Classify: classify,
+		}, mixedOp(cli, sc, o.readRatio))
+		if err != nil {
+			return err
+		}
+		rr := toRunReport(sc.Name, "nominal", res)
+		rep.Runs = append(rep.Runs, rr)
+		fmt.Fprintf(os.Stderr, "hdcload: %s nominal %s w=%d r=%g: %d req, %.0f rps, p99 %.0fµs, errors %v\n",
+			sc.Name, res.Mode, res.WorkersRequested, res.Rate, res.Requests, rr.ThroughputRPS, rr.Latency.P99, rr.Errors)
+		if o.maxP99 > 0 && res.Hist.Quantile(0.99) > o.maxP99 {
+			*violations = append(*violations, fmt.Sprintf("%s nominal (w=%d r=%g): p99 %v exceeds budget %v",
+				sc.Name, res.WorkersRequested, res.Rate, res.Hist.Quantile(0.99), o.maxP99))
+		}
+		if res.Success() == 0 {
+			*violations = append(*violations, fmt.Sprintf("%s nominal (w=%d r=%g): no successful requests", sc.Name, res.WorkersRequested, res.Rate))
+		}
+	}
+
+	if !o.overload {
+		return nil
+	}
+	// Overload phase: saturate the gated endpoint far past its admission
+	// limits and observe how the excess is shed.
+	ocli, err := client.New(overloadURL, client.WithRetry(1, 0), client.WithCircuitBreaker(0, 0))
+	if err != nil {
+		return err
+	}
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Mode: loadgen.ModeClosed, Workers: o.overloadWorkers,
+		Duration: o.duration, Classify: classify,
+	}, overloadOp(ocli, sc, o.overloadBatch))
+	if err != nil {
+		return err
+	}
+	rr := toRunReport(sc.Name, "overload", res)
+	rep.Runs = append(rep.Runs, rr)
+	fmt.Fprintf(os.Stderr, "hdcload: %s overload w=%d: %d req, %d shed, errors %v\n",
+		sc.Name, res.WorkersRequested, res.Requests, res.ErrorCount(), rr.Errors)
+	if o.strictOverload {
+		if res.Errors[string(client.CodeOverloaded)] == 0 {
+			*violations = append(*violations, fmt.Sprintf("%s overload: admission control never fired (no 429s)", sc.Name))
+		}
+		for class, n := range res.Errors {
+			if class != string(client.CodeOverloaded) {
+				*violations = append(*violations, fmt.Sprintf("%s overload: %d %s errors; only structured 429s with Retry-After hints are acceptable shed", sc.Name, n, class))
+			}
+		}
+	}
+	return nil
+}
+
+// selfServe hosts the scenario in-process on two loopback listeners: a
+// nominal endpoint with default admission limits and an overload endpoint
+// whose tiny gate (gateInflight in flight, gateQueue queued) makes
+// admission control observable without hundreds of workers. Both front
+// the same model, so training on one is visible on the other.
+func selfServe(sc *scenario.Scenario, gateInflight, gateQueue int) (stop func(), nominalURL, overloadURL string, err error) {
+	srv, err := serve.NewServer(sc.ServerConfig())
+	if err != nil {
+		return nil, "", "", err
+	}
+	nominal, err := httpapi.New(httpapi.Config{Server: srv, Encoder: sc.Encoder})
+	if err != nil {
+		return nil, "", "", err
+	}
+	gated, err := httpapi.New(httpapi.Config{
+		Server: srv, Encoder: sc.Encoder,
+		MaxInFlight: gateInflight, MaxQueue: gateQueue,
+	})
+	if err != nil {
+		return nil, "", "", err
+	}
+	var (
+		listeners []net.Listener
+		servers   []*http.Server
+		urls      []string
+	)
+	for _, h := range []http.Handler{nominal, gated} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
+			return nil, "", "", err
+		}
+		hs := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = hs.Serve(ln) }()
+		listeners = append(listeners, ln)
+		servers = append(servers, hs)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	stop = func() {
+		for _, hs := range servers {
+			hs.Close()
+		}
+	}
+	return stop, urls[0], urls[1], nil
+}
+
+// calibrate runs the end-to-end scenario recipe: bulk-ingest the training
+// split, bulk-predict the test split, return the served accuracy.
+func calibrate(ctx context.Context, cli *client.Client, sc *scenario.Scenario) (float64, error) {
+	is, err := cli.Ingest(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("ingest stream: %w", err)
+	}
+	for _, row := range sc.IngestRows() {
+		if err := is.Send(row); err != nil {
+			return 0, fmt.Errorf("ingest stream: %w", err)
+		}
+	}
+	ack, err := is.Close()
+	if err != nil {
+		return 0, fmt.Errorf("ingest stream: %w", err)
+	}
+	if ack.TotalRows != len(sc.Train) {
+		return 0, fmt.Errorf("ingest stream applied %d of %d rows", ack.TotalRows, len(sc.Train))
+	}
+	results, err := cli.PredictAll(ctx, sc.TestFeatures())
+	if err != nil {
+		return 0, fmt.Errorf("predict stream: %w", err)
+	}
+	classes := make([]int, len(results))
+	for i, r := range results {
+		classes[i] = r.Class
+	}
+	return sc.Accuracy(classes), nil
+}
+
+// mixedOp builds the load-phase op: a deterministic hash of the request
+// sequence number interleaves reads (unary predicts over the test split)
+// and writes (single-sample train batches over the training split) at the
+// requested ratio without bursts.
+func mixedOp(cli *client.Client, sc *scenario.Scenario, readRatio float64) func(context.Context) error {
+	var seq atomic.Uint64
+	readCut := uint64(readRatio * 1000)
+	return func(ctx context.Context) error {
+		i := seq.Add(1)
+		if (i*2654435761)%1000 < readCut {
+			row := sc.Test[int(i)%len(sc.Test)]
+			_, _, err := cli.PredictOne(ctx, row.Features)
+			return err
+		}
+		row := sc.Train[int(i)%len(sc.Train)]
+		_, err := cli.Train(ctx, client.TrainRequest{Samples: []client.Sample{{Label: row.Label, Features: row.Features}}})
+		return err
+	}
+}
+
+// overloadOp builds the overload-phase op: one batch predict per request,
+// sized so each admitted request occupies the server for real handler
+// time. Sub-millisecond requests can drain as fast as a scheduler quantum
+// admits them — a gate in front of them never fills on a small machine —
+// so saturation needs requests with weight, not just more workers.
+func overloadOp(cli *client.Client, sc *scenario.Scenario, batch int) func(context.Context) error {
+	var seq atomic.Uint64
+	return func(ctx context.Context) error {
+		i := int(seq.Add(1))
+		queries := make([][]float64, batch)
+		for j := range queries {
+			queries[j] = sc.Test[(i+j)%len(sc.Test)].Features
+		}
+		_, err := cli.Predict(ctx, queries)
+		return err
+	}
+}
+
+// classify maps client errors to the report's error classes: the wire
+// code for structured API faults — with 429s missing their Retry-After
+// hint singled out, since the hint is part of the overload contract —
+// and "transport" for everything below the protocol.
+func classify(err error) string {
+	var apiErr *client.Error
+	if errors.As(err, &apiErr) {
+		if apiErr.Code == client.CodeOverloaded && apiErr.RetryAfterMS <= 0 {
+			return string(apiErr.Code) + "_no_hint"
+		}
+		return string(apiErr.Code)
+	}
+	return "transport"
+}
+
+func toRunReport(name, phase string, res *loadgen.Result) runReport {
+	rr := runReport{
+		Scenario:         name,
+		Phase:            phase,
+		Mode:             string(res.Mode),
+		WorkersRequested: res.WorkersRequested,
+		WorkersEffective: res.WorkersEffective,
+		Rate:             res.Rate,
+		DurationMS:       res.Elapsed.Milliseconds(),
+		Requests:         res.Requests,
+		Success:          res.Success(),
+		ThroughputRPS:    res.Throughput(),
+		Latency:          summarize(res.Hist),
+	}
+	if len(res.Errors) > 0 {
+		rr.Errors = res.Errors
+	}
+	return rr
+}
+
+func writeReport(path string, rep *report) error {
+	sort.Slice(rep.Runs, func(i, j int) bool {
+		if rep.Runs[i].Scenario != rep.Runs[j].Scenario {
+			return rep.Runs[i].Scenario < rep.Runs[j].Scenario
+		}
+		if rep.Runs[i].Phase != rep.Runs[j].Phase {
+			return rep.Runs[i].Phase < rep.Runs[j].Phase
+		}
+		return rep.Runs[i].WorkersRequested < rep.Runs[j].WorkersRequested
+	})
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

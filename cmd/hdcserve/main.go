@@ -24,6 +24,12 @@
 // executing requests plus -max-queue waiters, the server sheds load with
 // structured 429s and a Retry-After hint instead of queuing unboundedly.
 //
+// With -scenario NAME the server hosts a named scenario workload
+// (internal/scenario): the scenario dictates model geometry and installs
+// its domain encoder — n-gram language identification, GraphHD graph
+// classification, or streaming EMG windows — and cmd/hdcload replays the
+// matching deterministic splits against it as load.
+//
 // # Durability
 //
 // With -data-dir the server is durable: every training batch is written
@@ -58,6 +64,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +78,7 @@ const shutdownGrace = 15 * time.Second
 // options is the flag surface, bundled so tests can build the exact
 // production stack without a command line.
 type options struct {
+	scenario                      string
 	dim, classes, shards, workers int
 	fields, levels                int
 	lo, hi                        float64
@@ -89,7 +97,18 @@ type options struct {
 // build assembles the serving stack from options: durable server, record
 // encoder, protocol-v1 handler. Everything protocol-shaped comes from the
 // hdcirc facade — this binary defines no wire types of its own.
-func build(o options) (http.Handler, *hdcirc.Server, error) {
+func build(o *options) (http.Handler, *hdcirc.Server, error) {
+	var enc hdcirc.ServeEncoder
+	if o.scenario != "" {
+		// A scenario dictates the whole model geometry and the wire
+		// encoder; the generic -d/-k/-fields/-seed knobs are superseded.
+		sc, err := hdcirc.BuildScenario(o.scenario)
+		if err != nil {
+			return nil, nil, err
+		}
+		o.dim, o.classes, o.shards, o.seed = sc.Dim, sc.Classes, sc.Shards, sc.Seed
+		enc = sc.Encoder
+	}
 	scfg := hdcirc.ServerConfig{
 		Dim:     o.dim,
 		Classes: o.classes,
@@ -110,12 +129,14 @@ func build(o options) (http.Handler, *hdcirc.Server, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	enc, err := hdcirc.NewServeEncoder(hdcirc.ServeEncoderConfig{
-		Dim: o.dim, Fields: o.fields, Lo: o.lo, Hi: o.hi, Levels: o.levels, Seed: o.seed,
-	})
-	if err != nil {
-		srv.Close()
-		return nil, nil, err
+	if enc == nil {
+		enc, err = hdcirc.NewServeEncoder(hdcirc.ServeEncoderConfig{
+			Dim: o.dim, Fields: o.fields, Lo: o.lo, Hi: o.hi, Levels: o.levels, Seed: o.seed,
+		})
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
 	}
 	h, err := hdcirc.ServeHandler(hdcirc.ServeHandlerConfig{
 		Server:          srv,
@@ -137,6 +158,7 @@ func build(o options) (http.Handler, *hdcirc.Server, error) {
 func main() {
 	var o options
 	addr := flag.String("addr", ":8080", "listen address")
+	flag.StringVar(&o.scenario, "scenario", "", "host a named scenario workload ("+strings.Join(hdcirc.ScenarioNames(), ", ")+"); overrides -d/-k/-shards/-fields/-seed and installs the scenario's encoder")
 	flag.IntVar(&o.dim, "d", 2048, "hypervector dimension")
 	flag.IntVar(&o.classes, "k", 4, "number of classes")
 	flag.IntVar(&o.shards, "shards", 2, "sub-model shards")
@@ -160,7 +182,7 @@ func main() {
 	flag.Int64Var(&o.maxBodyBytes, "max-body", 0, "maximum unary request body in bytes (0 = 8 MiB)")
 	flag.Parse()
 
-	h, srv, err := build(o)
+	h, srv, err := build(&o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hdcserve: %v\n", err)
 		os.Exit(2)
@@ -190,7 +212,11 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("hdcserve listening on %s (d=%d k=%d shards=%d fields=%d)", ln.Addr(), o.dim, o.classes, o.shards, o.fields)
+	if o.scenario != "" {
+		log.Printf("hdcserve listening on %s (scenario=%s d=%d k=%d shards=%d)", ln.Addr(), o.scenario, o.dim, o.classes, o.shards)
+	} else {
+		log.Printf("hdcserve listening on %s (d=%d k=%d shards=%d fields=%d)", ln.Addr(), o.dim, o.classes, o.shards, o.fields)
+	}
 	if err := serveHTTP(ctx, ln, h, srv); err != nil {
 		log.Fatal(err)
 	}

@@ -15,8 +15,8 @@ import (
 // durableTestOptions is the server shape shared by the shutdown test here
 // and the client package's crash-recovery contract test (which runs this
 // binary as a child process with the same flags).
-func durableTestOptions(dataDir string) options {
-	return options{
+func durableTestOptions(dataDir string) *options {
+	return &options{
 		dim: 512, classes: 3, shards: 2, workers: 2,
 		fields: 2, lo: 0, hi: 1, levels: 16, seed: 7,
 		dataDir: dataDir, fsyncEvery: 1, checkpointEvery: 4,

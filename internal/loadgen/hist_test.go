@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose range contains it, and
+	// bucket indexes must be monotone in the value.
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1<<62 - 1}
+	prev := -1
+	for _, v := range vals {
+		b := bucketOf(v)
+		if b <= prev {
+			t.Fatalf("bucketOf not monotone: v=%d b=%d prev=%d", v, b, prev)
+		}
+		prev = b
+		if u := bucketUpper(b); u < v {
+			t.Errorf("bucketUpper(%d)=%d below value %d", b, u, v)
+		}
+		if b >= numBuckets {
+			t.Fatalf("bucketOf(%d)=%d out of range %d", v, b, numBuckets)
+		}
+	}
+	// Relative bucket width stays within the design bound of 1/32.
+	for _, v := range []int64{100, 10_000, 1_000_000, 123_456_789} {
+		b := bucketOf(v)
+		width := bucketUpper(b) - bucketUpper(b-1)
+		if rel := float64(width) / float64(v); rel > 1.0/subBuckets+1e-9 {
+			t.Errorf("bucket width at %d is %.4f relative, want <= 1/%d", v, rel, subBuckets)
+		}
+	}
+}
+
+func TestHistQuantilesAgainstExact(t *testing.T) {
+	// Log-normal-ish latencies: the shape load tests actually see.
+	r := rand.New(rand.NewSource(42))
+	h := NewHist()
+	var exact []float64
+	for i := 0; i < 200_000; i++ {
+		v := time.Duration(100_000 * (1 + r.ExpFloat64()*10)) // 100µs base, heavy tail
+		h.Record(v)
+		exact = append(exact, float64(v))
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)))]
+		got := float64(h.Quantile(q))
+		if got < want*(1-1.0/subBuckets) || got > want*(1+2.0/subBuckets) {
+			t.Errorf("q=%v: got %v want ~%v (outside log-linear error bound)", q, time.Duration(got), time.Duration(want))
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("Quantile(1)=%v != Max()=%v", h.Quantile(1), h.Max())
+	}
+	if h.Quantile(0) != h.Min() {
+		t.Errorf("Quantile(0)=%v != Min()=%v", h.Quantile(0), h.Min())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b, all := NewHist(), NewHist(), NewHist()
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		all.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() || a.Mean() != all.Mean() {
+		t.Fatalf("merge mismatch: count %d/%d min %v/%v max %v/%v mean %v/%v",
+			a.Count(), all.Count(), a.Min(), all.Min(), a.Max(), all.Max(), a.Mean(), all.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q=%v: merged %v != direct %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistEmptyAndNegative(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-5 * time.Millisecond)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Errorf("negative durations must clamp to zero, got min %v", h.Min())
+	}
+}

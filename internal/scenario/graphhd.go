@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/core"
+	"hdcirc/internal/graph"
+	"hdcirc/internal/rng"
+)
+
+// GraphHD classification (Nunes et al., DATE 2022 lineage): three
+// synthetic random-graph families with matched average degree — Erdős–
+// Rényi, preferential attachment, Watts–Strogatz — separable only by
+// structure. The wire record is the flattened upper triangle of the
+// adjacency matrix (one 0/1 float per vertex pair); the server-side
+// encoder rebuilds the graph, ranks vertices by degree centrality, and
+// bundles the bound endpoint pairs of every edge, so isomorphic graphs
+// encode identically up to tie order.
+
+const (
+	graphhdDim      = 4096
+	graphhdSeed     = 2003
+	graphhdVertices = 40
+	graphhdTrain    = 30 // per family
+	graphhdTest     = 20 // per family
+)
+
+var graphhdFamilies = []string{"erdos-renyi", "pref-attach", "watts-strogatz"}
+
+// graphEncoder is the serving encoder for the graphhd scenario.
+type graphEncoder struct {
+	vertices int
+	basis    *core.Set
+	tieVec   *bitvec.Vector
+}
+
+func (e *graphEncoder) Fields() int { return e.vertices * (e.vertices - 1) / 2 }
+
+// Encode rebuilds the graph from its upper-triangle adjacency record
+// (values >= 0.5 are edges) and returns the GraphHD edge bundle.
+func (e *graphEncoder) Encode(features []float64) *bitvec.Vector {
+	g := graph.New(e.vertices)
+	i := 0
+	for u := 0; u < e.vertices; u++ {
+		for v := u + 1; v < e.vertices; v++ {
+			if features[i] >= 0.5 {
+				g.AddEdge(u, v)
+			}
+			i++
+		}
+	}
+	rank := g.DegreeRank()
+	acc := bitvec.NewAccumulator(e.basis.Dim())
+	tmp := bitvec.New(e.basis.Dim())
+	for _, edge := range g.Edges() {
+		e.basis.At(rank[edge[0]]).XorInto(e.basis.At(rank[edge[1]]), tmp)
+		acc.Add(tmp)
+	}
+	return acc.ThresholdTieVector(e.tieVec)
+}
+
+// graphToRow flattens a graph into its wire record.
+func graphToRow(g *graph.Graph, label int) Row {
+	n := g.N()
+	features := make([]float64, n*(n-1)/2)
+	i := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				features[i] = 1
+			}
+			i++
+		}
+	}
+	return Row{Label: label, Features: features}
+}
+
+// genFamilyGraph draws one graph of the given family with matched average
+// degree (~4), so density alone cannot separate the classes.
+func genFamilyGraph(class, n int, r *rng.Stream) *graph.Graph {
+	switch class {
+	case 0:
+		return graph.ErdosRenyi(n, 4/float64(n-1), r)
+	case 1:
+		return graph.PreferentialAttachment(n, 2, r)
+	default:
+		return graph.WattsStrogatz(n, 4, 0.1, r)
+	}
+}
+
+func buildGraphHD() *Scenario {
+	sc := &Scenario{
+		Name:        "graphhd",
+		Description: "GraphHD: three random-graph families, centrality-ranked edge-bundle encoding",
+		Dim:         graphhdDim,
+		Classes:     len(graphhdFamilies),
+		Shards:      2,
+		Seed:        graphhdSeed,
+		ClassNames:  graphhdFamilies,
+		Encoder: &graphEncoder{
+			vertices: graphhdVertices,
+			basis:    core.RandomSet(graphhdVertices, graphhdDim, rng.Sub(graphhdSeed, "scenario/graphhd/basis")),
+			tieVec:   bitvec.Random(graphhdDim, rng.Sub(graphhdSeed, "scenario/graphhd/ties")),
+		},
+		AccuracyFloor: 0.60,
+	}
+	gen := func(split string, per int) []Row {
+		stream := rng.Sub(graphhdSeed, "scenario/graphhd/"+split)
+		var rows []Row
+		for class := range graphhdFamilies {
+			for i := 0; i < per; i++ {
+				rows = append(rows, graphToRow(genFamilyGraph(class, graphhdVertices, stream), class))
+			}
+		}
+		return rows
+	}
+	sc.Train = gen("train", graphhdTrain)
+	sc.Test = gen("test", graphhdTest)
+	return sc
+}

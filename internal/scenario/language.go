@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"fmt"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/core"
+	"hdcirc/internal/dataset"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/rng"
+)
+
+// Language identification: sentences drawn from per-language first-order
+// Markov chains (internal/dataset.GenText), served as fixed-length letter
+// sequences. The wire record is one float per character position, each
+// value the letter's alphabet index; the server-side encoder maps letters
+// through a shared random basis and bundles the bound trigrams — the
+// classical n-gram encoding of Section 3.1's lineage.
+
+const (
+	languageDim   = 4096
+	languageSeed  = 1009
+	languageNGram = 3
+)
+
+// textEncoder is the serving encoder for the language scenario.
+type textEncoder struct {
+	fields  int
+	letters *core.Set
+	ngram   *embed.NGramEncoder
+}
+
+func (e *textEncoder) Fields() int { return e.fields }
+
+// Encode maps one sentence record — letter indices as floats — to its
+// trigram bundle. Indices are rounded and clamped to the alphabet so a
+// slightly off-grid float (JSON round-tripping) still lands on a letter.
+func (e *textEncoder) Encode(features []float64) *bitvec.Vector {
+	seq := make([]*bitvec.Vector, len(features))
+	for i, f := range features {
+		idx := int(f + 0.5)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= e.letters.Len() {
+			idx = e.letters.Len() - 1
+		}
+		seq[i] = e.letters.At(idx)
+	}
+	return e.ngram.Encode(seq)
+}
+
+func textToRow(s dataset.TextSample) Row {
+	features := make([]float64, len(s.Text))
+	for i := 0; i < len(s.Text); i++ {
+		features[i] = float64(s.Text[i] - 'a')
+	}
+	return Row{Label: s.Label, Features: features}
+}
+
+func buildLanguage() *Scenario {
+	cfg := dataset.DefaultTextConfig()
+	ds := dataset.GenText(cfg, languageSeed)
+	sc := &Scenario{
+		Name:        "language",
+		Description: "language identification: Markov-chain sentences, trigram bundle encoding",
+		Dim:         languageDim,
+		Classes:     cfg.NumLanguages,
+		Shards:      2,
+		Seed:        languageSeed,
+		Encoder: &textEncoder{
+			fields:  cfg.SentenceLen,
+			letters: core.RandomSet(cfg.Alphabet, languageDim, rng.Sub(languageSeed, "scenario/language/letters")),
+			ngram:   embed.NewNGramEncoder(languageDim, languageNGram, languageSeed),
+		},
+		AccuracyFloor: 0.90,
+	}
+	for g := 0; g < cfg.NumLanguages; g++ {
+		sc.ClassNames = append(sc.ClassNames, fmt.Sprintf("lang-%d", g))
+	}
+	for _, s := range ds.Train {
+		sc.Train = append(sc.Train, textToRow(s))
+	}
+	for _, s := range ds.Test {
+		sc.Test = append(sc.Test, textToRow(s))
+	}
+	return sc
+}

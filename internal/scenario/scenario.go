@@ -1,0 +1,152 @@
+// Package scenario turns the repo's dormant domain pipelines into served
+// workloads: end-to-end recipes that drive serving protocol v1 with real
+// traffic shapes instead of the single loopback fixture hdcbench measures.
+// Each scenario bundles everything one server needs to host it — model
+// geometry (dimension, classes, shards), a deterministic wire encoder
+// mapping flat feature records to the domain encoding, train/test splits
+// as wire rows, and the test-accuracy floor the served pipeline must
+// reach, so the same recipe doubles as a correctness test and a load
+// workload.
+//
+// Three scenarios ship:
+//
+//   - language: language identification over Markov-chain text — letters
+//     map through a shared random basis and sentences become bundles of
+//     bound trigrams (the classical n-gram text encoding).
+//   - graphhd: GraphHD classification of three random-graph families —
+//     a graph is the bundle of its edges, endpoints keyed by degree-
+//     centrality rank, shipped on the wire as a flattened upper-triangle
+//     adjacency matrix.
+//   - signals: streaming EMG gesture windows — each time step bundles
+//     channel-keyed amplitude levels and the window is a permuted
+//     sequence bundle, the biosignal pipeline served one flattened
+//     window per row.
+//
+// cmd/hdcserve hosts a scenario with -scenario NAME; cmd/hdcload replays
+// its splits as open- or closed-loop traffic through the client SDK.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hdcirc/internal/httpapi"
+	"hdcirc/internal/serve"
+)
+
+// Row is one labeled wire record: the flat feature vector a scenario
+// ships over /v1 and the class it belongs to.
+type Row struct {
+	Label    int
+	Features []float64
+}
+
+// Scenario is one end-to-end served workload. Every field is
+// deterministic in Seed: two Build calls yield bit-identical encoders and
+// splits, which is what lets a load generator on one side of the wire and
+// a server on the other agree without shipping model state.
+type Scenario struct {
+	// Name is the registry key (also the hdcserve -scenario value).
+	Name string
+	// Description is a one-line operator summary.
+	Description string
+	// Dim is the hypervector dimension the scenario's server must use.
+	Dim int
+	// Classes is the label count.
+	Classes int
+	// Shards is the recommended sub-model shard count.
+	Shards int
+	// Seed derives every stream on both sides of the wire.
+	Seed uint64
+	// ClassNames names the labels in order (observability only).
+	ClassNames []string
+	// Encoder maps one wire record to its domain hypervector. It is
+	// stateless per call and safe for concurrent use, as the serving
+	// handler requires.
+	Encoder httpapi.Encoder
+	// Train and Test are the deterministic splits.
+	Train []Row
+	Test  []Row
+	// AccuracyFloor is the minimum test accuracy the served pipeline must
+	// reach after ingesting Train — asserted by the scenario tests and by
+	// hdcload's calibration pass, so a scenario that stops learning fails
+	// loudly instead of load-testing garbage.
+	AccuracyFloor float64
+}
+
+// ServerConfig returns the serve.Config a server hosting this scenario
+// must be built with.
+func (s *Scenario) ServerConfig() serve.Config {
+	return serve.Config{Dim: s.Dim, Classes: s.Classes, Shards: s.Shards, Seed: s.Seed}
+}
+
+// Fields returns the wire record arity.
+func (s *Scenario) Fields() int { return s.Encoder.Fields() }
+
+// IngestRows converts the training split to bulk-ingest wire rows.
+func (s *Scenario) IngestRows() []httpapi.IngestRow {
+	rows := make([]httpapi.IngestRow, len(s.Train))
+	for i := range s.Train {
+		label := s.Train[i].Label
+		rows[i] = httpapi.IngestRow{Label: &label, Features: s.Train[i].Features}
+	}
+	return rows
+}
+
+// TestFeatures returns the test split's feature records, in split order.
+func (s *Scenario) TestFeatures() [][]float64 {
+	out := make([][]float64, len(s.Test))
+	for i := range s.Test {
+		out[i] = s.Test[i].Features
+	}
+	return out
+}
+
+// Accuracy scores predicted classes (in test-split order) against the
+// test labels. Prediction slices shorter than the split score only the
+// prefix they cover.
+func (s *Scenario) Accuracy(classes []int) float64 {
+	if len(classes) == 0 {
+		return 0
+	}
+	n := len(classes)
+	if n > len(s.Test) {
+		n = len(s.Test)
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		if classes[i] == s.Test[i].Label {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// builders is the scenario registry. Builders run eagerly in Build —
+// generating a scenario's data takes milliseconds, and an eagerly built
+// value is immutable from then on.
+var builders = map[string]func() *Scenario{
+	"language": buildLanguage,
+	"graphhd":  buildGraphHD,
+	"signals":  buildSignals,
+}
+
+// Names lists the registered scenarios in stable order.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named scenario deterministically.
+func Build(name string) (*Scenario, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return b(), nil
+}

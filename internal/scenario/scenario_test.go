@@ -1,0 +1,149 @@
+package scenario_test
+
+// End-to-end scenario acceptance: every registered scenario is served
+// through the real protocol stack — serve.Server behind the v1 handler on
+// a loopback HTTP server, driven through the client SDK — and must reach
+// its accuracy floor. Ingest goes through the bulk stream (the production
+// bulk-load path), prediction through BOTH the unary endpoint and the
+// bulk predict stream, and the two must agree row for row: the scenarios
+// double as correctness tests for the whole wire.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hdcirc/client"
+	"hdcirc/internal/httpapi"
+	"hdcirc/internal/scenario"
+	"hdcirc/internal/serve"
+)
+
+// serveScenario stands up the production stack for one scenario.
+func serveScenario(t *testing.T, sc *scenario.Scenario) *client.Client {
+	t.Helper()
+	srv, err := serve.NewServer(sc.ServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := httpapi.New(httpapi.Config{Server: srv, Encoder: sc.Encoder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	cli, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cli
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	names := scenario.Names()
+	want := []string{"graphhd", "language", "signals"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+	if _, err := scenario.Build("no-such-workload"); err == nil {
+		t.Error("Build(unknown) did not fail")
+	}
+}
+
+func TestScenarioDeterministicBuild(t *testing.T) {
+	for _, name := range scenario.Names() {
+		a, err := scenario.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := scenario.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Train) != len(b.Train) || len(a.Test) != len(b.Test) {
+			t.Fatalf("%s: split sizes differ across builds", name)
+		}
+		for i := range a.Train {
+			if a.Train[i].Label != b.Train[i].Label {
+				t.Fatalf("%s: train labels differ at %d", name, i)
+			}
+			for j := range a.Train[i].Features {
+				if a.Train[i].Features[j] != b.Train[i].Features[j] {
+					t.Fatalf("%s: train features differ at %d/%d", name, i, j)
+				}
+			}
+		}
+		// The encoders must agree bit for bit on the same record.
+		if !a.Encoder.Encode(a.Train[0].Features).Equal(b.Encoder.Encode(b.Train[0].Features)) {
+			t.Fatalf("%s: encoders differ across builds", name)
+		}
+	}
+}
+
+func TestScenarioServedAccuracyFloors(t *testing.T) {
+	for _, name := range scenario.Names() {
+		t.Run(name, func(t *testing.T) {
+			sc, err := scenario.Build(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Fields() != len(sc.Train[0].Features) {
+				t.Fatalf("encoder arity %d but train rows carry %d features", sc.Fields(), len(sc.Train[0].Features))
+			}
+			cli := serveScenario(t, sc)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+
+			// Bulk ingest of the training split over the stream endpoint.
+			is, err := cli.Ingest(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range sc.IngestRows() {
+				if err := is.Send(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+			summary, err := is.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if summary.TotalRows != len(sc.Train) {
+				t.Fatalf("ingest applied %d rows, want %d", summary.TotalRows, len(sc.Train))
+			}
+
+			// Bulk prediction over the stream endpoint: the accuracy floor.
+			results, err := cli.PredictAll(ctx, sc.TestFeatures())
+			if err != nil {
+				t.Fatal(err)
+			}
+			classes := make([]int, len(results))
+			for i, r := range results {
+				classes[i] = r.Class
+			}
+			acc := sc.Accuracy(classes)
+			t.Logf("%s: served accuracy %.3f over %d test rows (floor %.2f)", name, acc, len(sc.Test), sc.AccuracyFloor)
+			if acc < sc.AccuracyFloor {
+				t.Errorf("served accuracy %.3f below floor %.2f", acc, sc.AccuracyFloor)
+			}
+
+			// The unary read plane must agree with the stream row for row.
+			for i := 0; i < len(sc.Test) && i < 8; i++ {
+				class, dist, err := cli.PredictOne(ctx, sc.Test[i].Features)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if class != results[i].Class || dist != results[i].Distance {
+					t.Errorf("row %d: unary (%d, %v) != stream (%d, %v)",
+						i, class, dist, results[i].Class, results[i].Distance)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"fmt"
+
+	"hdcirc/internal/bitvec"
+	"hdcirc/internal/core"
+	"hdcirc/internal/dataset"
+	"hdcirc/internal/embed"
+	"hdcirc/internal/rng"
+)
+
+// Streaming signals: EMG gesture windows (internal/dataset.GenEMG, the
+// Rahimi et al. 2016 biosignal lineage). One wire record is one flattened
+// analysis window — WindowLen time steps × Channels rectified amplitudes
+// in [0, 1] — the natural unit a streaming front end ships per sensor
+// window. The server-side encoder quantizes each amplitude onto a level
+// basis, binds it to its channel key, bundles each time step, and
+// sequence-bundles the permuted steps: the temporal-record pipeline. The
+// per-class prototype distance in the predict response doubles as an
+// anomaly score — a window far from every gesture centroid is an outlier
+// even when a class is nominally assigned.
+
+const (
+	signalsDim       = 4096
+	signalsSeed      = 3001
+	signalsAmpLevels = 16
+)
+
+// emgEncoder is the serving encoder for the signals scenario.
+type emgEncoder struct {
+	window   int
+	channels int
+	record   *embed.RecordEncoder
+	seq      *embed.SequenceEncoder
+	fields   []embed.FieldEncoder
+}
+
+func (e *emgEncoder) Fields() int { return e.window * e.channels }
+
+// Encode reshapes the flat record back into [window][channels] and runs
+// the temporal-record pipeline. Amplitudes are clamped to [0, 1] so a
+// slightly out-of-range float still encodes.
+func (e *emgEncoder) Encode(features []float64) *bitvec.Vector {
+	steps := make([]*bitvec.Vector, e.window)
+	row := make([]float64, e.channels)
+	for t := 0; t < e.window; t++ {
+		for ch := 0; ch < e.channels; ch++ {
+			v := features[t*e.channels+ch]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			row[ch] = v
+		}
+		steps[t] = e.record.EncodeRecord(row, e.fields)
+	}
+	return e.seq.Encode(steps)
+}
+
+func emgToRow(s dataset.EMGSample) Row {
+	channels := len(s.Window[0])
+	features := make([]float64, 0, len(s.Window)*channels)
+	for _, step := range s.Window {
+		features = append(features, step...)
+	}
+	return Row{Label: s.Label, Features: features}
+}
+
+func buildSignals() *Scenario {
+	cfg := dataset.DefaultEMGConfig()
+	ds := dataset.GenEMG(cfg, signalsSeed)
+	basis := core.Config{Kind: core.KindLevel, M: signalsAmpLevels, D: signalsDim}.
+		Build(rng.Sub(signalsSeed, "scenario/signals/levels"))
+	amp := embed.NewScalarEncoder(basis, 0, 1)
+	fields := make([]embed.FieldEncoder, cfg.Channels)
+	for i := range fields {
+		fields[i] = amp
+	}
+	sc := &Scenario{
+		Name:        "signals",
+		Description: "streaming EMG windows: level-quantized channels, permuted sequence bundle",
+		Dim:         signalsDim,
+		Classes:     cfg.NumGestures,
+		Shards:      2,
+		Seed:        signalsSeed,
+		Encoder: &emgEncoder{
+			window:   cfg.WindowLen,
+			channels: cfg.Channels,
+			record:   embed.NewRecordEncoder(signalsDim, cfg.Channels, signalsSeed),
+			seq:      embed.NewSequenceEncoder(signalsDim, signalsSeed),
+			fields:   fields,
+		},
+		AccuracyFloor: 0.60,
+	}
+	for g := 0; g < cfg.NumGestures; g++ {
+		sc.ClassNames = append(sc.ClassNames, fmt.Sprintf("gesture-%d", g))
+	}
+	for _, s := range ds.Train {
+		sc.Train = append(sc.Train, emgToRow(s))
+	}
+	for _, s := range ds.Test {
+		sc.Test = append(sc.Test, emgToRow(s))
+	}
+	return sc
+}
