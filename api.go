@@ -1,6 +1,7 @@
 package hdcirc
 
 import (
+	"context"
 	"net/http"
 
 	"hdcirc/internal/batch"
@@ -12,6 +13,7 @@ import (
 	"hdcirc/internal/index"
 	"hdcirc/internal/markov"
 	"hdcirc/internal/model"
+	"hdcirc/internal/repl"
 	"hdcirc/internal/rng"
 	"hdcirc/internal/scenario"
 	"hdcirc/internal/serve"
@@ -454,6 +456,47 @@ func NewServeEncoder(cfg ServeEncoderConfig) (ServeEncoder, error) {
 // flag parsing; the Go client SDK for the protocol is package
 // hdcirc/client.
 func ServeHandler(cfg ServeHandlerConfig) (http.Handler, error) { return httpapi.New(cfg) }
+
+// ---------------------------------------------------------------------------
+// Replication (WAL shipping, primary → followers)
+// ---------------------------------------------------------------------------
+
+// ReplicationSource is the primary-side shipper: it serves each connected
+// follower's catch-up (newest checkpoint + write-ahead-log suffix) and
+// then tails live applied batches to it over the long-lived
+// /v1/replicate:stream request. Plug it into ServeHandlerConfig.Replication
+// to host the endpoint; see internal/repl for the full contract.
+type ReplicationSource = repl.Source
+
+// ReplicationSourceConfig parameterizes NewReplicationSource: the durable
+// Server to ship from, plus heartbeat cadence and catch-up chunk size.
+type ReplicationSourceConfig = repl.SourceConfig
+
+// NewReplicationSource builds the primary-side shipper over a durable
+// (WAL-backed) server and registers its replication stats with it.
+func NewReplicationSource(cfg ReplicationSourceConfig) (*ReplicationSource, error) {
+	return repl.NewSource(cfg)
+}
+
+// ReplicationFollower is the replica-side applier: it connects to the
+// primary's replicate stream with its last applied sequence, applies
+// shipped records through the same validate-then-apply path as local
+// writes (every snapshot bit-identical to the primary's at the same
+// version), and reconnects with backoff across primary restarts.
+type ReplicationFollower = repl.Follower
+
+// ReplicationFollowerConfig parameterizes StartReplicationFollower: the
+// local Server to apply into, the primary's base URL, and reconnect/ack
+// cadence knobs (zero values select production defaults).
+type ReplicationFollowerConfig = repl.FollowerConfig
+
+// StartReplicationFollower puts the server into follower mode (writes
+// answer not_primary; reads keep serving) and starts the replication
+// loop. Stop with Close, or promote an up-to-date follower to primary
+// with Promote.
+func StartReplicationFollower(ctx context.Context, cfg ReplicationFollowerConfig) (*ReplicationFollower, error) {
+	return repl.StartFollower(ctx, cfg)
+}
 
 // ---------------------------------------------------------------------------
 // Served scenario workloads

@@ -38,11 +38,11 @@ type breaker struct {
 	probing     bool      // a half-open probe is in flight; others fail fast
 }
 
-// allow gates one write-plane call. nil means send it; ErrCircuitOpen
-// means fail fast. In the half-open state exactly one caller probes the
-// write plane's health endpoint; concurrent writes keep failing fast
-// until the probe settles the circuit.
-func (b *breaker) allow(ctx context.Context, c *Client) error {
+// allow gates one write-plane call against the endpoint at base. nil
+// means send it; ErrCircuitOpen means fail fast. In the half-open state
+// exactly one caller probes that endpoint's write-plane health; concurrent
+// writes keep failing fast until the probe settles the circuit.
+func (b *breaker) allow(ctx context.Context, c *Client, base string) error {
 	if b == nil || b.threshold <= 0 {
 		return nil
 	}
@@ -58,7 +58,7 @@ func (b *breaker) allow(ctx context.Context, c *Client) error {
 	b.probing = true
 	b.mu.Unlock()
 
-	healthy := c.probeWritePlane(ctx)
+	healthy := c.probeWritePlane(ctx, base)
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -99,16 +99,18 @@ func (b *breaker) success() {
 }
 
 // writePlaneFault reports whether a response counts toward tripping: the
-// structured 503s a degraded or closed server answers writes with.
+// structured 503s a degraded or closed server answers writes with,
+// including a follower that lost its primary (follower_read_only) — that
+// node cannot admit writes until an operator promotes it or re-points it.
 func writePlaneFault(err *Error) bool {
-	return err != nil && (err.Code == CodeReadOnly || err.Code == CodeUnavailable)
+	return err != nil && (err.Code == CodeReadOnly || err.Code == CodeUnavailable || err.Code == CodeFollowerReadOnly)
 }
 
-// probeWritePlane asks healthz about the write plane specifically: one
-// attempt, no retries — the point of the half-open state is a cheap,
-// decisive answer.
-func (c *Client) probeWritePlane(ctx context.Context) bool {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz?plane=write", nil)
+// probeWritePlane asks one endpoint's healthz about the write plane
+// specifically: one attempt, no retries — the point of the half-open
+// state is a cheap, decisive answer.
+func (c *Client) probeWritePlane(ctx context.Context, base string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/healthz?plane=write", nil)
 	if err != nil {
 		return false
 	}

@@ -9,6 +9,26 @@
 //	c, _ := client.New("http://localhost:8080")
 //	res, err := c.Predict(ctx, [][]float64{{0.2, 0.7, 0.1}})
 //
+// # Replicated tiers
+//
+// A client may know a whole serving tier, not just one server: declare
+// read replicas with WithReplicas and pick a routing policy with
+// WithReadPreference.
+//
+//	c, _ := client.New("http://primary:8080",
+//		client.WithReplicas("http://r1:8080", "http://r2:8080"),
+//		client.WithReadPreference(client.BoundedStaleness(64)))
+//
+// Writes (Train, Ingest) always target the current primary. Reads route
+// per the preference — Primary (the default; single-server behavior),
+// NearestReplica (lowest observed latency), or BoundedStaleness(maxLag)
+// (replicas within maxLag sequence numbers, per their own stats) — and
+// fail over across endpoints within one call. When a write lands on a
+// node that answers not_primary with a redirect hint (the tier failed
+// over), the client adopts the hinted primary and retries; PrimaryURL
+// reports the current target. Each endpoint keeps its own circuit
+// breaker and latency/lag observations.
+//
 // # Errors
 //
 // Faults the server reports come back as *client.Error (the protocol's
@@ -51,7 +71,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"hdcirc/internal/httpapi"
@@ -101,12 +121,17 @@ const (
 	CodeReadOnly         = httpapi.CodeReadOnly
 	CodeDeadlineExceeded = httpapi.CodeDeadlineExceeded
 	CodeInternal         = httpapi.CodeInternal
+	CodeNotPrimary       = httpapi.CodeNotPrimary
+	CodeFollowerReadOnly = httpapi.CodeFollowerReadOnly
+	CodeStaleSeq         = httpapi.CodeStaleSeq
 )
 
-// Client talks protocol v1 to one server. It is safe for concurrent use;
-// the underlying transport pools and reuses connections.
+// Client talks protocol v1 to a serving tier: one primary, plus any read
+// replicas declared with WithReplicas. It is safe for concurrent use; the
+// underlying transport pools and reuses connections per host. Writes
+// always target the current primary (following not_primary redirects
+// after a failover); reads route per the WithReadPreference policy.
 type Client struct {
-	base        string
 	hc          *http.Client
 	maxAttempts int           // total tries per retryable call
 	baseDelay   time.Duration // first backoff step, doubled per attempt
@@ -114,7 +139,19 @@ type Client struct {
 	retryBudget time.Duration // total backoff sleep allowed per call; 0 = unbounded
 	callTimeout time.Duration // per-call deadline layered under the caller's ctx; 0 = none
 	streamBatch int           // client-side rows per buffered stream write
-	br          *breaker      // write-plane circuit breaker
+
+	// Breaker template, stamped into every endpoint (each node's write
+	// plane degrades independently, so each gets its own circuit).
+	brThreshold int
+	brCooldown  time.Duration
+
+	replicaURLs []string // raw WithReplicas arguments; resolved in New
+	pref        ReadPreference
+
+	mu       sync.Mutex
+	primary  *endpoint
+	replicas []*endpoint
+	eps      map[string]*endpoint // every endpoint ever known, by base URL
 }
 
 // Option customizes a Client.
@@ -164,7 +201,7 @@ func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
 		if cooldown <= 0 {
 			cooldown = time.Second
 		}
-		c.br = &breaker{threshold: threshold, cooldown: cooldown}
+		c.brThreshold, c.brCooldown = threshold, cooldown
 	}
 }
 
@@ -179,32 +216,49 @@ func WithStreamBatch(rows int) Option {
 	}
 }
 
-// New builds a client for the server at baseURL (scheme://host[:port],
-// with or without a trailing slash).
+// New builds a client for the serving tier whose primary is at baseURL
+// (scheme://host[:port], with or without a trailing slash). Add read
+// replicas with WithReplicas and pick how reads route with
+// WithReadPreference; with neither, the client behaves exactly as the
+// single-server client always has.
 func New(baseURL string, opts ...Option) (*Client, error) {
-	u, err := url.Parse(baseURL)
-	if err != nil {
-		return nil, fmt.Errorf("client: parsing base URL: %w", err)
-	}
-	if u.Scheme != "http" && u.Scheme != "https" {
-		return nil, fmt.Errorf("client: base URL %q needs an http or https scheme", baseURL)
-	}
 	t := http.DefaultTransport.(*http.Transport).Clone()
 	t.MaxIdleConnsPerHost = 32 // high-fan-in callers reuse, not re-dial
 	c := &Client{
-		base:        strings.TrimRight(u.String(), "/"),
 		hc:          &http.Client{Transport: t},
 		maxAttempts: 4,
 		baseDelay:   100 * time.Millisecond,
 		maxDelay:    1600 * time.Millisecond,
 		streamBatch: 256,
-		br:          &breaker{threshold: 5, cooldown: time.Second},
+		brThreshold: 5,
+		brCooldown:  time.Second,
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	if c.maxAttempts < 1 {
 		c.maxAttempts = 1
+	}
+	// Endpoints are built after the options ran so each breaker is stamped
+	// from the final WithCircuitBreaker configuration.
+	base, err := normalizeBase(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	c.eps = make(map[string]*endpoint, 1+len(c.replicaURLs))
+	c.primary = c.newEndpoint(base)
+	c.eps[base] = c.primary
+	for _, raw := range c.replicaURLs {
+		rb, err := normalizeBase(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := c.eps[rb]; dup {
+			continue // the primary, or a replica listed twice
+		}
+		ep := c.newEndpoint(rb)
+		c.eps[rb] = ep
+		c.replicas = append(c.replicas, ep)
 	}
 	return c, nil
 }
@@ -295,28 +349,79 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 
 // Snapshot streams the server's binary snapshot into w and returns the
 // snapshot version. The bytes warm-start a replacement server (hdcserve
-// -load, or Server.Restore).
+// -load, or Server.Restore). Routed per the read preference, and retried
+// with the same backoff machinery as the unary reads — honoring the
+// server's Retry-After hint on 503 (a degraded or still-catching-up
+// node) — but only until the first body byte reaches w: a partially
+// copied image cannot be replayed into the same writer.
 func (c *Client) Snapshot(ctx context.Context, w io.Writer) (version uint64, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/snapshot", nil)
-	if err != nil {
-		return 0, err
+	candidates := c.readCandidates(ctx)
+	var (
+		lastErr   error
+		slept     time.Duration
+		skipSleep bool
+	)
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 && !skipSleep {
+			d := c.backoff(lastErr, attempt)
+			if c.retryBudget > 0 && slept+d > c.retryBudget {
+				return 0, fmt.Errorf("client: snapshot: retry budget %v exhausted after %d attempts: %w", c.retryBudget, attempt, lastErr)
+			}
+			if err := sleepCtx(ctx, d); err != nil {
+				return 0, err
+			}
+			slept += d
+		}
+		skipSleep = false
+		ep := candidates[attempt%len(candidates)]
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.base+"/v1/snapshot", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
+			lastErr = fmt.Errorf("client: snapshot: %w", err)
+			skipSleep = attempt+1 < len(candidates)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			apiErr := decodeErrorBody(resp)
+			drain(resp)
+			var e *Error
+			if errors.As(apiErr, &e) && e.Code == CodeNotPrimary && e.PrimaryURL != "" && c.adoptPrimary(e.PrimaryURL) {
+				candidates = c.readCandidates(ctx)
+				lastErr, skipSleep = apiErr, true
+				continue
+			}
+			if !retryable(apiErr, resp.StatusCode, true) {
+				return 0, apiErr
+			}
+			lastErr = apiErr
+			continue
+		}
+		version, err = strconv.ParseUint(resp.Header.Get("X-Snapshot-Version"), 10, 64)
+		if err != nil {
+			drain(resp)
+			return 0, fmt.Errorf("client: snapshot: bad X-Snapshot-Version header: %w", err)
+		}
+		n, err := io.Copy(w, resp.Body)
+		drain(resp)
+		if err == nil {
+			return version, nil
+		}
+		if n > 0 {
+			return 0, fmt.Errorf("client: snapshot: reading body after %d bytes: %w", n, err)
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		lastErr = fmt.Errorf("client: snapshot: reading body: %w", err)
+		skipSleep = attempt+1 < len(candidates)
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return 0, fmt.Errorf("client: snapshot: %w", err)
-	}
-	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		return 0, decodeErrorBody(resp)
-	}
-	version, err = strconv.ParseUint(resp.Header.Get("X-Snapshot-Version"), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("client: snapshot: bad X-Snapshot-Version header: %w", err)
-	}
-	if _, err := io.Copy(w, resp.Body); err != nil {
-		return 0, fmt.Errorf("client: snapshot: reading body: %w", err)
-	}
-	return version, nil
+	return 0, fmt.Errorf("client: snapshot: giving up after %d attempts: %w", c.maxAttempts, lastErr)
 }
 
 // ---------------------------------------------------------------------------
@@ -326,19 +431,22 @@ func (c *Client) Snapshot(ctx context.Context, w io.Writer) (version uint64, err
 // do runs one unary call: marshal once, attempt up to the retry budget,
 // decode the response (or its error envelope). idempotent gates whether
 // transport faults and 5xx responses are retried; 429 always is.
-// Non-idempotent (write-plane) calls additionally pass through the
+//
+// Routing: reads walk the read-preference candidate list — a failed
+// attempt moves straight to the next untried endpoint without a backoff
+// sleep (the fault was that node's, not the tier's) — while writes
+// re-resolve the current primary every attempt and pass through ITS
 // circuit breaker: open circuit means ErrCircuitOpen without a request,
-// and every structured write-plane 503 feeds the trip counter.
+// and every structured write-plane 503 feeds that endpoint's counter.
+// A not_primary refusal with a redirect hint (this node was demoted, or
+// never was the primary) makes the client adopt the hinted primary and
+// retry immediately — the refused request was never admitted, so replay
+// cannot double-apply.
 func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
 	if c.callTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
 		defer cancel()
-	}
-	if !idempotent {
-		if err := c.br.allow(ctx, c); err != nil {
-			return err
-		}
 	}
 	var body []byte
 	if in != nil {
@@ -347,12 +455,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
+	var candidates []*endpoint
+	if idempotent {
+		candidates = c.readCandidates(ctx)
+	}
 	var (
-		lastErr error
-		slept   time.Duration
+		lastErr   error
+		slept     time.Duration
+		skipSleep bool
 	)
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 && !skipSleep {
 			d := c.backoff(lastErr, attempt)
 			if c.retryBudget > 0 && slept+d > c.retryBudget {
 				return fmt.Errorf("client: retry budget %v exhausted after %d attempts: %w", c.retryBudget, attempt, lastErr)
@@ -362,13 +475,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			}
 			slept += d
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		skipSleep = false
+		var ep *endpoint
+		if idempotent {
+			ep = candidates[attempt%len(candidates)]
+		} else {
+			ep = c.primaryEndpoint()
+			if err := ep.br.allow(ctx, c, ep.base); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, ep.base+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		start := time.Now()
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			// Transport faults never feed the breaker: a dead connection
@@ -380,6 +504,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			if !idempotent {
 				return lastErr
 			}
+			skipSleep = attempt+1 < len(candidates)
 			continue
 		}
 		if resp.StatusCode == http.StatusOK {
@@ -388,23 +513,38 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 			if err != nil {
 				return fmt.Errorf("client: decoding %s response: %w", path, err)
 			}
-			if !idempotent {
-				c.br.success()
+			if idempotent {
+				ep.observeRTT(time.Since(start))
+			} else {
+				ep.br.success()
 			}
 			return nil
 		}
 		apiErr := decodeErrorBody(resp)
 		drain(resp)
-		if !idempotent {
-			var e *Error
-			if errors.As(apiErr, &e) && writePlaneFault(e) {
-				c.br.failure()
+		var e *Error
+		isEnvelope := errors.As(apiErr, &e)
+		if !idempotent && isEnvelope && writePlaneFault(e) {
+			ep.br.failure()
+		}
+		if isEnvelope && e.Code == CodeNotPrimary {
+			if e.PrimaryURL != "" && c.adoptPrimary(e.PrimaryURL) {
+				if idempotent {
+					candidates = c.readCandidates(ctx)
+				}
+				lastErr, skipSleep = apiErr, true
+				continue
 			}
+			return apiErr // no hint, or already pointed there: nothing to adopt
 		}
 		if !retryable(apiErr, resp.StatusCode, idempotent) {
 			return apiErr
 		}
 		lastErr = apiErr
+		if idempotent && resp.StatusCode >= 500 {
+			// This node is unhealthy; the next candidate may not be.
+			skipSleep = attempt+1 < len(candidates)
+		}
 	}
 	return fmt.Errorf("client: giving up after %d attempts: %w", c.maxAttempts, lastErr)
 }
@@ -461,6 +601,16 @@ func decodeErrorBody(resp *http.Response) error {
 		Code:    CodeInternal,
 		Message: fmt.Sprintf("HTTP %d with non-envelope body: %.200s", resp.StatusCode, raw),
 	}
+}
+
+// decodeJSONBody decodes a 200 response body into out (or returns the
+// error envelope), draining the connection either way.
+func decodeJSONBody(resp *http.Response, out any) error {
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return decodeErrorBody(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // drain discards any unread body so the connection returns to the pool.

@@ -67,10 +67,11 @@ func buildHdcserve(t *testing.T) string {
 }
 
 // startChild launches the binary and returns the process plus its resolved
-// base URL.
-func startChild(t *testing.T, bin, addr, dataDir string) (*exec.Cmd, string) {
+// base URL. Extra flags (e.g. a replication role) append to the standard
+// set.
+func startChild(t *testing.T, bin, addr, dataDir string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(bin, childFlags(addr, dataDir)...)
+	cmd := exec.Command(bin, append(childFlags(addr, dataDir), extra...)...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

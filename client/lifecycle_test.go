@@ -100,34 +100,33 @@ func TestCoalescerFlushTimeout(t *testing.T) {
 	}
 }
 
-// When the dial itself fails, the response consumer never runs, so the
-// results channel never closes. Recv must still return the transport
-// fault instead of blocking forever.
-func TestPredictStreamRecvUnblocksOnDialFailure(t *testing.T) {
+// When the dial itself fails, the open handshake surfaces the transport
+// fault synchronously from PredictStream (after its open retries) — the
+// caller never receives a stream whose Recv would hang or fail later.
+func TestPredictStreamOpenSurfacesDialFailure(t *testing.T) {
 	ts := httptest.NewServer(http.NotFoundHandler())
 	url := ts.URL
 	ts.Close() // every dial to url now fails outright
 
-	c, err := New(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ps, err := c.PredictStream(t.Context())
+	c, err := New(url, WithRetry(1, time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := ps.Recv()
+		ps, err := c.PredictStream(t.Context())
+		if err == nil {
+			ps.CloseSend()
+		}
 		done <- err
 	}()
 	select {
 	case err := <-done:
 		if err == nil || errors.Is(err, io.EOF) {
-			t.Fatalf("Recv after dial failure = %v, want a transport error", err)
+			t.Fatalf("PredictStream open after dial failure = %v, want a transport error", err)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("Recv hung after the dial failed")
+		t.Fatal("PredictStream open hung after the dial failed")
 	}
 }
 

@@ -1,0 +1,212 @@
+package client
+
+// Three-process replication e2e: one primary and two replicas, each a real
+// hdcserve child on loopback, driven through the multi-endpoint SDK. The
+// test asserts the tier's contract end to end — reads served by replicas,
+// writes landing only on the primary, a direct replica write surfacing
+// not_primary (and the SDK failing over on its hint), and a SIGKILLed
+// replica rejoining from its own checkpoint + WAL suffix to serve a
+// byte-identical /v1/snapshot at the primary's version.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/url"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// waitConverged polls a node's stats until it reports follower role at
+// exactly the target version with zero lag.
+func waitConverged(t *testing.T, c *Client, version uint64) *StatsResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last *StatsResponse
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		st, err := c.Stats(ctx)
+		cancel()
+		if err == nil {
+			last = st
+			if st.Role == "follower" && st.Version == version &&
+				st.Replication != nil && st.Replication.FollowerLagSeq == 0 {
+				return st
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("replica never converged to version %d (last stats %+v)", version, last)
+	return nil
+}
+
+// nodeSnapshot downloads one node's snapshot through a direct client.
+func nodeSnapshot(t *testing.T, c *Client) (uint64, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	v, err := c.Snapshot(context.Background(), &buf)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return v, buf.Bytes()
+}
+
+func TestReplicationTierE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process integration test")
+	}
+	bin := buildHdcserve(t)
+	ctx := context.Background()
+
+	pdir, r1dir, r2dir := t.TempDir(), t.TempDir(), t.TempDir()
+	_, pbase := startChild(t, bin, "127.0.0.1:0", pdir)
+	r1child, r1base := startChild(t, bin, "127.0.0.1:0", r1dir, "-role", "replica", "-primary-url", pbase)
+	_, r2base := startChild(t, bin, "127.0.0.1:0", r2dir, "-role", "replica", "-primary-url", pbase)
+
+	// Direct per-node clients for health, convergence, and snapshots.
+	direct := func(base string) *Client {
+		c, err := New(base, WithRetry(10, 50*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	pc, r1c, r2c := direct(pbase), direct(r1base), direct(r2base)
+	waitHealthy(t, pc)
+	waitHealthy(t, r1c)
+	waitHealthy(t, r2c)
+
+	// The tier client: reads prefer replicas, writes go to the primary.
+	tier, err := New(pbase,
+		WithReplicas(r1base, r2base),
+		WithReadPreference(NearestReplica),
+		WithRetry(20, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bulk-load through the tier client's stream (always the primary), then
+	// unary trains. Each acked version proves the write landed on the
+	// primary: a replica would have refused it with not_primary.
+	is, err := tier.Ingest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ingestRows; i++ {
+		if err := is.Send(ingestRowIdx(i)); err != nil {
+			t.Fatalf("ingest row %d: %v", i, err)
+		}
+	}
+	sum, err := is.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	version := uint64((ingestRows + streamBatch - 1) / streamBatch)
+	if sum.Version != version || sum.TotalRows != ingestRows {
+		t.Fatalf("ingest summary = %+v, want version %d", sum, version)
+	}
+	for i := 0; i < 10; i++ {
+		res, err := tier.Train(ctx, trainReqIdx(i))
+		if err != nil {
+			t.Fatalf("train %d: %v", i, err)
+		}
+		version++
+		if res.Version != version {
+			t.Fatalf("train %d acked version %d, want %d", i, res.Version, version)
+		}
+	}
+	if got := tier.PrimaryURL(); got != pbase {
+		t.Fatalf("tier client's primary drifted to %s, want %s", got, pbase)
+	}
+
+	// Reads route to replicas: with NearestReplica preference the stats
+	// read must be served by a follower, not the primary.
+	waitConverged(t, r1c, version)
+	waitConverged(t, r2c, version)
+	st, err := tier.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "follower" {
+		t.Fatalf("tier read served by role %q, want a replica", st.Role)
+	}
+
+	// A write aimed directly at a replica surfaces not_primary.
+	oneShot, err := New(r2base, WithRetry(1, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e *Error
+	if _, err := oneShot.Train(ctx, trainReqIdx(0)); !errors.As(err, &e) || e.Code != CodeNotPrimary {
+		t.Fatalf("replica write error = %v, want code %s", err, CodeNotPrimary)
+	}
+
+	// With retries left, the SDK follows the primary_url hint: a client
+	// that only knows a replica fails over and the write lands.
+	follow, err := New(r1base, WithRetry(10, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := follow.Train(ctx, trainReqIdx(10))
+	if err != nil {
+		t.Fatalf("failover train: %v", err)
+	}
+	version++
+	if res.Version != version {
+		t.Fatalf("failover train acked version %d, want %d", res.Version, version)
+	}
+	if got := follow.PrimaryURL(); got != pbase {
+		t.Fatalf("failover client adopted %s, want %s", got, pbase)
+	}
+
+	// Converged tier: every node serves the same bytes at the same version.
+	waitConverged(t, r1c, version)
+	waitConverged(t, r2c, version)
+	pv, pb := nodeSnapshot(t, pc)
+	for name, c := range map[string]*Client{"replica1": r1c, "replica2": r2c} {
+		v, b := nodeSnapshot(t, c)
+		if v != pv || !bytes.Equal(b, pb) {
+			t.Fatalf("%s snapshot (version %d, %d bytes) differs from primary (version %d, %d bytes)",
+				name, v, len(b), pv, len(pb))
+		}
+	}
+
+	// Kill replica 1 outright, keep writing, then restart it on the same
+	// address with the same data dir: it must recover from its own
+	// checkpoint + WAL suffix, catch up over the stream, and converge
+	// byte-identically again.
+	if err := r1child.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	r1child.Wait()
+	for i := 0; i < 10; i++ {
+		if _, err := tier.Train(ctx, trainReqIdx(11+i)); err != nil {
+			t.Fatalf("train with a dead replica: %v", err)
+		}
+		version++
+	}
+	// Tier reads keep working while replica 1 is down.
+	if _, err := tier.Predict(ctx, [][]float64{{0.3, 0.7}}); err != nil {
+		t.Fatalf("predict with a dead replica: %v", err)
+	}
+
+	u, err := url.Parse(r1base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r1base2 := startChild(t, bin, u.Host, r1dir, "-role", "replica", "-primary-url", pbase)
+	if r1base2 != r1base {
+		t.Fatalf("replica restarted on %s, want %s", r1base2, r1base)
+	}
+	st = waitConverged(t, r1c, version)
+	if !st.Durable || st.WALError != "" {
+		t.Fatalf("rejoined replica not durable: %+v", st)
+	}
+	pv, pb = nodeSnapshot(t, pc)
+	v, b := nodeSnapshot(t, r1c)
+	if pv != version || v != pv || !bytes.Equal(b, pb) {
+		t.Fatalf("rejoined replica snapshot (version %d, %d bytes) differs from primary (version %d, %d bytes)",
+			v, len(b), pv, len(pb))
+	}
+}

@@ -1,0 +1,339 @@
+package client
+
+// Replica-aware routing tests. These drive the Client against small fake
+// nodes (handlers that speak the protocol's envelope) so each test can
+// count exactly which endpoint served which plane — something the real
+// backend fixture cannot observe.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNode is one counting protocol-v1 stand-in: every path gets a
+// canned 200 unless the test overrides the handler.
+type fakeNode struct {
+	ts       *httptest.Server
+	predicts atomic.Int64
+	trains   atomic.Int64
+	stats    atomic.Int64
+
+	// lag, when >= 0, is reported as replication.follower_lag_seq.
+	lag atomic.Int64
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	n.lag.Store(-1)
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/predict":
+			n.predicts.Add(1)
+			json.NewEncoder(w).Encode(PredictResponse{Classes: []int{0}, Distances: []float64{0.5}})
+		case "/v1/train":
+			n.trains.Add(1)
+			json.NewEncoder(w).Encode(TrainResponse{Version: 1, Trained: 1})
+		case "/v1/stats":
+			n.stats.Add(1)
+			resp := map[string]any{}
+			if lag := n.lag.Load(); lag >= 0 {
+				resp["role"] = "follower"
+				resp["replication"] = map[string]any{"follower_lag_seq": lag}
+			}
+			json.NewEncoder(w).Encode(resp)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+func writeEnvelope(w http.ResponseWriter, e *Error) {
+	if e.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.HTTPStatus())
+	json.NewEncoder(w).Encode(map[string]any{"error": e})
+}
+
+// NearestReplica sends the read plane to a replica and the write plane to
+// the primary.
+func TestReadsRouteToReplicaWritesToPrimary(t *testing.T) {
+	primary, replica := newFakeNode(t), newFakeNode(t)
+	c, err := New(primary.ts.URL,
+		WithReplicas(replica.ts.URL),
+		WithReadPreference(NearestReplica))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Predict(ctx, [][]float64{{0.1, 0.2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Train(ctx, TrainRequest{Samples: []Sample{{Label: 0, Features: []float64{0.1, 0.2}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := replica.predicts.Load(); got != 5 {
+		t.Errorf("replica served %d predicts, want 5", got)
+	}
+	if got := primary.predicts.Load(); got != 0 {
+		t.Errorf("primary served %d predicts, want 0 (NearestReplica)", got)
+	}
+	if got := primary.trains.Load(); got != 1 {
+		t.Errorf("primary served %d trains, want 1", got)
+	}
+	if got := replica.trains.Load(); got != 0 {
+		t.Errorf("replica served %d trains, want 0", got)
+	}
+}
+
+// The default preference (Primary) never touches replicas — the
+// single-server behavior is unchanged by merely declaring them.
+func TestDefaultPreferenceReadsFromPrimary(t *testing.T) {
+	primary, replica := newFakeNode(t), newFakeNode(t)
+	c, err := New(primary.ts.URL, WithReplicas(replica.ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(context.Background(), [][]float64{{0.1, 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := primary.predicts.Load(); got != 1 {
+		t.Errorf("primary served %d predicts, want 1", got)
+	}
+	if got := replica.predicts.Load(); got != 0 {
+		t.Errorf("replica served %d predicts, want 0", got)
+	}
+}
+
+// BoundedStaleness consults the replica's self-reported lag and falls
+// back to the primary when the bound is exceeded.
+func TestBoundedStalenessFallsBackToPrimary(t *testing.T) {
+	primary, replica := newFakeNode(t), newFakeNode(t)
+	replica.lag.Store(100)
+	c, err := New(primary.ts.URL,
+		WithReplicas(replica.ts.URL),
+		WithReadPreference(BoundedStaleness(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(context.Background(), [][]float64{{0.1, 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := primary.predicts.Load(); got != 1 {
+		t.Errorf("primary served %d predicts, want 1 (replica 100 behind, bound 10)", got)
+	}
+	if got := replica.predicts.Load(); got != 0 {
+		t.Errorf("lagging replica served %d predicts, want 0", got)
+	}
+}
+
+// BoundedStaleness keeps using a replica within the bound.
+func TestBoundedStalenessUsesFreshReplica(t *testing.T) {
+	primary, replica := newFakeNode(t), newFakeNode(t)
+	replica.lag.Store(2)
+	c, err := New(primary.ts.URL,
+		WithReplicas(replica.ts.URL),
+		WithReadPreference(BoundedStaleness(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(context.Background(), [][]float64{{0.1, 0.2}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := replica.predicts.Load(); got != 1 {
+		t.Errorf("fresh replica served %d predicts, want 1", got)
+	}
+	if got := primary.predicts.Load(); got != 0 {
+		t.Errorf("primary served %d predicts, want 0", got)
+	}
+}
+
+// A write that lands on a demoted node follows the not_primary redirect:
+// the client adopts the hinted primary and the retry succeeds, with
+// PrimaryURL reflecting the adoption.
+func TestWriteFailsOverOnNotPrimary(t *testing.T) {
+	real := newFakeNode(t)
+	var demoted *httptest.Server
+	demoted = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, &Error{
+			Code:       CodeNotPrimary,
+			Message:    "demoted",
+			PrimaryURL: real.ts.URL,
+		})
+	}))
+	t.Cleanup(demoted.Close)
+
+	c, err := New(demoted.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Train(context.Background(), TrainRequest{Samples: []Sample{{Label: 0, Features: []float64{0.1, 0.2}}}}); err != nil {
+		t.Fatalf("Train across not_primary redirect: %v", err)
+	}
+	if got := real.trains.Load(); got != 1 {
+		t.Errorf("redirect target served %d trains, want 1", got)
+	}
+	if got, want := c.PrimaryURL(), real.ts.URL; got != want {
+		t.Errorf("PrimaryURL after adoption = %q, want %q", got, want)
+	}
+	// Subsequent writes go straight to the adopted primary.
+	if _, err := c.Train(context.Background(), TrainRequest{Samples: []Sample{{Label: 0, Features: []float64{0.1, 0.2}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := real.trains.Load(); got != 2 {
+		t.Errorf("adopted primary served %d trains total, want 2", got)
+	}
+}
+
+// A not_primary refusal without a redirect hint is terminal — there is
+// nothing to adopt.
+func TestNotPrimaryWithoutHintFails(t *testing.T) {
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, &Error{Code: CodeNotPrimary, Message: "primary unknown"})
+	}))
+	t.Cleanup(node.Close)
+	c, err := New(node.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Train(context.Background(), TrainRequest{Samples: []Sample{{Label: 0, Features: []float64{0.1}}}})
+	var e *Error
+	if !errors.As(err, &e) || e.Code != CodeNotPrimary {
+		t.Fatalf("Train against hintless non-primary = %v, want not_primary", err)
+	}
+}
+
+// The bugfix under test: Snapshot used to fail fast on any non-200. A 503
+// follower_read_only with a Retry-After hint must be retried through the
+// normal backoff machinery and succeed once the node recovers.
+func TestSnapshotRetriesFollowerReadOnly(t *testing.T) {
+	var calls atomic.Int64
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			writeEnvelope(w, &Error{Code: CodeFollowerReadOnly, Message: "catching up", RetryAfterMS: 1})
+			return
+		}
+		w.Header().Set("X-Snapshot-Version", "42")
+		w.Write([]byte("snapshot-bytes"))
+	}))
+	t.Cleanup(node.Close)
+	c, err := New(node.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	version, err := c.Snapshot(context.Background(), &buf)
+	if err != nil {
+		t.Fatalf("Snapshot after transient follower_read_only: %v", err)
+	}
+	if version != 42 || buf.String() != "snapshot-bytes" {
+		t.Fatalf("Snapshot = (v%d, %q), want (v42, snapshot-bytes)", version, buf.String())
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("snapshot endpoint called %d times, want 2 (one refusal, one success)", got)
+	}
+}
+
+// The streaming half of the same bugfix: a refused ingest OPEN (503
+// follower_read_only with Retry-After) is retried, because the
+// 100-continue handshake guarantees no row was sent. Recovery is
+// simulated by proxying the second attempt to a real backend.
+func TestIngestOpenRetriesFollowerReadOnly(t *testing.T) {
+	b := newBackend(t)
+	target, err := url.Parse(b.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := httputil.NewSingleHostReverseProxy(target)
+	proxy.FlushInterval = -1 // acks are a live stream; forward them as they come
+
+	var opens atomic.Int64
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/ingest:stream" && opens.Add(1) == 1 {
+			writeEnvelope(w, &Error{Code: CodeFollowerReadOnly, Message: "catching up", RetryAfterMS: 1})
+			return
+		}
+		proxy.ServeHTTP(w, r)
+	}))
+	t.Cleanup(node.Close)
+
+	c, err := New(node.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, err := c.Ingest(context.Background())
+	if err != nil {
+		t.Fatalf("Ingest open after transient follower_read_only: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		label := i % 3
+		if err := is.Send(IngestRow{Label: &label, Features: []float64{0.1, 0.2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum, err := is.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalRows != 3 {
+		t.Fatalf("summary total %d, want 3", sum.TotalRows)
+	}
+	if got := opens.Load(); got != 2 {
+		t.Fatalf("ingest opened %d times, want 2 (one refusal, one success)", got)
+	}
+}
+
+// Replicas listed twice, or overlapping the primary, collapse into one
+// endpoint each.
+func TestNewDedupsEndpoints(t *testing.T) {
+	primary, replica := newFakeNode(t), newFakeNode(t)
+	c, err := New(primary.ts.URL,
+		WithReplicas(replica.ts.URL, replica.ts.URL+"/", primary.ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.replicas) != 1 {
+		t.Fatalf("got %d replicas, want 1 after dedup", len(c.replicas))
+	}
+	if len(c.eps) != 2 {
+		t.Fatalf("got %d endpoints, want 2", len(c.eps))
+	}
+}
+
+// A read against a dead replica fails over to the primary within the same
+// call instead of surfacing the transport fault.
+func TestReadFailsOverFromDeadReplica(t *testing.T) {
+	primary := newFakeNode(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	c, err := New(primary.ts.URL,
+		WithReplicas(deadURL),
+		WithReadPreference(NearestReplica),
+		WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(context.Background(), [][]float64{{0.1, 0.2}}); err != nil {
+		t.Fatalf("Predict with one dead replica: %v", err)
+	}
+	if got := primary.predicts.Load(); got != 1 {
+		t.Errorf("primary served %d predicts, want 1 (failover)", got)
+	}
+}

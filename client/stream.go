@@ -5,7 +5,19 @@ package client
 // while a response goroutine consumes the server's acknowledgment (or
 // result) lines concurrently — full duplex, so server acks can never fill
 // a socket buffer and deadlock a writer that hasn't finished sending.
-// Streams are never retried: a broken ingest stream may be partially
+//
+// Every stream opens with Expect: 100-continue, which does two jobs at
+// once. First, it prevents a mutual deadlock with servers that refuse the
+// stream early: without it, a refusing server blocks draining the unread
+// chunked body before completing its response while the client waits for
+// the response before ending the body. Second, it turns the open into a
+// handshake — the body is withheld until the server commits to reading
+// it, so an open-time refusal (429 overloaded, 503 read_only /
+// follower_read_only, 421 not_primary) arrives with zero rows sent,
+// which makes retrying the OPEN safe. Ingest and PredictStream therefore
+// retry refused opens through the same backoff machinery as unary calls
+// (honoring Retry-After, following not_primary redirects). An ESTABLISHED
+// stream is still never retried: a broken ingest stream may be partially
 // applied, and the per-batch acks tell the caller exactly how far the
 // server got (resume from the first unacknowledged row).
 
@@ -13,10 +25,13 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"sync"
+	"time"
 )
 
 // stream is the shared duplex plumbing of both stream kinds.
@@ -33,15 +48,26 @@ type stream struct {
 	err      error // first fault from either direction; sticky
 }
 
-// startStream opens the request and spawns the response consumer.
-func (c *Client) startStream(ctx context.Context, path string, consume func(*json.Decoder) error) (*stream, error) {
+// startStream opens the request against one endpoint, performs the
+// 100-continue open handshake, and spawns the response consumer. A
+// non-nil error means the server refused the stream before reading any
+// row (or the dial itself failed) — the caller may safely retry against
+// the same or another endpoint.
+func (c *Client) startStream(ctx context.Context, base, path string, consume func(*json.Decoder) error) (*stream, error) {
 	pr, pw := io.Pipe()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, pr)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, pr)
 	if err != nil {
 		pw.Close()
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("Expect", "100-continue")
+	accepted := make(chan struct{})
+	var acceptOnce sync.Once
+	trace := &httptrace.ClientTrace{
+		Got100Continue: func() { acceptOnce.Do(func() { close(accepted) }) },
+	}
+	req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
 	s := &stream{
 		ctx:      ctx,
 		pw:       pw,
@@ -66,6 +92,25 @@ func (c *Client) startStream(ctx context.Context, path string, consume func(*jso
 			s.fail(err)
 		}
 	}()
+	// Open handshake: wait until the server commits to reading the body
+	// (it sends 100 Continue on its first body read), refuses outright, or
+	// the transport's ExpectContinueTimeout (1s on the default transport)
+	// has certainly elapsed — past that the body flows regardless, which is
+	// also the right fallback for proxies that swallow the 100.
+	timer := time.NewTimer(1300 * time.Millisecond)
+	defer timer.Stop()
+	select {
+	case <-accepted:
+	case <-timer.C:
+	case <-s.respDone:
+		if err := s.asyncErr(); err != nil {
+			return nil, err
+		}
+	case <-ctx.Done():
+		s.fail(ctx.Err())
+		<-s.respDone
+		return nil, ctx.Err()
+	}
 	return s, nil
 }
 
@@ -138,17 +183,73 @@ type IngestStream struct {
 	sawSummary bool
 }
 
-// Ingest opens a bulk-ingest stream. Rows are coalesced server-side into
-// write batches (one snapshot publication per batch, not per row), each
-// acknowledged as it lands; Close returns the final summary.
+// Ingest opens a bulk-ingest stream against the current primary. Rows are
+// coalesced server-side into write batches (one snapshot publication per
+// batch, not per row), each acknowledged as it lands; Close returns the
+// final summary. A refused OPEN (zero rows sent, guaranteed by the
+// 100-continue handshake) is retried with backoff — honoring Retry-After
+// on 503 from a degraded or follower node, following not_primary
+// redirects after a failover — while an established stream that breaks is
+// never replayed.
 func (c *Client) Ingest(ctx context.Context) (*IngestStream, error) {
-	// The write-plane breaker gates stream opens too: a degraded server
-	// will 503 every coalesced batch, so don't even dial while it's open.
-	if err := c.br.allow(ctx, c); err != nil {
-		return nil, err
+	var (
+		lastErr   error
+		slept     time.Duration
+		skipSleep bool
+	)
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 && !skipSleep {
+			d := c.backoff(lastErr, attempt)
+			if c.retryBudget > 0 && slept+d > c.retryBudget {
+				return nil, fmt.Errorf("client: ingest: retry budget %v exhausted after %d attempts: %w", c.retryBudget, attempt, lastErr)
+			}
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
+			slept += d
+		}
+		skipSleep = false
+		ep := c.primaryEndpoint()
+		// The write-plane breaker gates stream opens too: a degraded server
+		// will 503 every coalesced batch, so don't even dial while it's open.
+		if err := ep.br.allow(ctx, c, ep.base); err != nil {
+			return nil, err
+		}
+		is, err := c.openIngest(ctx, ep.base)
+		if err == nil {
+			return is, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var e *Error
+		if !errors.As(err, &e) {
+			// Transport fault on open: like unary writes, surface it — the
+			// dial itself failing says nothing a blind retry would fix.
+			return nil, err
+		}
+		if writePlaneFault(e) {
+			ep.br.failure()
+		}
+		if e.Code == CodeNotPrimary {
+			if e.PrimaryURL != "" && c.adoptPrimary(e.PrimaryURL) {
+				lastErr, skipSleep = err, true
+				continue
+			}
+			return nil, err
+		}
+		if !retryable(e, e.HTTPStatus(), false) && !writePlaneFault(e) {
+			return nil, err
+		}
+		lastErr = err
 	}
+	return nil, fmt.Errorf("client: ingest: giving up after %d attempts: %w", c.maxAttempts, lastErr)
+}
+
+// openIngest makes one attempt at opening the ingest stream against base.
+func (c *Client) openIngest(ctx context.Context, base string) (*IngestStream, error) {
 	is := &IngestStream{}
-	s, err := c.startStream(ctx, "/v1/ingest:stream", func(dec *json.Decoder) error {
+	s, err := c.startStream(ctx, base, "/v1/ingest:stream", func(dec *json.Decoder) error {
 		for {
 			var ack IngestAck
 			if err := dec.Decode(&ack); err != nil {
@@ -220,10 +321,66 @@ type PredictStream struct {
 	results chan PredictResult
 }
 
-// PredictStream opens a bulk-prediction stream (POST /v1/predict:stream).
+// PredictStream opens a bulk-prediction stream (POST /v1/predict:stream),
+// routed per the read preference. A refused or failed OPEN (no query
+// sent yet, guaranteed by the 100-continue handshake) fails over to the
+// next read candidate, with backoff honoring Retry-After once the
+// candidates are exhausted.
 func (c *Client) PredictStream(ctx context.Context) (*PredictStream, error) {
+	candidates := c.readCandidates(ctx)
+	var (
+		lastErr   error
+		slept     time.Duration
+		skipSleep bool
+	)
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 && !skipSleep {
+			d := c.backoff(lastErr, attempt)
+			if c.retryBudget > 0 && slept+d > c.retryBudget {
+				return nil, fmt.Errorf("client: predict stream: retry budget %v exhausted after %d attempts: %w", c.retryBudget, attempt, lastErr)
+			}
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
+			slept += d
+		}
+		skipSleep = false
+		ep := candidates[attempt%len(candidates)]
+		ps, err := c.openPredictStream(ctx, ep.base)
+		if err == nil {
+			return ps, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var e *Error
+		if !errors.As(err, &e) {
+			// Transport fault on open: nothing was sent; try the next node.
+			lastErr = err
+			skipSleep = attempt+1 < len(candidates)
+			continue
+		}
+		if e.Code == CodeNotPrimary && e.PrimaryURL != "" && c.adoptPrimary(e.PrimaryURL) {
+			candidates = c.readCandidates(ctx)
+			lastErr, skipSleep = err, true
+			continue
+		}
+		if !retryable(e, e.HTTPStatus(), true) {
+			return nil, err
+		}
+		lastErr = err
+		if e.HTTPStatus() >= 500 {
+			skipSleep = attempt+1 < len(candidates)
+		}
+	}
+	return nil, fmt.Errorf("client: predict stream: giving up after %d attempts: %w", c.maxAttempts, lastErr)
+}
+
+// openPredictStream makes one attempt at opening the prediction stream
+// against base.
+func (c *Client) openPredictStream(ctx context.Context, base string) (*PredictStream, error) {
 	ps := &PredictStream{results: make(chan PredictResult, 1024)}
-	s, err := c.startStream(ctx, "/v1/predict:stream", func(dec *json.Decoder) error {
+	s, err := c.startStream(ctx, base, "/v1/predict:stream", func(dec *json.Decoder) error {
 		defer close(ps.results)
 		for {
 			var res PredictResult

@@ -58,6 +58,7 @@ import (
 	"hdcirc/internal/httpapi"
 	"hdcirc/internal/index"
 	"hdcirc/internal/model"
+	"hdcirc/internal/repl"
 	"hdcirc/internal/rng"
 	"hdcirc/internal/serve"
 	"hdcirc/internal/vfs"
@@ -344,6 +345,74 @@ func main() {
 		return httpapi.IngestRow{Label: &label, Features: httpRecs[i%len(httpRecs)]}
 	}
 
+	// Replication fixtures. repl_ship_record measures the tier's per-record
+	// pipeline — primary append, frame encode + CRC, NDJSON over loopback
+	// HTTP, follower decode, validate, deterministic apply — as the latency
+	// from ApplyBatch on the primary to the version landing on a connected
+	// in-memory follower. repl_catchup_64batch measures a cold join: a
+	// fresh follower connecting to a primary 64 batches ahead and
+	// converging over one catch-up stream. Both followers run fixed 2-wide
+	// pools so the rows gate in -compare on machines of any width.
+	shipSrv, err := serve.Open(serve.Config{
+		Dim: *d, Classes: k, Shards: 4, Workers: 2, Seed: 7,
+		WAL: &serve.WALConfig{Dir: filepath.Join(tmpRoot, "repl-ship"), SyncEvery: -1, CheckpointEvery: -1},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer shipSrv.Close()
+	shipSource, err := repl.NewSource(repl.SourceConfig{Server: shipSrv})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	shipAPI, err := httpapi.New(httpapi.Config{Server: shipSrv, Encoder: httpEnc, Replication: shipSource})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	shipTS := httptest.NewServer(shipAPI)
+	defer shipTS.Close()
+	shipFollower, err := serve.NewServer(serve.Config{Dim: *d, Classes: k, Shards: 4, Workers: 2, Seed: 7})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer shipFollower.Close()
+	shipF, err := repl.StartFollower(context.Background(), repl.FollowerConfig{
+		Server: shipFollower, PrimaryURL: shipTS.URL, AckEvery: 1,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer shipF.Close()
+	shipBatch := serve.Batch{Train: []serve.Sample{{Class: 0, HV: queries[0]}}}
+
+	catchupSrv, err := serve.Open(serve.Config{
+		Dim: *d, Classes: k, Shards: 4, Seed: 7,
+		WAL: &serve.WALConfig{Dir: filepath.Join(tmpRoot, "repl-catchup"), SyncEvery: -1, CheckpointEvery: -1},
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer catchupSrv.Close()
+	for i := 0; i < 64; i++ {
+		var rb serve.Batch
+		for j := 0; j < 4; j++ {
+			rb.Train = append(rb.Train, serve.Sample{Class: (4*i + j) % k, HV: queries[(4*i+j)%len(queries)]})
+		}
+		if _, err := catchupSrv.ApplyBatch(rb); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	catchupSource, err := repl.NewSource(repl.SourceConfig{Server: catchupSrv})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	catchupAPI, err := httpapi.New(httpapi.Config{Server: catchupSrv, Encoder: httpEnc, Replication: catchupSource})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	catchupTS := httptest.NewServer(catchupAPI)
+	defer catchupTS.Close()
+
 	gmp := runtime.GOMAXPROCS(0)
 	benches := []struct {
 		name    string
@@ -509,6 +578,44 @@ func main() {
 			}
 			if _, err := is.Close(); err != nil {
 				b.Fatal(err)
+			}
+		}},
+		{"repl_ship_record", 1, func(b *testing.B) {
+			// One op = one record shipped end to end: ApplyBatch on the
+			// primary through the open replicate-stream to the follower's
+			// applied version. Replication latency per record, loopback wire
+			// included.
+			for i := 0; i < b.N; i++ {
+				snap, err := shipSrv.ApplyBatch(shipBatch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for shipFollower.Snapshot().Version() < snap.Version() {
+					runtime.Gosched()
+				}
+			}
+		}},
+		{"repl_catchup_64batch", 2, func(b *testing.B) {
+			// One op = a cold follower join: connect to a primary 64 batches
+			// ahead, stream the history (checkpoint seed or log suffix — the
+			// source's choice), converge, tear down.
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				fsrv, err := serve.NewServer(serve.Config{Dim: *d, Classes: k, Shards: 4, Workers: 2, Seed: 7})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := repl.StartFollower(ctx, repl.FollowerConfig{Server: fsrv, PrimaryURL: catchupTS.URL})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for fsrv.Snapshot().Version() < 64 {
+					runtime.Gosched()
+				}
+				f.Close()
+				if err := fsrv.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}},
 		{"recover_replay", srv.Pool().Workers(), func(b *testing.B) {

@@ -40,6 +40,21 @@
 // server shuts down gracefully: in-flight requests (including training
 // batches) complete, then the log is flushed and closed.
 //
+// # Replication
+//
+// A durable server (-data-dir) can head a replicated tier. The primary
+// (-role primary, the default) hosts POST /v1/replicate:stream and ships
+// every logged batch to connected followers; a replica (-role replica
+// -primary-url http://primary:8080) connects with its last applied
+// sequence, catches up from the primary's newest checkpoint plus WAL
+// suffix, then tails live writes — applying through the same
+// validate-then-apply path, so its snapshots are bit-identical to the
+// primary's at the same version. Replicas serve the read plane and answer
+// writes with 421 not_primary (plus the primary's URL for client-side
+// failover); both roles log replication health every 10s and report it
+// under GET /v1/stats "replication". See the README "Distributed serving"
+// section for the topology and failover runbook.
+//
 // # Degraded read-only mode
 //
 // A storage fault under the log (disk full, I/O error) does not kill the
@@ -92,6 +107,8 @@ type options struct {
 	maxBodyBytes                  int64
 	writeDeadline                 time.Duration
 	predictDeadline               time.Duration
+	role                          string
+	primaryURL                    string
 }
 
 // build assembles the serving stack from options: durable server, record
@@ -138,7 +155,7 @@ func build(o *options) (http.Handler, *hdcirc.Server, error) {
 			return nil, nil, err
 		}
 	}
-	h, err := hdcirc.ServeHandler(hdcirc.ServeHandlerConfig{
+	hcfg := hdcirc.ServeHandlerConfig{
 		Server:          srv,
 		Encoder:         enc,
 		MaxInFlight:     o.maxInflight,
@@ -147,12 +164,49 @@ func build(o *options) (http.Handler, *hdcirc.Server, error) {
 		MaxBodyBytes:    o.maxBodyBytes,
 		WriteDeadline:   o.writeDeadline,
 		PredictDeadline: o.predictDeadline,
-	})
+	}
+	// A durable primary ships its write-ahead log to followers over
+	// /v1/replicate:stream; without -data-dir there is no log to ship, so
+	// the endpoint stays unavailable (replicas need -data-dir too — their
+	// own log is what lets THEM restart without a full re-seed).
+	if o.role == "primary" && o.dataDir != "" {
+		src, err := hdcirc.NewReplicationSource(hdcirc.ReplicationSourceConfig{Server: srv})
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		hcfg.Replication = src
+	}
+	h, err := hdcirc.ServeHandler(hcfg)
 	if err != nil {
 		srv.Close()
 		return nil, nil, err
 	}
 	return h, srv, nil
+}
+
+// logReplication periodically surfaces replication health — the
+// follower's lag behind the primary, or the primary's follower fan-out —
+// so an operator tailing the log sees convergence without curling stats.
+func logReplication(ctx context.Context, srv *hdcirc.Server, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st := srv.Stats()
+			if st.Replication == nil {
+				continue
+			}
+			if st.Role == "follower" {
+				log.Printf("replication: role=follower applied_seq=%d lag=%d", st.Replication.LastAckedSeq, st.Replication.FollowerLagSeq)
+			} else {
+				log.Printf("replication: role=primary followers=%d min_acked_seq=%d lag=%d", st.Replication.ConnectedFollowers, st.Replication.LastAckedSeq, st.Replication.FollowerLagSeq)
+			}
+		}
+	}
 }
 
 func main() {
@@ -180,7 +234,22 @@ func main() {
 	flag.IntVar(&o.maxQueue, "max-queue", 0, "admission control: requests waiting for a slot before 429s (0 = 2×max-inflight)")
 	flag.IntVar(&o.streamBatch, "stream-batch", 0, "rows coalesced per batch on the streaming endpoints (0 = 256)")
 	flag.Int64Var(&o.maxBodyBytes, "max-body", 0, "maximum unary request body in bytes (0 = 8 MiB)")
+	flag.StringVar(&o.role, "role", "primary", "replication role: primary (accepts writes; with -data-dir, ships its WAL to followers) or replica (read-only; replicates from -primary-url)")
+	flag.StringVar(&o.primaryURL, "primary-url", "", "with -role replica: base URL of the primary to replicate from (e.g. http://primary:8080)")
 	flag.Parse()
+
+	if o.role != "primary" && o.role != "replica" {
+		fmt.Fprintf(os.Stderr, "hdcserve: -role must be primary or replica, got %q\n", o.role)
+		os.Exit(2)
+	}
+	if o.role == "replica" && o.primaryURL == "" {
+		fmt.Fprintln(os.Stderr, "hdcserve: -role replica requires -primary-url")
+		os.Exit(2)
+	}
+	if o.role != "replica" && o.primaryURL != "" {
+		fmt.Fprintln(os.Stderr, "hdcserve: -primary-url only applies with -role replica")
+		os.Exit(2)
+	}
 
 	h, srv, err := build(&o)
 	if err != nil {
@@ -212,13 +281,31 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var follower *hdcirc.ReplicationFollower
+	if o.role == "replica" {
+		follower, err = hdcirc.StartReplicationFollower(ctx, hdcirc.ReplicationFollowerConfig{
+			Server:     srv,
+			PrimaryURL: o.primaryURL,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdcserve: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("replica: replicating from %s", o.primaryURL)
+	}
+	if o.role == "replica" || o.dataDir != "" {
+		go logReplication(ctx, srv, 10*time.Second)
+	}
 	if o.scenario != "" {
-		log.Printf("hdcserve listening on %s (scenario=%s d=%d k=%d shards=%d)", ln.Addr(), o.scenario, o.dim, o.classes, o.shards)
+		log.Printf("hdcserve listening on %s (role=%s scenario=%s d=%d k=%d shards=%d)", ln.Addr(), o.role, o.scenario, o.dim, o.classes, o.shards)
 	} else {
-		log.Printf("hdcserve listening on %s (d=%d k=%d shards=%d fields=%d)", ln.Addr(), o.dim, o.classes, o.shards, o.fields)
+		log.Printf("hdcserve listening on %s (role=%s d=%d k=%d shards=%d fields=%d)", ln.Addr(), o.role, o.dim, o.classes, o.shards, o.fields)
 	}
 	if err := serveHTTP(ctx, ln, h, srv); err != nil {
 		log.Fatal(err)
+	}
+	if follower != nil {
+		follower.Close() // the signal context already stopped it; wait it out
 	}
 	log.Printf("hdcserve: clean shutdown at version %d", srv.Snapshot().Version())
 }

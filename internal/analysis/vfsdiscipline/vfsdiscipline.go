@@ -7,8 +7,10 @@
 // direct os.OpenFile / os.Rename / (*os.File).Sync in those packages
 // silently escapes the seam: the chaos tests keep passing while the code
 // path they were supposed to cover goes dark. This analyzer makes the
-// seam load-bearing: inside internal/wal and internal/serve, the os
-// functions that vfs.FS mirrors are compile-time-forbidden. internal/vfs
+// seam load-bearing: inside internal/wal, internal/serve and
+// internal/repl (whose followers replay shipped records through the same
+// durable apply path), the os functions that vfs.FS mirrors are
+// compile-time-forbidden. internal/vfs
 // itself (the seam's OS passthrough), cmd/ binaries and _test.go files
 // are out of scope by construction.
 package vfsdiscipline
@@ -23,14 +25,14 @@ import (
 // Analyzer is the vfsdiscipline checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "vfsdiscipline",
-	Doc: "forbid direct os file I/O in internal/wal and internal/serve; " +
+	Doc: "forbid direct os file I/O in internal/wal, internal/serve and internal/repl; " +
 		"all file operations there must go through the internal/vfs fault seam " +
 		"so storage fault injection keeps covering them",
 	Run: run,
 }
 
 // scopedSuffixes are the import-path suffixes the discipline applies to.
-var scopedSuffixes = []string{"internal/wal", "internal/serve"}
+var scopedSuffixes = []string{"internal/wal", "internal/serve", "internal/repl"}
 
 // forbiddenFuncs maps os package functions to the vfs.FS replacement that
 // keeps the operation inside the fault seam.

@@ -1,0 +1,109 @@
+package httpapi
+
+// The primary half of WAL shipping: POST /v1/replicate:stream. The
+// endpoint is a thin NDJSON adapter over Config.Replication — the
+// follower's first body line is a ReplicateRequest, every later line a
+// ReplicateAck (the stream is duplex, like ingest), and the response is a
+// sequence of ReplicateFrame lines the source produces: catch-up records,
+// an in-band checkpoint seed when the log is compacted past the
+// follower's position, live-tail records, and heartbeats while idle.
+//
+// Like /v1/snapshot, the route is deliberately ungated: replication is
+// tier infrastructure that must keep flowing while client traffic has the
+// admission gate saturated — a starved follower turns into an unbounded
+// lag problem that is strictly worse than one more open connection.
+
+import (
+	"errors"
+	"net/http"
+
+	"hdcirc/internal/serve"
+)
+
+func (a *API) handleReplicateStream(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if e := checkContentType(r, "application/x-ndjson", "application/json"); e != nil {
+		writeError(w, e)
+		return
+	}
+	src := a.cfg.Replication
+	if src == nil {
+		// Followers cannot ship (no cascading); redirect the lost
+		// follower to the primary when this node knows it.
+		if a.cfg.Server.Role() == serve.RoleFollower {
+			writeError(w, a.notPrimaryError())
+			return
+		}
+		writeError(w, Errorf(CodeUnavailable, "replication is not enabled on this node"))
+		return
+	}
+
+	rd := newRowDecoder(r.Body, a.cfg.MaxRowBytes)
+	var req ReplicateRequest
+	ok, e := rd.next(&req)
+	if e != nil {
+		writeError(w, e)
+		return
+	}
+	if !ok {
+		writeError(w, Errorf(CodeMalformedBody, "missing ReplicateRequest line"))
+		return
+	}
+	stream, err := src.Stream(r.Context(), req)
+	if err != nil {
+		writeError(w, asWireError(err))
+		return
+	}
+	defer stream.Close()
+
+	// The request body stays open for the stream's lifetime; every line
+	// after the first is the follower's progress. The reader exits when
+	// the follower stops sending or the handler returns (the server
+	// closes the body, failing the read).
+	go func() {
+		for {
+			var ack ReplicateAck
+			ok, e := rd.next(&ack)
+			if !ok || e != nil {
+				return
+			}
+			stream.Ack(ack.AckedSeq)
+		}
+	}()
+
+	sw := newStreamWriter(w)
+	for {
+		frame, err := stream.Next(r.Context())
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // follower went away; nothing to tell it
+			}
+			sw.line(ReplicateFrame{Error: asWireError(err)})
+			sw.flush()
+			return
+		}
+		if err := sw.line(frame); err != nil {
+			return
+		}
+		// Flushed per frame: a record must reach the follower when it is
+		// appended, not when a buffer fills — replication lag is the SLO
+		// here, not bulk throughput.
+		sw.flush()
+		if frame.Error != nil {
+			return
+		}
+	}
+}
+
+// asWireError surfaces a source error as a structured protocol error,
+// passing typed *Error values through and wrapping anything else as
+// internal.
+func asWireError(err error) *Error {
+	var we *Error
+	if errors.As(err, &we) {
+		return we
+	}
+	return Errorf(CodeInternal, "%v", err)
+}

@@ -56,6 +56,12 @@ type Config struct {
 	// PredictDeadline bounds the read plane's queueing the same way
 	// (predict, lookup, predict-stream admission). 0 disables the bound.
 	PredictDeadline time.Duration
+	// Replication, when set, enables the primary side of the replication
+	// tier: POST /v1/replicate:stream is served from it (see
+	// ReplicationSource; internal/repl.Source is the implementation). Nil
+	// answers the route with unavailable — or, on a follower that knows
+	// its primary, with a not_primary redirect hint.
+	Replication ReplicationSource
 }
 
 func (c *Config) norm() {
@@ -131,6 +137,7 @@ func New(cfg Config) (*API, error) {
 	a.mux.HandleFunc("/v1/healthz", a.handleHealthz)
 	a.mux.HandleFunc("/v1/predict:stream", a.handlePredictStream)
 	a.mux.HandleFunc("/v1/ingest:stream", a.handleIngestStream)
+	a.mux.HandleFunc("/v1/replicate:stream", a.handleReplicateStream)
 	a.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, Errorf(CodeNotFound, "no route %s %s in protocol v1", r.Method, r.URL.Path))
 	})
@@ -233,13 +240,17 @@ func (a *API) decodeBody(w http.ResponseWriter, r *http.Request, dst any) *Error
 
 // applyError classifies a serving-core write failure for the wire: a
 // degraded server is read_only with a retry hint (the node may
-// auto-recover, and reads still work here), a closed server is
+// auto-recover, and reads still work here), a follower is not_primary
+// with a redirect hint when it knows its primary (follower_read_only
+// with a retry hint when it does not — mid-failover), a closed server is
 // unavailable, an expired deadline is deadline_exceeded, and everything
 // else the core rejects is the client's batch.
 func (a *API) applyError(err error) *Error {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		return Errorf(CodeDeadlineExceeded, "%v", err)
+	case errors.Is(err, serve.ErrNotPrimary):
+		return a.notPrimaryError()
 	case errors.Is(err, serve.ErrDegraded):
 		e := Errorf(CodeReadOnly, "%v", err)
 		e.RetryAfterMS = a.cfg.RetryAfter.Milliseconds()
@@ -249,6 +260,20 @@ func (a *API) applyError(err error) *Error {
 	default:
 		return Errorf(CodeInvalidRequest, "%v", err)
 	}
+}
+
+// notPrimaryError builds the follower-side write rejection: a redirect
+// hint when the primary is known, a retryable follower_read_only when it
+// is not (the follower may learn its primary, or be promoted, shortly).
+func (a *API) notPrimaryError() *Error {
+	if primary := a.cfg.Server.PrimaryURL(); primary != "" {
+		e := Errorf(CodeNotPrimary, "this node is a read-only replica of %s", primary)
+		e.PrimaryURL = primary
+		return e
+	}
+	e := Errorf(CodeFollowerReadOnly, "this node is a read-only replica (primary unknown)")
+	e.RetryAfterMS = a.cfg.RetryAfter.Milliseconds()
+	return e
 }
 
 // writeCtx bounds a write-plane request by Config.WriteDeadline.

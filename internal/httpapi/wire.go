@@ -23,6 +23,7 @@
 //	GET  /v1/healthz         liveness + current version
 //	POST /v1/predict:stream  NDJSON bulk classification
 //	POST /v1/ingest:stream   NDJSON bulk training / item interning
+//	POST /v1/replicate:stream NDJSON WAL shipping to followers (duplex)
 //
 // # Error envelope
 //
@@ -45,6 +46,7 @@
 package httpapi
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -90,6 +92,23 @@ const (
 	// CodeInternal: a fault on the server side that is not the client's
 	// doing. 500.
 	CodeInternal Code = "internal"
+	// CodeNotPrimary: a write (or a replication connection) reached a
+	// follower that knows where the primary is. The envelope carries
+	// primary_url; clients fail the request over there instead of
+	// retrying here. 421.
+	CodeNotPrimary Code = "not_primary"
+	// CodeFollowerReadOnly: a write reached a follower that does NOT know
+	// its primary (mid-failover, or a follower started without
+	// -primary-url). The write is worth retrying after the hinted delay —
+	// a promotion or reconfiguration may land; reads are unaffected. 503
+	// with Retry-After.
+	CodeFollowerReadOnly Code = "follower_read_only"
+	// CodeStaleSeq: a replication stream asked for a from_seq the primary
+	// cannot serve as a log suffix — the follower is ahead of the
+	// primary's head (diverged) or a checkpoint seed could not be
+	// produced. The follower must re-seed from a checkpoint (reconnect
+	// with from_seq 0 to request one). 409.
+	CodeStaleSeq Code = "stale_seq"
 )
 
 // Error is the structured fault both halves of the protocol share: the
@@ -101,6 +120,9 @@ type Error struct {
 	// RetryAfterMS hints when a CodeOverloaded request is worth retrying,
 	// mirroring the Retry-After header (which is whole seconds only).
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// PrimaryURL accompanies CodeNotPrimary: the base URL of the primary
+	// this follower replicates from, for client-side failover.
+	PrimaryURL string `json:"primary_url,omitempty"`
 }
 
 // Error renders the fault as "code: message".
@@ -121,10 +143,14 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusRequestEntityTooLarge
 	case CodeOverloaded:
 		return http.StatusTooManyRequests
-	case CodeUnavailable, CodeReadOnly:
+	case CodeUnavailable, CodeReadOnly, CodeFollowerReadOnly:
 		return http.StatusServiceUnavailable
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
+	case CodeNotPrimary:
+		return http.StatusMisdirectedRequest
+	case CodeStaleSeq:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -253,4 +279,77 @@ type PredictResult struct {
 	Distance float64 `json:"distance"`
 	Version  uint64  `json:"version"`
 	Error    *Error  `json:"error,omitempty"`
+}
+
+// ---------------------------------------------------------------------------
+// Replication wire contract (POST /v1/replicate:stream)
+// ---------------------------------------------------------------------------
+
+// ReplicateRequest is the first NDJSON line of the replicate-stream
+// request body: the follower announces where its applied history ends.
+// FromSeq is the first sequence it needs (applied version + 1; 0 and 1
+// both mean "from the beginning"). The primary answers with a catch-up
+// plan it chooses: a log suffix when FromSeq is still retained, or an
+// in-band checkpoint seed first when compaction has passed it.
+type ReplicateRequest struct {
+	FromSeq uint64 `json:"from_seq"`
+}
+
+// ReplicateAck is every subsequent NDJSON line of the request body (the
+// stream is duplex): the follower's durable-apply progress, used by the
+// primary for lag accounting and surfaced in Stats.
+type ReplicateAck struct {
+	AckedSeq uint64 `json:"acked_seq"`
+}
+
+// ReplicateFrame is one NDJSON line of the replicate-stream response.
+// Exactly one of the three frame kinds is set:
+//
+//   - record: Seq > 0. Payload is the verbatim WAL record (base64 in
+//     JSON), CRC echoes the on-disk record checksum
+//     (wal.RecordCRC(seq, payload)) so the follower verifies the exact
+//     bytes end to end before applying.
+//   - checkpoint seed: Checkpoint non-empty — a whole checkpoint image
+//     (the HCKP file format) at CheckpointVersion. The follower installs
+//     it and the stream continues at CheckpointVersion+1.
+//   - heartbeat: Heartbeat true. Keeps the connection verified live while
+//     the primary is idle and carries the head position for lag tracking.
+//
+// Every frame kind carries HeadSeq, the primary's newest appended
+// sequence, so follower lag (HeadSeq − applied version) is continuously
+// observable. A terminal fault is a frame whose Error is set, after which
+// the primary closes the stream.
+type ReplicateFrame struct {
+	Seq     uint64 `json:"seq,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+	CRC     uint32 `json:"crc,omitempty"`
+
+	Checkpoint        []byte `json:"checkpoint,omitempty"`
+	CheckpointVersion uint64 `json:"checkpoint_version,omitempty"`
+
+	Heartbeat bool `json:"heartbeat,omitempty"`
+
+	HeadSeq uint64 `json:"head_seq,omitempty"`
+	Error   *Error `json:"error,omitempty"`
+}
+
+// ReplicationStream is one follower's live shipping session, produced by
+// a ReplicationSource. Next blocks until the next frame is due (record,
+// checkpoint seed, or heartbeat) and is called from a single goroutine;
+// Ack may be called concurrently from the request-body reader. Close
+// releases the session (idempotent).
+type ReplicationStream interface {
+	Next(ctx context.Context) (ReplicateFrame, error)
+	Ack(seq uint64)
+	Close() error
+}
+
+// ReplicationSource is the primary-side shipper behind the replicate
+// endpoint — implemented by internal/repl.Source and injected through
+// Config.Replication, so the wire layer never depends on the replication
+// engine. Stream validates the follower's request and opens a session;
+// a request the source cannot serve returns an *Error (e.g.
+// CodeStaleSeq).
+type ReplicationSource interface {
+	Stream(ctx context.Context, req ReplicateRequest) (ReplicationStream, error)
 }

@@ -1,0 +1,49 @@
+// Package repl is the replication engine of the distributed serving
+// tier: WAL shipping from one primary to any number of followers, built
+// entirely out of invariants the single-process layers already prove.
+//
+// The design rests on three facts:
+//
+//   - The write-ahead log is a totally ordered, seq-numbered batch
+//     stream, and record seq == snapshot version (internal/wal,
+//     internal/serve). Shipping the log IS shipping the state.
+//   - Batch application is deterministic (fixed tie vectors,
+//     single-writer ordering), so a follower that applies the primary's
+//     verbatim records through the same validate-then-apply path is
+//     bit-identical to the primary at the same version — the property
+//     crash recovery already depends on, reused across processes.
+//   - Checkpoints are portable byte-exact state, so a follower whose
+//     position the primary has compacted past is seeded with a
+//     checkpoint image in-band and then continues on the suffix —
+//     exactly the recovery path serve.Open runs locally.
+//
+// # Shipping (Source, primary side)
+//
+// Source implements httpapi.ReplicationSource. Each follower session
+// reads catch-up records straight from the primary's log
+// (serve.WALStreamFrom) and then tails live applies through a COALESCED
+// apply notification (serve.SubscribeApplied): the signal only says
+// "versions advanced", and the session re-reads everything new from
+// disk. The disk is therefore the only buffer — a slow follower costs
+// the primary one open connection and zero queued memory, and can never
+// force records to be dropped. If compaction overtakes a session between
+// reads, the session transparently re-seeds the follower with a fresh
+// checkpoint image.
+//
+// # Applying (Follower, replica side)
+//
+// Follower maintains one long-lived duplex NDJSON connection to the
+// primary's /v1/replicate:stream endpoint, reconnecting with capped
+// exponential backoff forever (the follower's applied version is its
+// resume cursor, so reconnects are idempotent). Each shipped record's
+// CRC echo is verified against the on-disk record checksum before the
+// record is applied and appended to the follower's OWN log — a restarted
+// follower recovers locally (checkpoint + suffix) and rejoins the stream
+// where it left off. Acks flow back on the same connection for primary-
+// side lag accounting; heartbeats keep lag observable while idle. A
+// not_primary redirect re-points the connection (and the follower's
+// advertised primary); a stale_seq error forces a checkpoint re-seed.
+//
+// Both halves surface their state through serve.Stats's replication
+// block: role, connected_followers, follower_lag_seq, last_acked_seq.
+package repl

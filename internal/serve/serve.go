@@ -124,6 +124,19 @@ type Server struct {
 	closed  bool  // Close called; writes fail, reads keep serving
 	walErr  error // sticky write-ahead failure; server is degraded until Recover
 
+	// Replication role, under mu (see repl.go). Zero value is primary;
+	// roleSet records whether a role was ever explicitly assigned, so Stats
+	// only reports a role on servers that are part of a replication tier.
+	role        Role
+	roleSet     bool
+	primaryURL  string
+	replStatsFn func() ReplicationStats
+
+	// Apply-notification subscribers (coalesced; see SubscribeApplied).
+	subMu   sync.Mutex
+	subs    map[int]chan struct{}
+	nextSub int
+
 	// Degraded-mode bookkeeping, under mu.
 	degradedSince time.Time
 	probing       bool // a recovery probe goroutine is live
@@ -249,6 +262,7 @@ func NewServer(cfg Config) (*Server, error) {
 		shards:    make([]*shardState, cfg.Shards),
 		wsem:      make(chan struct{}, 1),
 		probeStop: make(chan struct{}),
+		subs:      make(map[int]chan struct{}),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shardState{
@@ -475,6 +489,12 @@ func (s *Server) ApplyBatchContext(ctx context.Context, b Batch) (*Snapshot, err
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if s.role == RoleFollower {
+		if s.primaryURL != "" {
+			return nil, fmt.Errorf("%w (primary: %s)", ErrNotPrimary, s.primaryURL)
+		}
+		return nil, ErrNotPrimary
 	}
 	if s.walErr != nil {
 		return nil, fmt.Errorf("%w: %w earlier: %v", ErrDegraded, ErrWALFailed, s.walErr)
@@ -733,6 +753,7 @@ func (s *Server) applyLocked(b *Batch) (*Snapshot, error) {
 	s.version++
 	snap := s.buildSnapshotLocked(dirtyCls, dirtyItems)
 	s.snap.Store(snap)
+	s.notifyApplied()
 	return snap, nil
 }
 
@@ -919,6 +940,14 @@ type Stats struct {
 	// DegradedSince timestamps the transition.
 	Degraded      bool      `json:"degraded,omitempty"`
 	DegradedSince time.Time `json:"degraded_since,omitzero"`
+	// Role ("primary" or "follower") and Replication are the stats schema
+	// v2 additions: both are omitted on servers that are not part of a
+	// replication tier, so v1 consumers see an unchanged document. Role is
+	// reported once BecomeFollower or Promote has run; Replication is
+	// filled by the registered replication stats callback (the shipper on
+	// a primary, the applier on a follower).
+	Role        string            `json:"role,omitempty"`
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // Stats summarizes the current snapshot plus served-read counters.
@@ -949,7 +978,15 @@ func (s *Server) Stats() Stats {
 		st.Degraded = true
 		st.DegradedSince = s.degradedSince
 	}
+	if s.roleSet {
+		st.Role = s.role.String()
+	}
+	replFn := s.replStatsFn
 	s.mu.Unlock()
+	if replFn != nil {
+		r := replFn()
+		st.Replication = &r
+	}
 	if log != nil {
 		st.Durable = true
 		st.LastCheckpoint = s.lastCkpt.Load()

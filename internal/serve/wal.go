@@ -60,6 +60,15 @@ const (
 // log's record CRCs).
 var ckptCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
+// appendCkptCRC appends the whole-image CRC trailer to an encoded
+// checkpoint body, yielding the exact bytes checkpoint files (and
+// replication checkpoint seeds) carry.
+func appendCkptCRC(buf []byte) []byte {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, ckptCRCTable))
+	return append(buf, crc[:]...)
+}
+
 // errCkptCorrupt marks a checkpoint whose BYTES are damaged (short file,
 // CRC mismatch, foreign magic/format). Only these are set aside so
 // recovery can fall back to an older checkpoint; every other load failure
@@ -292,6 +301,13 @@ func loadCheckpointFile(s *Server, fs vfs.FS, path string) error {
 	if err != nil {
 		return err
 	}
+	return loadCheckpointBytes(s, raw)
+}
+
+// loadCheckpointBytes is loadCheckpointFile over an in-memory image — the
+// shape checkpoints travel in over the replication stream, where a seeding
+// follower verifies and parses the primary's bytes without a file.
+func loadCheckpointBytes(s *Server, raw []byte) error {
 	if len(raw) < 4 {
 		return fmt.Errorf("%w: file too short", errCkptCorrupt)
 	}
@@ -401,9 +417,7 @@ func (s *Server) Checkpoint() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, ckptCRCTable))
-	buf = append(buf, crc[:]...)
+	buf = appendCkptCRC(buf)
 
 	fs := s.walCfg.fs()
 	path := filepath.Join(s.walCfg.Dir, checkpointName(version))

@@ -296,6 +296,12 @@ func scanSegment(fs vfs.FS, path string, wantSeq uint64) (segment, int64, error)
 	}
 }
 
+// RecordCRC returns the checksum the log stores with record seq — the
+// Castagnoli CRC over seq‖payload. Replication echoes it per shipped
+// record so a follower verifies the exact integrity the disk format
+// promises, end to end.
+func RecordCRC(seq uint64, payload []byte) uint32 { return recordCRC(seq, payload) }
+
 // recordCRC checksums a record's sequence number together with its
 // payload, so a frame copied to the wrong position fails verification.
 func recordCRC(seq uint64, payload []byte) uint32 {
@@ -380,6 +386,69 @@ func replaySegment(fs vfs.FS, seg segment, from uint64, fn func(uint64, []byte) 
 	}
 	return nil
 }
+
+// OldestSeq returns the sequence number of the oldest record the log can
+// still stream (compaction removes covered segments wholesale). On an
+// empty log it equals NextSeq: nothing is streamable yet.
+func (l *Log) OldestSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return l.nextSeq
+	}
+	return l.segs[0].firstSeq
+}
+
+// StreamFrom streams every record with seq >= from, in order, to fn, and
+// returns the sequence number one past the last record that existed when
+// the call started — the resume point for the next StreamFrom. Unlike
+// Replay it is valid at any point in the log's life, concurrently with
+// appends: the segment set and record counts are snapshotted under the
+// lock, so fn sees a consistent prefix and never a torn tail (a record's
+// frame is fully written before it is counted). This is the replication
+// catch-up reader — a follower at seq F calls StreamFrom(F+1, ship) in a
+// loop, interleaved with the apply notifier, to tail the primary's log.
+//
+// When from precedes OldestSeq the suffix is gone (compaction): the
+// caller must re-seed from a checkpoint instead, and StreamFrom reports
+// ErrCompacted.
+func (l *Log) StreamFrom(from uint64, fn func(seq uint64, payload []byte) error) (next uint64, err error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, errors.New("wal: log is closed")
+	}
+	oldest := l.nextSeq // empty log: nothing below nextSeq is streamable
+	if len(l.segs) > 0 {
+		oldest = l.segs[0].firstSeq
+	}
+	if from < oldest {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("%w: seq %d requested, oldest retained is %d", ErrCompacted, from, oldest)
+	}
+	segs := make([]segment, len(l.segs))
+	copy(segs, l.segs)
+	next = l.nextSeq
+	// Everything below next is fully on disk (the frame write completes
+	// under mu before records/nextSeq advance), but the bytes may still be
+	// unsynced — fine for same-machine readers, which is what replication
+	// shipping is: the OS page cache serves them.
+	l.mu.Unlock()
+
+	for _, seg := range segs {
+		if seg.firstSeq+seg.records <= from {
+			continue
+		}
+		if err := replaySegment(l.fs, seg, from, fn); err != nil {
+			return 0, err
+		}
+	}
+	return next, nil
+}
+
+// ErrCompacted marks a StreamFrom request for records that checkpoint
+// compaction already removed: the caller must re-seed from a checkpoint.
+var ErrCompacted = errors.New("wal: requested records were compacted away")
 
 // Append frames the payload under the next sequence number, writes it to
 // the tail segment (rotating first when the segment is full), applies the
