@@ -6,6 +6,7 @@ import (
 
 	"hdcirc/internal/batch"
 	"hdcirc/internal/bitvec"
+	"hdcirc/internal/cluster"
 	"hdcirc/internal/core"
 	"hdcirc/internal/embed"
 	"hdcirc/internal/hashring"
@@ -457,6 +458,17 @@ func NewServeEncoder(cfg ServeEncoderConfig) (ServeEncoder, error) {
 // hdcirc/client.
 func ServeHandler(cfg ServeHandlerConfig) (http.Handler, error) { return httpapi.New(cfg) }
 
+// ServeAPI is the concrete handler behind ServeHandler. Use NewServeAPI
+// when the embedding binary needs the runtime mutators — currently
+// SetReplication, which the admin-promote failover path uses so a
+// follower that just became primary starts hosting /v1/replicate:stream
+// (letting the tier's other nodes re-follow it) without a rebuild.
+type ServeAPI = httpapi.API
+
+// NewServeAPI builds the serving API v1 handler, returning the concrete
+// type instead of http.Handler.
+func NewServeAPI(cfg ServeHandlerConfig) (*ServeAPI, error) { return httpapi.New(cfg) }
+
 // ---------------------------------------------------------------------------
 // Replication (WAL shipping, primary → followers)
 // ---------------------------------------------------------------------------
@@ -496,6 +508,46 @@ type ReplicationFollowerConfig = repl.FollowerConfig
 // with Promote.
 func StartReplicationFollower(ctx context.Context, cfg ReplicationFollowerConfig) (*ReplicationFollower, error) {
 	return repl.StartFollower(ctx, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Sharded cluster (manifest, topology, shard ownership)
+// ---------------------------------------------------------------------------
+
+// ClusterManifest is the versioned document describing a horizontally
+// sharded serving tier: shard count, hashring seed and geometry, and each
+// shard group's endpoint set. It travels as HCLU binary (whole-file CRC,
+// like snapshots and checkpoints) or JSON — Decode sniffs; Save writes
+// binary with the atomic-rename publish discipline. hdcserve loads one
+// with -cluster, cluster clients with client.NewClusterClientFromFile.
+type ClusterManifest = cluster.Manifest
+
+// ClusterShardEndpoints is one shard group's primary and read replicas.
+type ClusterShardEndpoints = cluster.ShardEndpoints
+
+// ClusterTopology answers key→shard ownership questions for a manifest:
+// classes route by "class/<id>", item symbols by "item/<symbol>", over a
+// hashring pinned by the manifest's seed and geometry.
+type ClusterTopology = cluster.Topology
+
+// ClusterNode is one server's view of the topology: the topology plus
+// this node's own shard id. Plug it into ServeHandlerConfig.Cluster to
+// make the node refuse misrouted writes with wrong_shard owner hints.
+type ClusterNode = cluster.Node
+
+// LoadClusterManifest reads and decodes a manifest file (HCLU binary or
+// JSON, sniffed), verifying the CRC before any field is trusted.
+func LoadClusterManifest(path string) (*ClusterManifest, error) { return cluster.Load(nil, path) }
+
+// DecodeClusterManifest decodes manifest bytes (HCLU binary or JSON).
+func DecodeClusterManifest(data []byte) (*ClusterManifest, error) { return cluster.Decode(data) }
+
+// NewClusterTopology builds the routing view of a manifest.
+func NewClusterTopology(m *ClusterManifest) (*ClusterTopology, error) { return cluster.NewTopology(m) }
+
+// NewClusterNode scopes a manifest to one shard (0 ≤ shard < NumShards).
+func NewClusterNode(m *ClusterManifest, shard int) (*ClusterNode, error) {
+	return cluster.NewNode(m, shard)
 }
 
 // ---------------------------------------------------------------------------

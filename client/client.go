@@ -106,6 +106,15 @@ type (
 	PredictRow = httpapi.PredictRow
 	// PredictResult is one bulk-predict NDJSON result row.
 	PredictResult = httpapi.PredictResult
+	// ScoresResponse carries raw per-class Hamming distances per query —
+	// the scatter half of cluster scatter-gather predict.
+	ScoresResponse = httpapi.ScoresResponse
+	// ClusterResponse is a node's view of its cluster manifest.
+	ClusterResponse = httpapi.ClusterResponse
+	// ClusterShard is one shard group's endpoints in a ClusterResponse.
+	ClusterShard = httpapi.ClusterShard
+	// PromoteResponse acknowledges an admin promotion.
+	PromoteResponse = httpapi.PromoteResponse
 )
 
 // Error codes, re-exported from the protocol.
@@ -124,6 +133,7 @@ const (
 	CodeNotPrimary       = httpapi.CodeNotPrimary
 	CodeFollowerReadOnly = httpapi.CodeFollowerReadOnly
 	CodeStaleSeq         = httpapi.CodeStaleSeq
+	CodeWrongShard       = httpapi.CodeWrongShard
 )
 
 // Client talks protocol v1 to a serving tier: one primary, plus any read
@@ -323,6 +333,44 @@ func (c *Client) HasSymbol(ctx context.Context, symbol string) (found bool, vers
 func (c *Client) Cleanup(ctx context.Context, features []float64) (*LookupResponse, error) {
 	var out LookupResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/lookup", httpapi.LookupRequest{Features: features}, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Scores fetches each query's raw per-class Hamming distances against one
+// consistent server snapshot — the scatter half of cluster scatter-gather
+// predict (integer distances merge exactly across shards; Predict's
+// float64 distances would not). Fully retryable, routed per the read
+// preference.
+func (c *Client) Scores(ctx context.Context, queries [][]float64) (*ScoresResponse, error) {
+	var out ScoresResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/scores", httpapi.ScoresRequest{Queries: queries}, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cluster fetches the node's cluster manifest (GET /v1/cluster), the
+// bootstrap and refresh surface of cluster clients. A node running
+// outside a sharded cluster answers not_found.
+func (c *Client) Cluster(ctx context.Context) (*ClusterResponse, error) {
+	var out ClusterResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Promote asks this client's primary endpoint to become the primary of
+// its replication group (POST /v1/admin/promote; the server must run with
+// admin routes enabled). Point a dedicated client at the replica being
+// promoted — the call deliberately does NOT route across replicas, since
+// promotion targets one specific node. The caller is responsible for
+// making sure the old primary is dead or demoted first.
+func (c *Client) Promote(ctx context.Context) (*PromoteResponse, error) {
+	var out PromoteResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/promote", nil, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil

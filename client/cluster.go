@@ -1,0 +1,612 @@
+package client
+
+// Shard-aware cluster client: one logical client over a horizontally
+// sharded serving tier. Each shard group (a primary plus its read
+// replicas) gets its own *Client underneath — so every group keeps the
+// full per-endpoint machinery this package already has (circuit breaker,
+// RTT observations, read-preference routing, not_primary adoption) —
+// while this layer owns the key→shard routing the cluster manifest pins:
+//
+//   - single-key calls (Train batches, HasSymbol) go to the owning group;
+//   - bulk ingest splits row-by-row into per-shard streams, each with its
+//     own client-side coalescing buffer and its own ack/resume point;
+//   - Predict scatters raw integer score requests to every group and
+//     merges the partials with exactly the rule an unsharded model uses,
+//     so the merged prediction is bit-identical to one server holding
+//     all the classes (see ClusterClient.Predict).
+//
+// A write that lands on the wrong group — the manifest went stale under a
+// resharding — comes back as a wrong_shard envelope carrying the owner's
+// endpoints; unary calls follow that hint once, and Refresh re-adopts the
+// tier's manifest when any node serves a newer version.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hdcirc/internal/cluster"
+)
+
+// Cluster topology types, re-exported so cluster callers need only this
+// package. ClusterManifest is the versioned document (HCLU binary or
+// JSON) that pins shard count, hashring geometry/seed, and per-shard
+// endpoint sets; see the cluster package for the codec.
+type (
+	// ClusterManifest describes a sharded tier: ring geometry and the
+	// endpoint set of every shard group.
+	ClusterManifest = cluster.Manifest
+	// ShardEndpoints is one shard group's primary and replicas.
+	ShardEndpoints = cluster.ShardEndpoints
+)
+
+// ClusterClient routes protocol-v1 calls across a sharded serving tier.
+// Safe for concurrent use. Build one from a manifest value, a manifest
+// file, or by bootstrapping from any live node's GET /v1/cluster.
+type ClusterClient struct {
+	opts []Option // per-group client options, reapplied on Refresh
+
+	mu     sync.RWMutex
+	top    *cluster.Topology
+	groups []*Client // one tier client per shard, index = shard id
+}
+
+// NewClusterClient builds a cluster client from a manifest. The options
+// apply to every per-shard group client (retry policy, read preference,
+// breaker tuning, stream batch); each group additionally gets its
+// replicas from the manifest via WithReplicas.
+func NewClusterClient(m *cluster.Manifest, opts ...Option) (*ClusterClient, error) {
+	cc := &ClusterClient{opts: opts}
+	if err := cc.adopt(m); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// NewClusterClientFromFile loads a manifest file (HCLU binary or JSON,
+// sniffed) and builds a cluster client from it.
+func NewClusterClientFromFile(path string, opts ...Option) (*ClusterClient, error) {
+	m, err := cluster.Load(nil, path)
+	if err != nil {
+		return nil, err
+	}
+	return NewClusterClient(m, opts...)
+}
+
+// NewClusterClientFromEndpoint bootstraps from any live cluster node:
+// fetch its manifest over GET /v1/cluster, then build the full client.
+// A node running outside a cluster answers not_found.
+func NewClusterClientFromEndpoint(ctx context.Context, baseURL string, opts ...Option) (*ClusterClient, error) {
+	boot, err := New(baseURL, opts...)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := boot.Cluster(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return NewClusterClient(manifestFromResponse(resp), opts...)
+}
+
+// manifestFromResponse rebuilds the manifest document a node serves.
+func manifestFromResponse(r *ClusterResponse) *cluster.Manifest {
+	m := &cluster.Manifest{
+		Version:       r.ManifestVersion,
+		RingPositions: r.RingPositions,
+		RingDim:       r.RingDim,
+		RingSeed:      r.RingSeed,
+	}
+	for _, s := range r.Shards {
+		m.Shards = append(m.Shards, cluster.ShardEndpoints{
+			Primary:  s.Primary,
+			Replicas: append([]string(nil), s.Replicas...),
+		})
+	}
+	return m
+}
+
+// adopt swaps in a new topology and a fresh group client per shard.
+func (cc *ClusterClient) adopt(m *cluster.Manifest) error {
+	top, err := cluster.NewTopology(m)
+	if err != nil {
+		return err
+	}
+	groups := make([]*Client, top.NumShards())
+	for i := range groups {
+		ep := top.Endpoints(i)
+		gopts := append(append([]Option(nil), cc.opts...), WithReplicas(ep.Replicas...))
+		g, err := New(ep.Primary, gopts...)
+		if err != nil {
+			return fmt.Errorf("client: cluster shard %d: %w", i, err)
+		}
+		groups[i] = g
+	}
+	cc.mu.Lock()
+	cc.top, cc.groups = top, groups
+	cc.mu.Unlock()
+	return nil
+}
+
+// view returns one consistent (topology, groups) pair.
+func (cc *ClusterClient) view() (*cluster.Topology, []*Client) {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	return cc.top, cc.groups
+}
+
+// NumShards returns the shard count of the current topology.
+func (cc *ClusterClient) NumShards() int {
+	top, _ := cc.view()
+	return top.NumShards()
+}
+
+// ManifestVersion returns the version of the manifest currently routing
+// this client.
+func (cc *ClusterClient) ManifestVersion() uint64 {
+	top, _ := cc.view()
+	return top.Manifest().Version
+}
+
+// Group returns the tier client for one shard — the escape hatch for
+// per-group calls (Stats, Health, Snapshot, Promote on a specific node).
+func (cc *ClusterClient) Group(shard int) *Client {
+	_, groups := cc.view()
+	return groups[shard]
+}
+
+// ShardForClass returns the shard owning a class label under the current
+// topology; ShardForSymbol the same for an item symbol.
+func (cc *ClusterClient) ShardForClass(label int) int {
+	top, _ := cc.view()
+	return top.ShardForClass(label)
+}
+
+// ShardForSymbol returns the shard owning an item symbol.
+func (cc *ClusterClient) ShardForSymbol(symbol string) int {
+	top, _ := cc.view()
+	return top.ShardForItem(symbol)
+}
+
+// Refresh asks the tier for its current manifest (trying each shard group
+// in turn until one answers) and adopts it if its version is newer than
+// the one routing this client. Returns whether a newer manifest was
+// adopted. Call it after a wrong_shard error, or periodically.
+func (cc *ClusterClient) Refresh(ctx context.Context) (changed bool, err error) {
+	top, groups := cc.view()
+	var lastErr error
+	for shard, g := range groups {
+		resp, err := g.Cluster(ctx)
+		if err != nil {
+			lastErr = fmt.Errorf("shard %d: %w", shard, err)
+			continue
+		}
+		if resp.ManifestVersion <= top.Manifest().Version {
+			return false, nil
+		}
+		if err := cc.adopt(manifestFromResponse(resp)); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("client: cluster refresh: no shard answered: %w", lastErr)
+}
+
+// ownerHint turns a wrong_shard error into a client for the hinted owner:
+// the in-topology group when the hinted shard id is one this client
+// knows (so adoption state and breakers are reused), or an ephemeral
+// client on the hinted endpoints when the hint points outside the local
+// topology (the tier resharded under us). ok is false when err is not a
+// usable wrong_shard hint.
+func (cc *ClusterClient) ownerHint(err error, from int) (g *Client, ok bool) {
+	var e *Error
+	if !errors.As(err, &e) || e.Code != CodeWrongShard {
+		return nil, false
+	}
+	_, groups := cc.view()
+	if e.OwnerShard != nil {
+		if o := *e.OwnerShard; o >= 0 && o < len(groups) && o != from {
+			return groups[o], true
+		}
+	}
+	if e.OwnerPrimaryURL == "" {
+		return nil, false
+	}
+	gopts := append(append([]Option(nil), cc.opts...), WithReplicas(e.OwnerReplicaURLs...))
+	g, cerr := New(e.OwnerPrimaryURL, gopts...)
+	if cerr != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// ---------------------------------------------------------------------------
+// Write plane: sharded train
+// ---------------------------------------------------------------------------
+
+// Train splits one write batch by ownership — samples by class owner,
+// symbols by item owner — and applies each part on its shard group
+// concurrently. The result maps shard id to that group's acknowledgment.
+//
+// Cross-shard writes are not atomic: on error, groups present in the map
+// applied their part and absent groups did not — resubmit only the
+// missing parts. Order within one shard's part is preserved. A part
+// refused with wrong_shard (stale manifest) is re-sent once to the hinted
+// owner.
+func (cc *ClusterClient) Train(ctx context.Context, req TrainRequest) (map[int]*TrainResponse, error) {
+	top, _ := cc.view()
+	parts := make(map[int]*TrainRequest)
+	part := func(shard int) *TrainRequest {
+		p := parts[shard]
+		if p == nil {
+			p = &TrainRequest{}
+			parts[shard] = p
+		}
+		return p
+	}
+	for _, s := range req.Samples {
+		p := part(top.ShardForClass(s.Label))
+		p.Samples = append(p.Samples, s)
+	}
+	for _, sym := range req.Symbols {
+		p := part(top.ShardForItem(sym))
+		p.Symbols = append(p.Symbols, sym)
+	}
+	if len(parts) == 0 {
+		return nil, &Error{Code: CodeInvalidRequest, Message: "empty batch: no samples or symbols"}
+	}
+
+	out := make(map[int]*TrainResponse, len(parts))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for shard, p := range parts {
+		wg.Add(1)
+		go func(shard int, p TrainRequest) {
+			defer wg.Done()
+			res, err := cc.trainShard(ctx, shard, p)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("client: cluster train: shard %d: %w", shard, err)
+				}
+				return
+			}
+			out[shard] = res
+		}(shard, *p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, nil
+}
+
+// trainShard applies one shard's part, following a wrong_shard hint once.
+func (cc *ClusterClient) trainShard(ctx context.Context, shard int, req TrainRequest) (*TrainResponse, error) {
+	_, groups := cc.view()
+	res, err := groups[shard].Train(ctx, req)
+	if err == nil {
+		return res, nil
+	}
+	owner, ok := cc.ownerHint(err, shard)
+	if !ok {
+		return nil, err
+	}
+	return owner.Train(ctx, req)
+}
+
+// ---------------------------------------------------------------------------
+// Read plane: scatter-gather predict, cleanup, membership
+// ---------------------------------------------------------------------------
+
+// ClusterPredictResponse is a merged scatter-gather prediction. Versions
+// records each shard's snapshot version at scatter time (index = shard),
+// since a sharded tier has no single model version.
+type ClusterPredictResponse struct {
+	Classes   []int     `json:"classes"`
+	Distances []float64 `json:"distances"`
+	Dim       int       `json:"dim"`
+	Versions  []uint64  `json:"versions"`
+}
+
+// Predict classifies a batch across the whole tier: scatter the queries
+// to every shard group as raw-score requests (POST /v1/scores — integer
+// per-class Hamming distances), then gather with exactly the unsharded
+// rule: global minimum distance, ties to the lowest class id, considering
+// each class only at the shard that owns it.
+//
+// Exactness: every node encodes with the same deterministic encoder and
+// a shard's prototypes for its OWNED classes are built from exactly the
+// rows routed to it — identical to the same classes inside one unsharded
+// model — so merging integer distances reproduces the unsharded
+// prediction bit for bit (float distances would round differently).
+// Distances in the response are bestHD/dim, computed once after the
+// merge, exactly as a single server computes them.
+func (cc *ClusterClient) Predict(ctx context.Context, queries [][]float64) (*ClusterPredictResponse, error) {
+	if len(queries) == 0 {
+		return nil, &Error{Code: CodeInvalidRequest, Message: "no queries"}
+	}
+	top, groups := cc.view()
+	n := len(groups)
+	resps := make([]*ScoresResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := range groups {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			resps[s], errs[s] = groups[s].Scores(ctx, queries)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("client: cluster predict: shard %d: %w", s, err)
+		}
+	}
+
+	// Every shard must agree on model geometry; each owns a disjoint
+	// subset of the class ids, so the merge sees every class exactly once.
+	dim, classes := resps[0].Dim, resps[0].Classes
+	versions := make([]uint64, n)
+	for s, r := range resps {
+		versions[s] = r.Version
+		if r.Dim != dim || r.Classes != classes {
+			return nil, fmt.Errorf("client: cluster predict: shard %d geometry dim=%d classes=%d disagrees with shard 0 (dim=%d classes=%d)",
+				s, r.Dim, r.Classes, dim, classes)
+		}
+		if len(r.Distances) != len(queries) {
+			return nil, fmt.Errorf("client: cluster predict: shard %d answered %d rows for %d queries", s, len(r.Distances), len(queries))
+		}
+		for q, row := range r.Distances {
+			if len(row) != classes {
+				return nil, fmt.Errorf("client: cluster predict: shard %d query %d: %d distances for %d classes", s, q, len(row), classes)
+			}
+		}
+	}
+	owned := make([][]int, n)
+	for s := range owned {
+		owned[s] = top.ClassesOwnedBy(s, classes)
+	}
+
+	out := &ClusterPredictResponse{
+		Classes:   make([]int, len(queries)),
+		Distances: make([]float64, len(queries)),
+		Dim:       dim,
+		Versions:  versions,
+	}
+	for q := range queries {
+		bestHD, bestClass := dim+1, -1
+		for s := 0; s < n; s++ {
+			row := resps[s].Distances[q]
+			for _, c := range owned[s] {
+				if hd := row[c]; hd < bestHD || (hd == bestHD && c < bestClass) {
+					bestHD, bestClass = hd, c
+				}
+			}
+		}
+		out.Classes[q] = bestClass
+		out.Distances[q] = float64(bestHD) / float64(dim)
+	}
+	return out, nil
+}
+
+// PredictOne classifies a single record across the tier.
+func (cc *ClusterClient) PredictOne(ctx context.Context, features []float64) (class int, distance float64, err error) {
+	res, err := cc.Predict(ctx, [][]float64{features})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Classes[0], res.Distances[0], nil
+}
+
+// HasSymbol routes the membership probe to the shard owning the symbol.
+func (cc *ClusterClient) HasSymbol(ctx context.Context, symbol string) (found bool, version uint64, err error) {
+	top, groups := cc.view()
+	return groups[top.ShardForItem(symbol)].HasSymbol(ctx, symbol)
+}
+
+// Cleanup runs nearest-symbol cleanup across the tier: scatter to every
+// shard (each holds only its owned symbols) and keep the best similarity;
+// cross-shard ties go to the lexicographically smallest symbol, which is
+// deterministic (within one shard the server already breaks ties by
+// creation order). Similarities are 1 − hd/dim computed identically on
+// every shard, so the float comparison is exact. Shards with an empty
+// item memory answer not_found and are skipped; only all shards empty is
+// an error.
+func (cc *ClusterClient) Cleanup(ctx context.Context, features []float64) (*LookupResponse, error) {
+	_, groups := cc.view()
+	n := len(groups)
+	resps := make([]*LookupResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := range groups {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			resps[s], errs[s] = groups[s].Cleanup(ctx, features)
+		}(s)
+	}
+	wg.Wait()
+	var best *LookupResponse
+	for s := range groups {
+		if err := errs[s]; err != nil {
+			var e *Error
+			if errors.As(err, &e) && e.Code == CodeNotFound {
+				continue // this shard has no items interned
+			}
+			return nil, fmt.Errorf("client: cluster cleanup: shard %d: %w", s, err)
+		}
+		r := resps[s]
+		if best == nil || r.Similarity > best.Similarity ||
+			(r.Similarity == best.Similarity && r.Symbol < best.Symbol) {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, &Error{Code: CodeNotFound, Message: "no items interned on any shard"}
+	}
+	return best, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bulk ingest: per-shard streams
+// ---------------------------------------------------------------------------
+
+// ShardProgress is one shard's acknowledged ingest progress: rows its
+// server has applied and the snapshot version of the last ack — that
+// shard's resume point.
+type ShardProgress struct {
+	Rows    int
+	Version uint64
+}
+
+// ClusterIngestSummary aggregates per-shard ingest summaries at Close.
+type ClusterIngestSummary struct {
+	// Rows counts logical rows accepted by Send; a row split across two
+	// shards still counts once.
+	Rows int
+	// Shards maps shard id to its server's final summary; only shards
+	// that received rows appear.
+	Shards map[int]IngestAck
+}
+
+// ClusterIngestStream is a sharded bulk-ingest session. Each row routes
+// to the shard owning its key — a row carrying both a label and a symbol
+// with different owners is split into a train half and an intern half —
+// over one lazily opened ingest stream per shard. Each per-shard stream
+// keeps its own client-side coalescing buffer (WithStreamBatch rows per
+// socket write) and its own ack sequence, so progress and resume points
+// are per shard: after a fault, consult Applied and resend each shard's
+// rows past its own acknowledgment.
+//
+// Like IngestStream, not safe for concurrent Send; errors are sticky. A
+// wrong_shard fault mid-stream means the manifest went stale — Refresh,
+// reopen, and resume from the per-shard acks (established streams are
+// never silently retried).
+type ClusterIngestStream struct {
+	ctx     context.Context
+	top     *cluster.Topology // pinned at open; Refresh does not move live streams
+	groups  []*Client
+	streams []*IngestStream // lazily opened, index = shard
+	sent    int
+	err     error
+}
+
+// Ingest opens a sharded bulk-ingest session. Per-shard streams dial
+// lazily on the first row routed to each shard, so a session touching
+// only some shards holds connections only to those.
+func (cc *ClusterClient) Ingest(ctx context.Context) (*ClusterIngestStream, error) {
+	top, groups := cc.view()
+	return &ClusterIngestStream{
+		ctx:     ctx,
+		top:     top,
+		groups:  groups,
+		streams: make([]*IngestStream, len(groups)),
+	}, nil
+}
+
+// Send routes one row to its owning shard(s). A non-nil error is sticky;
+// on a fault, each shard's rows past its last acknowledgment (Applied)
+// were not applied.
+func (s *ClusterIngestStream) Send(row IngestRow) error {
+	if s.err != nil {
+		return s.err
+	}
+	labelShard, symShard := -1, -1
+	if row.Label != nil {
+		labelShard = s.top.ShardForClass(*row.Label)
+	}
+	if row.Symbol != "" {
+		symShard = s.top.ShardForItem(row.Symbol)
+	}
+	switch {
+	case labelShard < 0 && symShard < 0:
+		s.err = &Error{Code: CodeInvalidRequest, Message: "ingest row has neither label nor symbol"}
+		return s.err
+	case labelShard >= 0 && symShard >= 0 && labelShard != symShard:
+		// Split: the train half (label + features) to the class owner, the
+		// intern half (symbol alone) to the item owner.
+		trainHalf := row
+		trainHalf.Symbol = ""
+		if err := s.sendTo(labelShard, trainHalf); err != nil {
+			return err
+		}
+		if err := s.sendTo(symShard, IngestRow{Symbol: row.Symbol}); err != nil {
+			return err
+		}
+	case labelShard >= 0:
+		if err := s.sendTo(labelShard, row); err != nil {
+			return err
+		}
+	default:
+		if err := s.sendTo(symShard, row); err != nil {
+			return err
+		}
+	}
+	s.sent++
+	return nil
+}
+
+// sendTo writes one row on a shard's stream, opening it on first use.
+func (s *ClusterIngestStream) sendTo(shard int, row IngestRow) error {
+	st := s.streams[shard]
+	if st == nil {
+		var err error
+		st, err = s.groups[shard].Ingest(s.ctx)
+		if err != nil {
+			s.err = fmt.Errorf("client: cluster ingest: opening shard %d stream: %w", shard, err)
+			return s.err
+		}
+		s.streams[shard] = st
+	}
+	if err := st.Send(row); err != nil {
+		s.err = fmt.Errorf("client: cluster ingest: shard %d: %w", shard, err)
+		return s.err
+	}
+	return nil
+}
+
+// Sent returns how many logical rows Send has accepted.
+func (s *ClusterIngestStream) Sent() int { return s.sent }
+
+// Applied reports each touched shard's acknowledged progress — the
+// per-shard resume points. Safe to call concurrently with the server
+// acks; a shard whose stream saw no rows yet is absent.
+func (s *ClusterIngestStream) Applied() map[int]ShardProgress {
+	out := make(map[int]ShardProgress)
+	for shard, st := range s.streams {
+		if st == nil {
+			continue
+		}
+		rows, version := st.Applied()
+		out[shard] = ShardProgress{Rows: rows, Version: version}
+	}
+	return out
+}
+
+// Close ends every per-shard stream and aggregates their summaries. All
+// streams are closed even when one fails; the first fault (including a
+// sticky Send fault) is returned alongside whatever summaries landed.
+func (s *ClusterIngestStream) Close() (ClusterIngestSummary, error) {
+	sum := ClusterIngestSummary{Rows: s.sent, Shards: make(map[int]IngestAck)}
+	firstErr := s.err
+	for shard, st := range s.streams {
+		if st == nil {
+			continue
+		}
+		ack, err := st.Close()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("client: cluster ingest: shard %d: %w", shard, err)
+			}
+			continue
+		}
+		sum.Shards[shard] = ack
+	}
+	return sum, firstErr
+}

@@ -1,0 +1,351 @@
+package client
+
+// Sharded-cluster end-to-end test: two shard groups, each a real hdcserve
+// primary + replica child process bound into one HCLU manifest, driven
+// through the cluster client. The test streams the scenario workload in,
+// proves the merged scatter-gather prediction bit-identical to an
+// unsharded in-process reference fed the same rows, SIGKILLs shard 0's
+// primary, promotes its replica over POST /v1/admin/promote, revives the
+// old primary as a follower of the new one (re-seeded over the stream the
+// promoted node now hosts), and rides the not_primary/wrong_shard hints
+// through recovery — with the final merged predictions again bit-identical
+// and every acked write present.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"hdcirc/internal/cluster"
+)
+
+// reserveAddr grabs a free loopback port and releases it for a child to
+// claim: the manifest must name every endpoint before any child starts.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// e2eQueries hits every trainBody class center plus a sweep of the feature
+// square, so the winning classes span both shards' ownership.
+func e2eQueries() [][]float64 {
+	qs := [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}}
+	for i := 0; i < 24; i++ {
+		f := float64(i) / 24
+		qs = append(qs, []float64{f, 1 - f}, []float64{f, f})
+	}
+	return qs
+}
+
+// mustMatchReference asserts the cluster tier's merged predictions are
+// bit-identical — classes and float distances — to the unsharded
+// reference, and that the winning classes span both shards (otherwise
+// the merge isn't being exercised).
+func mustMatchReference(t *testing.T, ctx context.Context, cc *ClusterClient, ref *Client, phase string) {
+	t.Helper()
+	queries := e2eQueries()
+	want, err := ref.Predict(ctx, queries)
+	if err != nil {
+		t.Fatalf("%s: reference predict: %v", phase, err)
+	}
+	got, err := cc.Predict(ctx, queries)
+	if err != nil {
+		t.Fatalf("%s: cluster predict: %v", phase, err)
+	}
+	winners := make(map[int]bool)
+	for q := range queries {
+		if got.Classes[q] != want.Classes[q] || got.Distances[q] != want.Distances[q] {
+			t.Fatalf("%s: query %d (%v): cluster (%d, %v) != unsharded (%d, %v)",
+				phase, q, queries[q], got.Classes[q], got.Distances[q], want.Classes[q], want.Distances[q])
+		}
+		winners[cc.ShardForClass(want.Classes[q])] = true
+	}
+	if len(winners) != 2 {
+		t.Fatalf("%s: winning classes only on shards %v; merge not exercised", phase, winners)
+	}
+}
+
+func TestClusterTierE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process integration test")
+	}
+	bin := buildHdcserve(t)
+	ctx := context.Background()
+
+	// The manifest, written in HCLU binary form and loaded by every child
+	// via -cluster: 2 shards × (primary + replica) on reserved ports.
+	s0p, s0r := reserveAddr(t), reserveAddr(t)
+	s1p, s1r := reserveAddr(t), reserveAddr(t)
+	man := &cluster.Manifest{
+		Version:  1,
+		RingSeed: 42,
+		Shards: []cluster.ShardEndpoints{
+			{Primary: "http://" + s0p, Replicas: []string{"http://" + s0r}},
+			{Primary: "http://" + s1p, Replicas: []string{"http://" + s1r}},
+		},
+	}
+	manPath := filepath.Join(t.TempDir(), "manifest.hclu")
+	if err := man.Save(nil, manPath); err != nil {
+		t.Fatal(err)
+	}
+
+	s0pDir, s0rDir, s1pDir, s1rDir := t.TempDir(), t.TempDir(), t.TempDir(), t.TempDir()
+	s0pChild, s0pBase := startChild(t, bin, s0p, s0pDir, "-cluster", manPath, "-shard", "0/2", "-admin")
+	_, s0rBase := startChild(t, bin, s0r, s0rDir, "-cluster", manPath, "-shard", "0/2", "-admin",
+		"-role", "replica", "-primary-url", "http://"+s0p,
+		"-replica-max-inflight", "64", "-replica-max-queue", "128")
+	_, s1pBase := startChild(t, bin, s1p, s1pDir, "-cluster", manPath, "-shard", "1/2", "-admin")
+	_, s1rBase := startChild(t, bin, s1r, s1rDir, "-cluster", manPath, "-shard", "1/2", "-admin",
+		"-role", "replica", "-primary-url", "http://"+s1p,
+		"-replica-max-inflight", "64", "-replica-max-queue", "128")
+
+	direct := func(base string) *Client {
+		c, err := New(base, WithRetry(10, 50*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	s0pc, s0rc := direct(s0pBase), direct(s0rBase)
+	s1pc, s1rc := direct(s1pBase), direct(s1rBase)
+	for _, c := range []*Client{s0pc, s0rc, s1pc, s1rc} {
+		waitHealthy(t, c)
+	}
+
+	// The cluster client under test, built from the manifest FILE (the
+	// same bytes the children loaded). Reads prefer replicas so the tier
+	// keeps serving reads while a primary is down.
+	cc, err := NewClusterClientFromFile(manPath,
+		WithRetry(20, 50*time.Millisecond),
+		WithReadPreference(NearestReplica))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The ring must give both shards classes or the whole fixture is
+	// vacuous (deterministic in RingSeed, so this cannot flake).
+	ownedClass := make(map[int]int) // shard → some class it owns
+	for c := 0; c < childClasses; c++ {
+		ownedClass[cc.ShardForClass(c)] = c
+	}
+	if len(ownedClass) != 2 {
+		t.Fatalf("fixture: all %d classes owned by one shard; pick another RingSeed", childClasses)
+	}
+
+	// Unsharded in-process reference with the children's exact geometry,
+	// fed the same logical rows throughout.
+	ref := newBackend(t).client(t)
+
+	// Phase 1: stream the workload through the sharded ingest (rows split
+	// per owner, per-shard coalescers and acks) and into the reference.
+	cis, err := cc.Ingest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ris, err := ref.Ingest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits := 0
+	for i := 0; i < ingestRows; i++ {
+		row := ingestRowIdx(i)
+		if err := cis.Send(row); err != nil {
+			t.Fatalf("cluster ingest row %d: %v", i, err)
+		}
+		if err := ris.Send(row); err != nil {
+			t.Fatalf("reference ingest row %d: %v", i, err)
+		}
+		if row.Symbol != "" && cc.ShardForClass(*row.Label) != cc.ShardForSymbol(row.Symbol) {
+			splits++
+		}
+	}
+	csum, err := cis.Close()
+	if err != nil {
+		t.Fatalf("cluster ingest close: %v", err)
+	}
+	if _, err := ris.Close(); err != nil {
+		t.Fatalf("reference ingest close: %v", err)
+	}
+	if csum.Rows != ingestRows {
+		t.Fatalf("cluster ingest summary rows = %d, want %d", csum.Rows, ingestRows)
+	}
+	wire := 0
+	for _, ack := range csum.Shards {
+		wire += ack.TotalRows
+	}
+	if wire != ingestRows+splits {
+		t.Fatalf("wire rows = %d, want %d (%d split across owners)", wire, ingestRows+splits, splits)
+	}
+
+	// Phase 2: unary training through the sharded splitter — the
+	// deterministic replay batches plus a structured batch that anchors
+	// each class to its own region of the feature square, so prediction
+	// winners are spread across classes (and therefore shards).
+	for i := 0; i < 10; i++ {
+		if _, err := cc.Train(ctx, trainReqIdx(i)); err != nil {
+			t.Fatalf("cluster train %d: %v", i, err)
+		}
+		if _, err := ref.Train(ctx, trainReqIdx(i)); err != nil {
+			t.Fatalf("reference train %d: %v", i, err)
+		}
+	}
+	if _, err := cc.Train(ctx, trainBody(60)); err != nil {
+		t.Fatalf("cluster structured train: %v", err)
+	}
+	if _, err := ref.Train(ctx, trainBody(60)); err != nil {
+		t.Fatalf("reference structured train: %v", err)
+	}
+
+	// Replicas converge to their own primary's version; within a group
+	// the snapshots are byte-identical.
+	shardVersion := func(c *Client) uint64 {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Version
+	}
+	waitConverged(t, s0rc, shardVersion(s0pc))
+	waitConverged(t, s1rc, shardVersion(s1pc))
+	for shard, pair := range [][2]*Client{{s0pc, s0rc}, {s1pc, s1rc}} {
+		pv, pb := nodeSnapshot(t, pair[0])
+		rv, rb := nodeSnapshot(t, pair[1])
+		if pv != rv || !bytes.Equal(pb, rb) {
+			t.Fatalf("shard %d: replica snapshot (v%d, %d bytes) != primary (v%d, %d bytes)",
+				shard, rv, len(rb), pv, len(pb))
+		}
+	}
+
+	// Phase 3: the merged prediction is bit-identical to the unsharded
+	// reference (reads served by converged replicas).
+	mustMatchReference(t, ctx, cc, ref, "pre-failover")
+
+	// A write aimed at the wrong shard's primary answers wrong_shard with
+	// the owner's endpoints straight from the manifest. The batch is
+	// non-empty (a sample for a class shard 1 does not own) so rejection
+	// is the ownership check, not input validation.
+	oneShot, err := New(s1pBase, WithRetry(1, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	misrouted := TrainRequest{Samples: []Sample{{Label: ownedClass[0], Features: []float64{0.5, 0.5}}}}
+	var e *Error
+	if _, err := oneShot.Train(ctx, misrouted); !errors.As(err, &e) ||
+		e.Code != CodeWrongShard || e.OwnerShard == nil || *e.OwnerShard != 0 ||
+		e.OwnerPrimaryURL != s0pBase {
+		t.Fatalf("misrouted write error = %v, want wrong_shard owned by shard 0 at %s", err, s0pBase)
+	}
+
+	// Phase 4: SIGKILL shard 0's primary; the tier keeps serving reads
+	// (scores fan out to the surviving replica), then the operator
+	// promotes the replica through the admin route.
+	if err := s0pChild.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	s0pChild.Wait()
+	if _, err := cc.Predict(ctx, [][]float64{{0.3, 0.7}}); err != nil {
+		t.Fatalf("predict with shard 0 primary dead: %v", err)
+	}
+	pr, err := s0rc.Promote(ctx)
+	if err != nil {
+		t.Fatalf("admin promote: %v", err)
+	}
+	if pr.Role != "primary" {
+		t.Fatalf("promoted node reports role %q", pr.Role)
+	}
+
+	// Revive the old primary on its manifest address as a follower of the
+	// promoted node: it re-seeds over the replicate stream the new
+	// primary now hosts, and — still named as shard 0's primary in the
+	// manifest — answers writes with a not_primary hint to the real one.
+	u, err := url.Parse(s0pBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, revivedBase := startChild(t, bin, u.Host, s0pDir, "-cluster", manPath, "-shard", "0/2", "-admin",
+		"-role", "replica", "-primary-url", s0rBase)
+	if revivedBase != s0pBase {
+		t.Fatalf("old primary revived on %s, want %s", revivedBase, s0pBase)
+	}
+	waitHealthy(t, s0pc)
+
+	// Phase 5: writes through the cluster client ride the hint — shard 0
+	// parts hit the revived follower, adopt the promoted primary, and
+	// land — while shard 1 is untouched. The reference gets the same rows.
+	for i := 10; i < 20; i++ {
+		if _, err := cc.Train(ctx, trainReqIdx(i)); err != nil {
+			t.Fatalf("post-failover cluster train %d: %v", i, err)
+		}
+		if _, err := ref.Train(ctx, trainReqIdx(i)); err != nil {
+			t.Fatalf("post-failover reference train %d: %v", i, err)
+		}
+	}
+	if got := cc.Group(0).PrimaryURL(); got != s0rBase {
+		t.Fatalf("shard 0 group adopted %s, want the promoted node %s", got, s0rBase)
+	}
+
+	// The revived follower catches up to the new primary bit for bit —
+	// every write acked before the kill (it converged then) and after it
+	// (via the new primary's stream) is present.
+	waitConverged(t, s0pc, shardVersion(s0rc))
+	waitConverged(t, s1rc, shardVersion(s1pc))
+	nv, nb := nodeSnapshot(t, s0rc)
+	rv, rb := nodeSnapshot(t, s0pc)
+	if nv != rv || !bytes.Equal(nb, rb) {
+		t.Fatalf("revived follower snapshot (v%d, %d bytes) != promoted primary (v%d, %d bytes)",
+			rv, len(rb), nv, len(nb))
+	}
+
+	// Phase 6: merged predictions are again bit-identical to the
+	// reference — no acked write was lost across the failover.
+	mustMatchReference(t, ctx, cc, ref, "post-failover")
+
+	// A client routing with a stale manifest still lands writes by riding
+	// wrong_shard hints (to the true owner's endpoints) and then
+	// not_primary hints (to the promoted node) in sequence.
+	stale := man.Clone()
+	stale.Shards[0], stale.Shards[1] = stale.Shards[1], stale.Shards[0]
+	scc, err := NewClusterClient(stale, WithRetry(20, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scc.Train(ctx, trainReqIdx(20)); err != nil {
+		t.Fatalf("train through stale manifest after failover: %v", err)
+	}
+	if _, err := ref.Train(ctx, trainReqIdx(20)); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, s0pc, shardVersion(s0rc))
+	waitConverged(t, s1rc, shardVersion(s1pc))
+	mustMatchReference(t, ctx, cc, ref, "post-stale-write")
+
+	// Every interned symbol is findable through the tier (routed to its
+	// owner group) after the failover.
+	for i := 0; i < 7; i++ {
+		sym := fmt.Sprintf("ing/%d", i)
+		found, _, err := cc.HasSymbol(ctx, sym)
+		if err != nil || !found {
+			t.Fatalf("HasSymbol(%q) = %v, %v after failover", sym, found, err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		sym := fmt.Sprintf("sym/%d", i)
+		found, _, err := cc.HasSymbol(ctx, sym)
+		if err != nil || !found {
+			t.Fatalf("HasSymbol(%q) = %v, %v after failover", sym, found, err)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package client
+
+// Cluster client unit tests over real in-process protocol-v1 nodes: one
+// httptest server per shard, each running a real serving core with a
+// real cluster.Node, plus an unsharded reference server fed the same
+// rows for the differential scatter-gather exactness check.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"hdcirc/internal/cluster"
+	"hdcirc/internal/httpapi"
+	"hdcirc/internal/serve"
+)
+
+// handlerSwap lets the httptest server start (to learn its URL) before
+// the handler exists — the manifest needs the URLs, the nodes need the
+// manifest, the handlers need the nodes.
+type handlerSwap struct{ h atomic.Value }
+
+func (s *handlerSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// The model geometry every node in these tests shares: 8 classes so the
+// seed-42 ring splits ownership across both shards.
+func clusterServeConfig() serve.Config {
+	return serve.Config{Dim: 512, Classes: 8, Shards: 2, Workers: 2, Seed: 7}
+}
+
+func clusterEncoder(t *testing.T) httpapi.Encoder {
+	t.Helper()
+	enc, err := httpapi.NewScalarRecordEncoder(httpapi.ScalarRecordConfig{
+		Dim: 512, Fields: 2, Lo: 0, Hi: 1, Levels: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+type clusterBackend struct {
+	man  *cluster.Manifest
+	apis []*httpapi.API
+	urls []string
+}
+
+// newClusterBackend stands up one real node per shard, all sharing one
+// manifest whose endpoints are the live httptest URLs.
+func newClusterBackend(t *testing.T, shards int, mutate ...func(shard int, c *httpapi.Config)) *clusterBackend {
+	t.Helper()
+	b := &clusterBackend{man: &cluster.Manifest{Version: 1, RingSeed: 42}}
+	swaps := make([]*handlerSwap, shards)
+	for i := 0; i < shards; i++ {
+		swaps[i] = &handlerSwap{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		b.urls = append(b.urls, ts.URL)
+		b.man.Shards = append(b.man.Shards, cluster.ShardEndpoints{Primary: ts.URL})
+	}
+	for i := 0; i < shards; i++ {
+		node, err := cluster.NewNode(b.man, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := serve.NewServer(clusterServeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := httpapi.Config{Server: srv, Encoder: clusterEncoder(t), Cluster: node}
+		for _, m := range mutate {
+			m(i, &cfg)
+		}
+		api, err := httpapi.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swaps[i].h.Store(http.Handler(api))
+		b.apis = append(b.apis, api)
+	}
+	return b
+}
+
+func (b *clusterBackend) client(t *testing.T, opts ...Option) *ClusterClient {
+	t.Helper()
+	cc, err := NewClusterClient(b.man, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+// clusterTrainBody spreads samples over all 8 classes (centers on a 4×2
+// feature grid, deterministic jitter) plus a few symbols, so both shards
+// own part of the batch under the seed-42 ring.
+func clusterTrainBody(perClass int) TrainRequest {
+	var req TrainRequest
+	for class := 0; class < 8; class++ {
+		cx := float64(class%4)*0.25 + 0.1
+		cy := float64(class/4)*0.5 + 0.2
+		for j := 0; j < perClass; j++ {
+			jit := 0.015 * float64(j%4)
+			req.Samples = append(req.Samples, Sample{
+				Label:    class,
+				Features: []float64{cx + jit, cy - jit},
+			})
+		}
+	}
+	req.Symbols = []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	return req
+}
+
+// clusterQueries exercises the merge: class centers, midpoints between
+// centers owned by different shards, and corners.
+func clusterQueries() [][]float64 {
+	qs := [][]float64{{0, 0}, {1, 1}, {0.5, 0.45}}
+	for class := 0; class < 8; class++ {
+		cx := float64(class%4)*0.25 + 0.1
+		cy := float64(class/4)*0.5 + 0.2
+		qs = append(qs, []float64{cx, cy}, []float64{cx + 0.12, cy + 0.24})
+	}
+	return qs
+}
+
+// TestClusterPredictBitIdentical is the differential acceptance check:
+// the same rows into a 2-shard tier and into one unsharded server, then
+// the same queries — the merged scatter-gather prediction must equal the
+// unsharded prediction bit for bit, classes and float distances both.
+func TestClusterPredictBitIdentical(t *testing.T) {
+	b := newClusterBackend(t, 2)
+	cc := b.client(t)
+	ctx := t.Context()
+
+	// Unsharded reference: identical geometry, identical rows.
+	refSrv, err := serve.NewServer(clusterServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAPI, err := httpapi.New(httpapi.Config{Server: refSrv, Encoder: clusterEncoder(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(refAPI)
+	t.Cleanup(refTS.Close)
+	ref, err := New(refTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := clusterTrainBody(12)
+	if _, err := ref.Train(ctx, rows); err != nil {
+		t.Fatalf("reference train: %v", err)
+	}
+	acks, err := cc.Train(ctx, rows)
+	if err != nil {
+		t.Fatalf("cluster train: %v", err)
+	}
+	if len(acks) != 2 {
+		t.Fatalf("train touched %d shards, want both: %v", len(acks), acks)
+	}
+
+	queries := clusterQueries()
+	want, err := ref.Predict(ctx, queries)
+	if err != nil {
+		t.Fatalf("reference predict: %v", err)
+	}
+	got, err := cc.Predict(ctx, queries)
+	if err != nil {
+		t.Fatalf("cluster predict: %v", err)
+	}
+	winners := make(map[int]bool)
+	for q := range queries {
+		if got.Classes[q] != want.Classes[q] || got.Distances[q] != want.Distances[q] {
+			t.Errorf("query %d (%v): cluster (%d, %v) != unsharded (%d, %v)",
+				q, queries[q], got.Classes[q], got.Distances[q], want.Classes[q], want.Distances[q])
+		}
+		winners[cc.ShardForClass(want.Classes[q])] = true
+	}
+	// The check is vacuous unless winning classes live on both shards.
+	if len(winners) != 2 {
+		t.Fatalf("all winning classes on shards %v; fixture no longer exercises the merge", winners)
+	}
+	if got.Dim != 512 || len(got.Versions) != 2 {
+		t.Fatalf("merged response header: %+v", got)
+	}
+}
+
+// TestClusterTrainSplitsByOwner: each shard applies exactly its part,
+// symbol probes route to the owner, and the non-owner never saw the key.
+func TestClusterTrainSplitsByOwner(t *testing.T) {
+	b := newClusterBackend(t, 2)
+	cc := b.client(t)
+	ctx := t.Context()
+
+	req := clusterTrainBody(4)
+	acks, err := cc.Train(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard, api := range b.apis {
+		ack, touched := acks[shard]
+		if !touched {
+			t.Fatalf("shard %d got no part of an all-class batch", shard)
+		}
+		if v := api.Server().Snapshot().Version(); v != ack.Version {
+			t.Fatalf("shard %d at version %d, ack said %d", shard, v, ack.Version)
+		}
+	}
+
+	for _, sym := range req.Symbols {
+		owner := cc.ShardForSymbol(sym)
+		found, _, err := cc.HasSymbol(ctx, sym)
+		if err != nil || !found {
+			t.Fatalf("HasSymbol(%q) = %v, %v; want found via shard %d", sym, found, err, owner)
+		}
+		if _, ok := b.apis[1-owner].Server().Snapshot().Item(sym); ok {
+			t.Fatalf("symbol %q leaked onto non-owner shard %d", sym, 1-owner)
+		}
+	}
+}
+
+// TestClusterIngestSplit: the sharded stream routes each row to its
+// owner, splits rows whose label and symbol belong to different shards,
+// and reports per-shard acks that add up.
+func TestClusterIngestSplit(t *testing.T) {
+	b := newClusterBackend(t, 2)
+	cc := b.client(t)
+	ctx := t.Context()
+
+	// Find a (label, symbol) pair with different owners so one row splits.
+	split := -1
+	symbols := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	for c := 0; c < 8 && split < 0; c++ {
+		for _, sym := range symbols {
+			if cc.ShardForClass(c) != cc.ShardForSymbol(sym) {
+				split = c
+				symbols = []string{sym}
+				break
+			}
+		}
+	}
+	if split < 0 {
+		t.Fatal("fixture: no cross-owner (label, symbol) pair under this ring")
+	}
+
+	st, err := cc.Ingest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := 0
+	for class := 0; class < 8; class++ {
+		cx := float64(class%4)*0.25 + 0.1
+		cy := float64(class/4)*0.5 + 0.2
+		label := class
+		if err := st.Send(IngestRow{Label: &label, Features: []float64{cx, cy}}); err != nil {
+			t.Fatal(err)
+		}
+		logical++
+	}
+	lbl := split
+	if err := st.Send(IngestRow{Label: &lbl, Features: []float64{0.4, 0.4}, Symbol: symbols[0]}); err != nil {
+		t.Fatal(err)
+	}
+	logical++
+
+	sum, err := st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rows != logical || st.Sent() != logical {
+		t.Fatalf("summary rows = %d, sent = %d, want %d", sum.Rows, st.Sent(), logical)
+	}
+	wire := 0
+	for _, ack := range sum.Shards {
+		wire += ack.TotalRows
+	}
+	if wire != logical+1 { // the split row became two wire rows
+		t.Fatalf("wire rows = %d, want %d (one split)", wire, logical+1)
+	}
+	applied := st.Applied()
+	for shard, ack := range sum.Shards {
+		if p := applied[shard]; p.Rows != ack.TotalRows || p.Version != ack.Version {
+			t.Fatalf("shard %d progress %+v vs summary %+v", shard, p, ack)
+		}
+	}
+
+	// The split row's halves landed on their owners.
+	symOwner := cc.ShardForSymbol(symbols[0])
+	if _, ok := b.apis[symOwner].Server().Snapshot().Item(symbols[0]); !ok {
+		t.Fatalf("split symbol %q missing on owner shard %d", symbols[0], symOwner)
+	}
+	if _, ok := b.apis[1-symOwner].Server().Snapshot().Item(symbols[0]); ok {
+		t.Fatalf("split symbol %q leaked onto shard %d", symbols[0], 1-symOwner)
+	}
+}
+
+// TestClusterWrongShardFollowsHint: a client routing with a stale (here:
+// endpoint-swapped) manifest gets wrong_shard from every misdirected
+// part and lands each one on the hinted owner — the whole batch still
+// applies, with no key on a non-owner.
+func TestClusterWrongShardFollowsHint(t *testing.T) {
+	b := newClusterBackend(t, 2)
+	ctx := t.Context()
+
+	stale := b.man.Clone()
+	stale.Shards[0], stale.Shards[1] = stale.Shards[1], stale.Shards[0]
+	cc, err := NewClusterClient(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := clusterTrainBody(2)
+	if _, err := cc.Train(ctx, req); err != nil {
+		t.Fatalf("train through stale manifest: %v", err)
+	}
+	// Every shard's server holds exactly its owned symbols.
+	fresh := b.client(t)
+	for _, sym := range req.Symbols {
+		owner := fresh.ShardForSymbol(sym)
+		if _, ok := b.apis[owner].Server().Snapshot().Item(sym); !ok {
+			t.Fatalf("symbol %q missing on owner shard %d after hinted reroute", sym, owner)
+		}
+		if _, ok := b.apis[1-owner].Server().Snapshot().Item(sym); ok {
+			t.Fatalf("symbol %q applied on non-owner shard %d", sym, 1-owner)
+		}
+	}
+}
+
+// TestClusterBootstrapAndRefresh: a client built from any one endpoint
+// learns the whole tier, and Refresh is a no-op while the manifest
+// version stands still.
+func TestClusterBootstrapAndRefresh(t *testing.T) {
+	b := newClusterBackend(t, 3)
+	ctx := t.Context()
+
+	cc, err := NewClusterClientFromEndpoint(ctx, b.urls[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.NumShards() != 3 || cc.ManifestVersion() != 1 {
+		t.Fatalf("bootstrap: shards=%d version=%d", cc.NumShards(), cc.ManifestVersion())
+	}
+	changed, err := cc.Refresh(ctx)
+	if err != nil || changed {
+		t.Fatalf("refresh against same version: changed=%v err=%v", changed, err)
+	}
+
+	// Bootstrapping off an unsharded node is a structured not_found.
+	srv, err := serve.NewServer(clusterServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainAPI, err := httpapi.New(httpapi.Config{Server: srv, Encoder: clusterEncoder(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := httptest.NewServer(plainAPI)
+	t.Cleanup(plain.Close)
+	if _, err := NewClusterClientFromEndpoint(ctx, plain.URL); err == nil {
+		t.Fatal("bootstrap from unsharded node succeeded")
+	}
+}
+
+// TestClusterCleanupMerge: cleanup scatters everywhere and returns the
+// globally best symbol; an empty tier answers a structured not_found.
+func TestClusterCleanupMerge(t *testing.T) {
+	b := newClusterBackend(t, 2)
+	cc := b.client(t)
+	ctx := t.Context()
+
+	if _, err := cc.Cleanup(ctx, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("cleanup on an empty tier succeeded")
+	}
+
+	if _, err := cc.Train(ctx, clusterTrainBody(2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cc.Cleanup(ctx, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The winner must beat (or tie, with a smaller symbol) every shard's
+	// own best — recomputed here per shard directly against the nodes.
+	for shard := range b.apis {
+		g := cc.Group(shard)
+		r, err := g.Cleanup(ctx, []float64{0.5, 0.5})
+		if err != nil {
+			continue // shard may hold no symbols
+		}
+		if r.Similarity > res.Similarity ||
+			(r.Similarity == res.Similarity && r.Symbol < res.Symbol) {
+			t.Fatalf("shard %d has a better symbol %q (%v) than merged %q (%v)",
+				shard, r.Symbol, r.Similarity, res.Symbol, res.Similarity)
+		}
+	}
+	if res.Symbol == "" {
+		t.Fatalf("merged cleanup returned no symbol: %+v", res)
+	}
+}
+
+// TestClusterPredictGeometryMismatch: a shard whose model geometry
+// drifted from the tier's is an error, not a silently wrong merge.
+func TestClusterPredictGeometryMismatch(t *testing.T) {
+	b := newClusterBackend(t, 2, func(shard int, c *httpapi.Config) {
+		if shard != 1 {
+			return
+		}
+		srv, err := serve.NewServer(serve.Config{Dim: 512, Classes: 5, Shards: 2, Workers: 2, Seed: 7})
+		if err != nil {
+			panic(fmt.Sprintf("mismatched server: %v", err))
+		}
+		c.Server = srv
+	})
+	cc := b.client(t)
+	if _, err := cc.Predict(t.Context(), [][]float64{{0.5, 0.5}}); err == nil {
+		t.Fatal("predict across mismatched geometries succeeded")
+	}
+}

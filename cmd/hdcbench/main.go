@@ -42,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -54,6 +55,7 @@ import (
 	"hdcirc/client"
 	"hdcirc/internal/batch"
 	"hdcirc/internal/bitvec"
+	"hdcirc/internal/cluster"
 	"hdcirc/internal/embed"
 	"hdcirc/internal/httpapi"
 	"hdcirc/internal/index"
@@ -413,6 +415,53 @@ func main() {
 	catchupTS := httptest.NewServer(catchupAPI)
 	defer catchupTS.Close()
 
+	// Sharded-cluster fixtures. cluster_predict_scatter measures one
+	// scatter-gather prediction through the cluster client: fan /v1/scores
+	// out to both shard groups over loopback HTTP, filter each response to
+	// the classes its shard owns, merge exactly — the sharding tax over
+	// http_predict. cluster_ingest_split measures one row through an open
+	// sharded ingest stream: hashring routing on the client, per-shard
+	// coalescers underneath (every 4th row also carries a symbol, so the
+	// label-owner/symbol-owner split path stays hot). Both shard servers
+	// carry the full 32-class workload, as the unsharded twin does — the
+	// client-side ownership filter is part of what is being measured.
+	const clusterShardCount = 2
+	clusterSwaps := make([]*swapHandler, clusterShardCount)
+	clusterEndpoints := make([]cluster.ShardEndpoints, clusterShardCount)
+	for i := range clusterSwaps {
+		clusterSwaps[i] = &swapHandler{}
+		ts := httptest.NewServer(clusterSwaps[i])
+		defer ts.Close()
+		clusterEndpoints[i] = cluster.ShardEndpoints{Primary: ts.URL}
+	}
+	clusterMan := &cluster.Manifest{Version: 1, RingSeed: 42, Shards: clusterEndpoints}
+	for i := range clusterSwaps {
+		node, err := cluster.NewNode(clusterMan, i)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		csrv, err := serve.NewServer(serve.Config{Dim: *d, Classes: k, Shards: 4, Seed: 7})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var cb serve.Batch
+		for qi, rec := range httpRecs {
+			cb.Train = append(cb.Train, serve.Sample{Class: qi % k, HV: httpEnc.Encode(rec)})
+		}
+		if _, err := csrv.ApplyBatch(cb); err != nil {
+			fatalf("%v", err)
+		}
+		capi, err := httpapi.New(httpapi.Config{Server: csrv, Encoder: httpEnc, Cluster: node})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		clusterSwaps[i].h.Store(http.Handler(capi))
+	}
+	ccli, err := client.NewClusterClient(clusterMan)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	gmp := runtime.GOMAXPROCS(0)
 	benches := []struct {
 		name    string
@@ -580,6 +629,39 @@ func main() {
 				b.Fatal(err)
 			}
 		}},
+		{"cluster_predict_scatter", 1, func(b *testing.B) {
+			// One op = one prediction scattered to both shard groups and
+			// merged client-side; two loopback round trips per op, so the
+			// delta over http_predict is the fan-out + ownership-filtered
+			// merge.
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ccli.PredictOne(ctx, httpRecs[i%len(httpRecs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cluster_ingest_split", 1, func(b *testing.B) {
+			// One op = one row through the sharded ingest stream: hashring
+			// route, per-shard coalescer append, occasional label/symbol
+			// split into two wire rows.
+			cis, err := ccli.Ingest(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				row := httpRow(i)
+				if i%4 == 0 {
+					row.Symbol = fmt.Sprintf("item/%d", i%64)
+				}
+				if err := cis.Send(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := cis.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}},
 		{"repl_ship_record", 1, func(b *testing.B) {
 			// One op = one record shipped end to end: ApplyBatch on the
 			// primary through the open replicate-stream to the follower's
@@ -721,6 +803,15 @@ func main() {
 // fixedParPredict is a RunParallel-style snapshot-predict bench pinned to
 // an exact worker count, so the row's Workers field matches on machines of
 // any width and the row stays gateable in -compare.
+// swapHandler defers handler installation until after its httptest server
+// has a URL: the cluster fixture's manifest must name every endpoint
+// before the per-shard handlers (which need the manifest) can be built.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
 func fixedParPredict(srv *serve.Server, queries []*bitvec.Vector, workers int) func(*testing.B) {
 	return func(b *testing.B) {
 		var next atomic.Int64

@@ -13,7 +13,10 @@
 // the request's scheduled arrival time, so a stalled server inflates the
 // tail instead of silently suppressing samples (coordinated omission).
 // -workers sweeps closed-loop fleet sizes; -rate sweeps open-loop
-// arrival rates.
+// arrival rates. An open-loop sweep over 2+ rates additionally distills
+// a per-scenario p99 knee into the report (see -knee-factor): the
+// highest swept rate the server absorbs before queueing collapse
+// inflates the tail, with the full rate/p99 curve alongside it.
 //
 // Each scenario first runs a calibration pass — bulk-ingest of the
 // training split over /v1/ingest:stream, bulk prediction of the test
@@ -105,6 +108,28 @@ type scenarioReport struct {
 	AccuracyFloor float64 `json:"accuracy_floor"`
 }
 
+// kneeReport distills one scenario's open-loop rate sweep into its p99
+// knee: the highest swept arrival rate whose success p99 stays within
+// -knee-factor of the slowest rate's p99. Rates past the knee have tipped
+// the server into queueing collapse — open-loop latency there measures
+// the backlog, not the service. The full sweep curve rides along so a
+// trajectory diff can see the knee move, not just where it landed.
+type kneeReport struct {
+	Scenario string `json:"scenario"`
+	// Rates and P99US are the sweep curve in ascending rate order;
+	// SuccessRPS is the throughput actually served at each rate.
+	Rates      []float64 `json:"rates_rps"`
+	P99US      []float64 `json:"p99_us"`
+	SuccessRPS []float64 `json:"success_rps"`
+	KneeFactor float64   `json:"knee_factor"`
+	KneeRate   float64   `json:"knee_rate_rps"`
+	KneeP99US  float64   `json:"knee_p99_us"`
+	// Bracketed is false when even the top swept rate held its p99 under
+	// the factor — the sweep never found the knee and KneeRate is only a
+	// lower bound.
+	Bracketed bool `json:"bracketed"`
+}
+
 // report is the full BENCH_load.json document.
 type report struct {
 	Schema     string           `json:"schema"`
@@ -115,6 +140,7 @@ type report struct {
 	ReadRatio  float64          `json:"read_ratio"`
 	Scenarios  []scenarioReport `json:"scenarios"`
 	Runs       []runReport      `json:"runs"`
+	Knees      []kneeReport     `json:"knees,omitempty"`
 }
 
 // options is the flag surface.
@@ -133,6 +159,7 @@ type options struct {
 	gateQueue       int
 	maxP99          time.Duration
 	strictOverload  bool
+	kneeFactor      float64
 	out             string
 }
 
@@ -152,6 +179,7 @@ func main() {
 	flag.IntVar(&o.gateQueue, "gate-queue", 2, "self-serve overload endpoint: max queued waiters before 429s")
 	flag.DurationVar(&o.maxP99, "max-p99", 0, "fail (exit 1) if any nominal phase's success p99 exceeds this budget (0 = report only)")
 	flag.BoolVar(&o.strictOverload, "strict-overload", false, "fail (exit 1) unless every overload-phase error is a structured 429 with a Retry-After hint")
+	flag.Float64Var(&o.kneeFactor, "knee-factor", 3.0, "open-loop sweeps with 2+ rates: the p99 knee is the highest rate whose p99 stays within this factor of the slowest rate's p99")
 	flag.StringVar(&o.out, "o", "-", "report path (- = stdout)")
 	flag.Parse()
 
@@ -204,6 +232,10 @@ func run(o *options) error {
 		if err := runScenario(ctx, o, mode, workers, rates, sc, rep, &violations); err != nil {
 			return fmt.Errorf("scenario %s: %w", sc.Name, err)
 		}
+	}
+
+	if mode == loadgen.ModeOpen && len(rates) >= 2 {
+		extractKnees(rep, o.kneeFactor)
 	}
 
 	if err := writeReport(o.out, rep); err != nil {
@@ -467,6 +499,57 @@ func toRunReport(name, phase string, res *loadgen.Result) runReport {
 		rr.Errors = res.Errors
 	}
 	return rr
+}
+
+// extractKnees appends one kneeReport per scenario with 2+ nominal
+// open-loop runs: the sweep curve in ascending rate order and the highest
+// rate whose p99 stays within factor of the slowest rate's p99. The
+// highest such rate — not the last before a first violation — because
+// true queueing collapse is monotone (past capacity the open-loop
+// backlog only grows), so a single over-budget blip below a rate that
+// demonstrably holds its p99 is runner noise, not the knee. A rate with
+// zero successes has no p99 at all and is past the knee by definition.
+func extractKnees(rep *report, factor float64) {
+	byScenario := map[string][]runReport{}
+	var order []string
+	for _, rr := range rep.Runs {
+		if rr.Phase != "nominal" || rr.Mode != string(loadgen.ModeOpen) || rr.Rate <= 0 {
+			continue
+		}
+		if _, seen := byScenario[rr.Scenario]; !seen {
+			order = append(order, rr.Scenario)
+		}
+		byScenario[rr.Scenario] = append(byScenario[rr.Scenario], rr)
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		runs := byScenario[name]
+		if len(runs) < 2 {
+			continue
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Rate < runs[j].Rate })
+		kr := kneeReport{Scenario: name, KneeFactor: factor}
+		for _, rr := range runs {
+			served := float64(rr.Success) / (float64(rr.DurationMS) / 1000)
+			kr.Rates = append(kr.Rates, rr.Rate)
+			kr.P99US = append(kr.P99US, rr.Latency.P99)
+			kr.SuccessRPS = append(kr.SuccessRPS, served)
+		}
+		budget := kr.P99US[0] * factor
+		kr.KneeRate, kr.KneeP99US = kr.Rates[0], kr.P99US[0]
+		for i, rr := range runs {
+			if rr.Success > 0 && kr.P99US[i] <= budget {
+				kr.KneeRate, kr.KneeP99US = kr.Rates[i], kr.P99US[i]
+			}
+		}
+		last := len(runs) - 1
+		kr.Bracketed = runs[last].Success == 0 || kr.P99US[last] > budget
+		if !kr.Bracketed {
+			fmt.Fprintf(os.Stderr, "hdcload: %s: every swept rate stayed under %gx the base p99; knee %g rps is a lower bound, sweep higher\n",
+				name, factor, kr.KneeRate)
+		}
+		rep.Knees = append(rep.Knees, kr)
+	}
 }
 
 func writeReport(path string, rep *report) error {

@@ -116,6 +116,62 @@ func checkRun(t *testing.T, rr runReport) {
 	}
 }
 
+// TestLoadOpenSweepKnee runs a short self-serve open-loop rate sweep over
+// one scenario and checks the report distills a p99 knee: the sweep curve
+// is present in ascending rate order and the knee lands on a swept rate
+// with its p99 taken from the curve. The 20000 rps leg is far past any
+// CI machine's capacity for this workload, so the knee is genuinely
+// bracketed.
+func TestLoadOpenSweepKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke")
+	}
+	loadBin := buildBin(t, "hdcirc/cmd/hdcload")
+	reportPath := filepath.Join(t.TempDir(), "load.json")
+	cmd := exec.Command(loadBin,
+		"-scenario", "language",
+		"-mode", "open",
+		"-rate", "150,20000",
+		"-workers", "32",
+		"-duration", "500ms",
+		"-overload=false",
+		"-o", reportPath,
+	)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("hdcload failed: %v\n%s", err, out)
+	}
+	rep := readLoadReport(t, reportPath)
+	if len(rep.Knees) != 1 {
+		t.Fatalf("report carries %d knee rows, want 1", len(rep.Knees))
+	}
+	kr := rep.Knees[0]
+	if kr.Scenario != "language" || kr.KneeFactor <= 1 {
+		t.Fatalf("knee row header: %+v", kr)
+	}
+	if len(kr.Rates) != 2 || len(kr.P99US) != 2 || len(kr.SuccessRPS) != 2 {
+		t.Fatalf("sweep curve incomplete: %+v", kr)
+	}
+	if kr.Rates[0] >= kr.Rates[1] {
+		t.Errorf("sweep curve not in ascending rate order: %v", kr.Rates)
+	}
+	onCurve := false
+	for i, r := range kr.Rates {
+		if kr.KneeRate == r && kr.KneeP99US == kr.P99US[i] {
+			onCurve = true
+		}
+	}
+	if !onCurve {
+		t.Errorf("knee (%g rps, %g µs) not a point of the sweep curve %v / %v",
+			kr.KneeRate, kr.KneeP99US, kr.Rates, kr.P99US)
+	}
+	if !kr.Bracketed {
+		t.Errorf("a 20000 rps leg should bracket the knee: %+v", kr)
+	}
+	if kr.KneeRate != kr.Rates[0] {
+		t.Errorf("knee rate %g, want the nominal leg %g (the overload leg cannot hold its p99)", kr.KneeRate, kr.Rates[0])
+	}
+}
+
 // TestLoadSmokeAgainstChild is the CI smoke leg: a short closed-loop run
 // against a real hdcserve child pinning a p99 budget under nominal load,
 // then deliberate overload where every shed request must be a structured

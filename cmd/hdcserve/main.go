@@ -11,13 +11,16 @@
 //
 //	POST /v1/train           one write batch (samples + item churn)
 //	POST /v1/predict         classify feature records
+//	POST /v1/scores          raw per-class distances (cluster scatter)
 //	GET  /v1/lookup          ?key= ring routing, ?symbol= membership
 //	POST /v1/lookup          nearest-symbol cleanup
 //	GET  /v1/stats           operational summary incl. durability state
+//	GET  /v1/cluster         this node's cluster manifest (with -cluster)
 //	GET  /v1/snapshot        binary snapshot download (restore with -load)
 //	GET  /v1/healthz         liveness + current version
 //	POST /v1/predict:stream  NDJSON bulk classification
 //	POST /v1/ingest:stream   NDJSON bulk training / interning
+//	POST /v1/admin/promote   flip this node to primary (with -admin)
 //
 // Requests are hardened (bounded bodies, method/Content-Type enforcement,
 // unknown-field rejection) and admission-controlled: past -max-inflight
@@ -55,6 +58,22 @@
 // under GET /v1/stats "replication". See the README "Distributed serving"
 // section for the topology and failover runbook.
 //
+// # Sharded cluster
+//
+// With -cluster manifest.hclu -shard i/N the server joins a horizontally
+// sharded tier as shard i: the manifest pins the hashring (seed and
+// geometry) every node and client route by, classes and item symbols
+// hash to exactly one shard, and a write for a key this shard does not
+// own answers 421 wrong_shard carrying the owning group's endpoints so a
+// stale client reroutes instead of retrying. Each shard is itself a
+// replication group (-role/-primary-url work unchanged within it), and
+// -replica-max-inflight/-replica-max-queue give followers their own
+// admission profile so a saturated replica sheds load without touching
+// the primary's budget. The cluster client (hdcirc/client
+// NewClusterClient) fans reads out and merges them bit-identically to an
+// unsharded model; see the README "Sharded cluster" section for the
+// topology, manifest format, and resharding caveats.
+//
 // # Degraded read-only mode
 //
 // A storage fault under the log (disk full, I/O error) does not kill the
@@ -79,7 +98,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -109,12 +130,62 @@ type options struct {
 	predictDeadline               time.Duration
 	role                          string
 	primaryURL                    string
+	clusterPath                   string
+	shardSpec                     string
+	admin                         bool
+	replicaMaxInflight            int
+	replicaMaxQueue               int
+	promote                       promoteTarget
+}
+
+// promoteTarget late-binds what POST /v1/admin/promote runs. The handler
+// is built before the replication follower starts, so the target begins
+// as the server's bare Promote and is swapped for the follower's Promote
+// (which cancels the replication loop before flipping the role) once one
+// is running.
+type promoteTarget struct {
+	mu sync.Mutex
+	fn func() error
+}
+
+func (p *promoteTarget) set(fn func() error) { p.mu.Lock(); p.fn = fn; p.mu.Unlock() }
+
+func (p *promoteTarget) promote() error {
+	p.mu.Lock()
+	fn := p.fn
+	p.mu.Unlock()
+	return fn()
+}
+
+// parseShardSpec parses -shard i/N into the node's shard id, checking N
+// against the manifest so a unit mismatch (an old manifest with a new
+// flag line, or vice versa) fails loudly at boot instead of misrouting.
+func parseShardSpec(spec string, m *hdcirc.ClusterManifest) (int, error) {
+	idx := strings.IndexByte(spec, '/')
+	if idx < 0 {
+		return 0, fmt.Errorf("-shard must be i/N (e.g. 0/2), got %q", spec)
+	}
+	i, err := strconv.Atoi(spec[:idx])
+	if err != nil {
+		return 0, fmt.Errorf("-shard %q: bad shard id: %v", spec, err)
+	}
+	n, err := strconv.Atoi(spec[idx+1:])
+	if err != nil {
+		return 0, fmt.Errorf("-shard %q: bad shard count: %v", spec, err)
+	}
+	if n != m.NumShards() {
+		return 0, fmt.Errorf("-shard %s disagrees with the manifest's %d shards", spec, m.NumShards())
+	}
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("-shard %s: shard id out of range", spec)
+	}
+	return i, nil
 }
 
 // build assembles the serving stack from options: durable server, record
 // encoder, protocol-v1 handler. Everything protocol-shaped comes from the
 // hdcirc facade — this binary defines no wire types of its own.
-func build(o *options) (http.Handler, *hdcirc.Server, error) {
+func build(o *options) (*hdcirc.ServeAPI, *hdcirc.Server, error) {
 	var enc hdcirc.ServeEncoder
 	if o.scenario != "" {
 		// A scenario dictates the whole model geometry and the wire
@@ -156,14 +227,42 @@ func build(o *options) (http.Handler, *hdcirc.Server, error) {
 		}
 	}
 	hcfg := hdcirc.ServeHandlerConfig{
-		Server:          srv,
-		Encoder:         enc,
-		MaxInFlight:     o.maxInflight,
-		MaxQueue:        o.maxQueue,
-		StreamBatch:     o.streamBatch,
-		MaxBodyBytes:    o.maxBodyBytes,
-		WriteDeadline:   o.writeDeadline,
-		PredictDeadline: o.predictDeadline,
+		Server:             srv,
+		Encoder:            enc,
+		MaxInFlight:        o.maxInflight,
+		MaxQueue:           o.maxQueue,
+		StreamBatch:        o.streamBatch,
+		MaxBodyBytes:       o.maxBodyBytes,
+		WriteDeadline:      o.writeDeadline,
+		PredictDeadline:    o.predictDeadline,
+		EnableAdmin:        o.admin,
+		ReplicaMaxInFlight: o.replicaMaxInflight,
+		ReplicaMaxQueue:    o.replicaMaxQueue,
+	}
+	// Promote starts as the server's own role flip; main rebinds it to the
+	// replication follower's Promote once one is running.
+	o.promote.set(srv.Promote)
+	hcfg.PromoteFunc = o.promote.promote
+	// A sharded node loads the cluster manifest and enforces ownership:
+	// writes for keys the hashring assigns elsewhere answer wrong_shard
+	// with the owning group's endpoints.
+	if o.clusterPath != "" {
+		m, err := hdcirc.LoadClusterManifest(o.clusterPath)
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		shard, err := parseShardSpec(o.shardSpec, m)
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		node, err := hdcirc.NewClusterNode(m, shard)
+		if err != nil {
+			srv.Close()
+			return nil, nil, err
+		}
+		hcfg.Cluster = node
 	}
 	// A durable primary ships its write-ahead log to followers over
 	// /v1/replicate:stream; without -data-dir there is no log to ship, so
@@ -177,7 +276,7 @@ func build(o *options) (http.Handler, *hdcirc.Server, error) {
 		}
 		hcfg.Replication = src
 	}
-	h, err := hdcirc.ServeHandler(hcfg)
+	h, err := hdcirc.NewServeAPI(hcfg)
 	if err != nil {
 		srv.Close()
 		return nil, nil, err
@@ -236,6 +335,11 @@ func main() {
 	flag.Int64Var(&o.maxBodyBytes, "max-body", 0, "maximum unary request body in bytes (0 = 8 MiB)")
 	flag.StringVar(&o.role, "role", "primary", "replication role: primary (accepts writes; with -data-dir, ships its WAL to followers) or replica (read-only; replicates from -primary-url)")
 	flag.StringVar(&o.primaryURL, "primary-url", "", "with -role replica: base URL of the primary to replicate from (e.g. http://primary:8080)")
+	flag.StringVar(&o.clusterPath, "cluster", "", "cluster manifest file (HCLU binary or JSON); makes this node shard-aware")
+	flag.StringVar(&o.shardSpec, "shard", "", "with -cluster: this node's shard as i/N (e.g. 0/2); N must match the manifest")
+	flag.BoolVar(&o.admin, "admin", false, "enable operator routes (POST /v1/admin/promote)")
+	flag.IntVar(&o.replicaMaxInflight, "replica-max-inflight", 0, "admission control while serving as a follower: concurrent model requests (0 = -max-inflight)")
+	flag.IntVar(&o.replicaMaxQueue, "replica-max-queue", 0, "admission control while serving as a follower: waiters before 429s (0 = 2×replica-max-inflight)")
 	flag.Parse()
 
 	if o.role != "primary" && o.role != "replica" {
@@ -248,6 +352,10 @@ func main() {
 	}
 	if o.role != "replica" && o.primaryURL != "" {
 		fmt.Fprintln(os.Stderr, "hdcserve: -primary-url only applies with -role replica")
+		os.Exit(2)
+	}
+	if (o.clusterPath == "") != (o.shardSpec == "") {
+		fmt.Fprintln(os.Stderr, "hdcserve: -cluster and -shard go together (e.g. -cluster manifest.hclu -shard 0/2)")
 		os.Exit(2)
 	}
 
@@ -291,15 +399,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hdcserve: %v\n", err)
 			os.Exit(2)
 		}
+		// An admin promote must cancel the replication loop before the role
+		// flips, or the loop would fight the new primary. After the flip the
+		// new primary starts hosting /v1/replicate:stream itself, so the
+		// tier's surviving nodes (and the revived old primary) can
+		// re-follow it; without -data-dir there is no log to ship.
+		o.promote.set(func() error {
+			if err := follower.Promote(); err != nil {
+				return err
+			}
+			if o.dataDir != "" {
+				src, err := hdcirc.NewReplicationSource(hdcirc.ReplicationSourceConfig{Server: srv})
+				if err != nil {
+					log.Printf("promote: serving writes, but cannot ship replication: %v", err)
+					return nil
+				}
+				h.SetReplication(src)
+			}
+			return nil
+		})
 		log.Printf("replica: replicating from %s", o.primaryURL)
 	}
 	if o.role == "replica" || o.dataDir != "" {
 		go logReplication(ctx, srv, 10*time.Second)
 	}
+	shardNote := ""
+	if o.clusterPath != "" {
+		shardNote = " cluster-shard=" + o.shardSpec
+	}
 	if o.scenario != "" {
-		log.Printf("hdcserve listening on %s (role=%s scenario=%s d=%d k=%d shards=%d)", ln.Addr(), o.role, o.scenario, o.dim, o.classes, o.shards)
+		log.Printf("hdcserve listening on %s (role=%s scenario=%s d=%d k=%d shards=%d%s)", ln.Addr(), o.role, o.scenario, o.dim, o.classes, o.shards, shardNote)
 	} else {
-		log.Printf("hdcserve listening on %s (role=%s d=%d k=%d shards=%d fields=%d)", ln.Addr(), o.role, o.dim, o.classes, o.shards, o.fields)
+		log.Printf("hdcserve listening on %s (role=%s d=%d k=%d shards=%d fields=%d%s)", ln.Addr(), o.role, o.dim, o.classes, o.shards, o.fields, shardNote)
 	}
 	if err := serveHTTP(ctx, ln, h, srv); err != nil {
 		log.Fatal(err)

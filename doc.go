@@ -4,7 +4,7 @@
 // Computing" (Nunes, Heddes, Givargis, Nicolau — DAC 2023,
 // arXiv:2205.07920).
 //
-// The package exposes five layers:
+// The package exposes the following layers:
 //
 //   - Hypervector arithmetic: binary vectors in {0,1}^d with binding (XOR),
 //     bundling (majority / integer accumulators) and permutation (cyclic
@@ -65,6 +65,25 @@
 //     call, and the Go client SDK lives in package hdcirc/client (typed
 //     methods for every endpoint, retry with backoff, streaming ingest
 //     and prediction, client-side batch coalescing).
+//   - Horizontal scale: the serving tier replicates and shards. A primary
+//     ships its write-ahead log to read replicas over
+//     /v1/replicate:stream (NewReplicationSource,
+//     StartReplicationFollower; converged replicas serve byte-identical
+//     snapshots, the client SDK routes reads to replicas and follows
+//     not_primary hints on failover). Above replication, a versioned
+//     ClusterManifest — HCLU binary with whole-file CRC, or JSON — binds
+//     shard groups into one tier: every node and client builds the same
+//     hashring from the manifest's pinned seed and geometry, classes and
+//     item symbols each route to one owning shard, and a node scoped
+//     with NewClusterNode refuses misrouted writes with a structured
+//     wrong_shard error carrying the owner's endpoints. The shard-aware
+//     cluster client (client.NewClusterClient) splits writes per owner,
+//     streams bulk ingest on per-shard coalesced connections, and
+//     answers predictions by scatter-gather over raw integer per-class
+//     distances (POST /v1/scores) merged with the exact unsharded
+//     tie-break — bit-identical to a single unsharded server trained on
+//     the same rows. See ClusterManifest, NewClusterNode and
+//     examples/cluster.
 //
 // Every hot loop — bundling accumulation, majority thresholding, rotation,
 // nearest-prototype search — runs as a word-parallel kernel over the

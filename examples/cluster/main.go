@@ -1,0 +1,220 @@
+// Sharded serving end to end: a two-shard tier — each shard one serving
+// node scoped by a shared HCLU manifest — assembled in-process from the
+// public facade (exactly what `hdcserve -cluster manifest -shard i/N`
+// hosts behind flags), then driven through the shard-aware cluster
+// client: writes split per owner, a misrouted write refused with the
+// owner's endpoints, and scatter-gather predictions merged bit-identical
+// to an unsharded reference trained on the same rows.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"hdcirc"
+	"hdcirc/client"
+)
+
+const (
+	dim     = 4096
+	classes = 3
+	fields  = 2
+	seed    = 7
+)
+
+// serveShard mounts one serving node on a loopback listener. A non-nil
+// cluster node scopes it to its shard: misrouted writes are refused with
+// wrong_shard and the owner's endpoints.
+func serveShard(ln net.Listener, node *hdcirc.ClusterNode) string {
+	srv, err := hdcirc.NewServer(hdcirc.ServerConfig{
+		Dim: dim, Classes: classes, Shards: 2, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := hdcirc.NewServeEncoder(hdcirc.ServeEncoderConfig{
+		Dim: dim, Fields: fields, Lo: 0, Hi: 1, Levels: 32, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	handler, err := hdcirc.ServeHandler(hdcirc.ServeHandlerConfig{
+		Server: srv, Encoder: enc, Cluster: node,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, handler)
+	return "http://" + ln.Addr().String()
+}
+
+func main() {
+	ctx := context.Background()
+
+	// --- The manifest: one document binds the whole tier. ---------------
+	// Endpoints must be known before the servers route by them, so listen
+	// first, write the manifest second, serve third. RingSeed pins the
+	// hashring every node and client builds — identical geometry
+	// everywhere, or keys silently migrate.
+	lns := make([]net.Listener, 2)
+	man := &hdcirc.ClusterManifest{Version: 1, RingSeed: 42}
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		lns[i] = ln
+		man.Shards = append(man.Shards, hdcirc.ClusterShardEndpoints{
+			Primary: "http://" + ln.Addr().String(),
+		})
+	}
+	for i, ln := range lns {
+		node, err := hdcirc.NewClusterNode(man, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serveShard(ln, node)
+	}
+
+	// Ownership is a pure function of the manifest: any client can answer
+	// routing questions without touching the network.
+	cc, err := client.NewClusterClient(man)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for class := 0; class < classes; class++ {
+		fmt.Printf("class %d owned by shard %d\n", class, cc.ShardForClass(class))
+	}
+	for _, sym := range []string{"sensor-a", "sensor-b"} {
+		fmt.Printf("symbol %q owned by shard %d\n", sym, cc.ShardForSymbol(sym))
+	}
+
+	// --- An unsharded reference node, trained on the same rows. ---------
+	refLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := client.New(serveShard(refLn, nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train through the cluster client: each batch is split by class
+	// owner, so one logical call may land on several shards — the
+	// response maps shard id to that shard's ack.
+	for i := 0; i < 8; i++ {
+		f := float64(i%4) / 4
+		req := client.TrainRequest{Samples: []client.Sample{
+			{Label: i % classes, Features: []float64{f, 1 - f}},
+			{Label: (i + 1) % classes, Features: []float64{1 - f, f}},
+		}}
+		acks, err := cc.Train(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := ref.Train(ctx, req); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("train %d → shards touched: %d\n", i, len(acks))
+	}
+
+	// Bulk ingest splits per row: a row whose label and symbol have
+	// different owners becomes a train half and an intern half, each on
+	// its owner's stream with its own coalescer and ack sequence.
+	st, err := cc.Ingest(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rst, err := ref.Ingest(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		label := i % classes
+		f := float64(i%20) / 20
+		row := client.IngestRow{Label: &label, Features: []float64{f, 1 - f}}
+		if i%10 == 0 {
+			row.Symbol = fmt.Sprintf("sensor-%c", 'a'+byte(i/10)%2)
+		}
+		if err := st.Send(row); err != nil {
+			log.Fatal(err)
+		}
+		if err := rst.Send(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sum, err := st.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rst.Close(); err != nil {
+		log.Fatal(err)
+	}
+	physical := 0
+	for shard, ack := range sum.Shards {
+		physical += ack.TotalRows
+		fmt.Printf("ingest: shard %d applied %d rows\n", shard, ack.TotalRows)
+	}
+	fmt.Printf("ingest: %d logical rows, %d physical (splits)\n", sum.Rows, physical)
+
+	// A write aimed at the wrong shard is refused before admission: the
+	// structured wrong_shard error names the owner and its endpoints, so
+	// even a client with a stale manifest can follow the hint.
+	wrongClass := 0
+	owner := cc.ShardForClass(wrongClass)
+	direct, err := client.New(man.Shards[1-owner].Primary, client.WithRetry(1, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = direct.Train(ctx, client.TrainRequest{Samples: []client.Sample{
+		{Label: wrongClass, Features: []float64{0.5, 0.5}},
+	}})
+	var e *client.Error
+	if errors.As(err, &e) && e.Code == client.CodeWrongShard {
+		fmt.Printf("misrouted write refused: code=%s owner_shard=%d owner=%s\n",
+			e.Code, *e.OwnerShard, e.OwnerPrimaryURL)
+	} else {
+		log.Fatalf("expected wrong_shard, got %v", err)
+	}
+
+	// --- Scatter-gather predict, bit-identical to unsharded. ------------
+	// The cluster client fans each batch to every shard as a raw-score
+	// request (integer per-class Hamming distances), keeps each class only
+	// at its owning shard, and merges with the exact unsharded tie-break.
+	queries := [][]float64{}
+	for i := 0; i <= 16; i++ {
+		f := float64(i) / 16
+		queries = append(queries, []float64{f, 1 - f})
+	}
+	got, err := cc.Predict(ctx, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := ref.Predict(ctx, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := true
+	for q := range queries {
+		if got.Classes[q] != want.Classes[q] || got.Distances[q] != want.Distances[q] {
+			identical = false
+		}
+	}
+	fmt.Printf("scatter-gather vs unsharded reference over %d queries: identical=%v\n",
+		len(queries), identical)
+
+	// Membership probes route to the symbol's owner.
+	for _, sym := range []string{"sensor-a", "sensor-b"} {
+		found, _, err := cc.HasSymbol(ctx, sym)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("symbol %q found at shard %d: %v\n", sym, cc.ShardForSymbol(sym), found)
+	}
+}

@@ -7,9 +7,10 @@
 // direct os.OpenFile / os.Rename / (*os.File).Sync in those packages
 // silently escapes the seam: the chaos tests keep passing while the code
 // path they were supposed to cover goes dark. This analyzer makes the
-// seam load-bearing: inside internal/wal, internal/serve and
-// internal/repl (whose followers replay shipped records through the same
-// durable apply path), the os functions that vfs.FS mirrors are
+// seam load-bearing: inside internal/wal, internal/serve, internal/repl
+// (whose followers replay shipped records through the same durable apply
+// path) and internal/cluster (whose manifest save is an atomic
+// tmp+fsync+rename sequence), the os functions that vfs.FS mirrors are
 // compile-time-forbidden. internal/vfs
 // itself (the seam's OS passthrough), cmd/ binaries and _test.go files
 // are out of scope by construction.
@@ -25,14 +26,14 @@ import (
 // Analyzer is the vfsdiscipline checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "vfsdiscipline",
-	Doc: "forbid direct os file I/O in internal/wal, internal/serve and internal/repl; " +
+	Doc: "forbid direct os file I/O in internal/wal, internal/serve, internal/repl and internal/cluster; " +
 		"all file operations there must go through the internal/vfs fault seam " +
 		"so storage fault injection keeps covering them",
 	Run: run,
 }
 
 // scopedSuffixes are the import-path suffixes the discipline applies to.
-var scopedSuffixes = []string{"internal/wal", "internal/serve", "internal/repl"}
+var scopedSuffixes = []string{"internal/wal", "internal/serve", "internal/repl", "internal/cluster"}
 
 // forbiddenFuncs maps os package functions to the vfs.FS replacement that
 // keeps the operation inside the fault seam.

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+
+	"hdcirc/internal/hashring"
+)
+
+// Key construction. The cluster ring routes the same key strings the
+// in-process serving ring routes — "class/<id>" for classifier classes,
+// "item/<symbol>" for item-memory symbols — but over its own ring pinned
+// by the manifest, so the cross-process assignment is independent of any
+// one server's internal shard count.
+
+// ClassKey returns the routing key for a global class id.
+func ClassKey(class int) string { return fmt.Sprintf("class/%d", class) }
+
+// ItemKey returns the routing key for an item-memory symbol.
+func ItemKey(symbol string) string { return "item/" + symbol }
+
+// ShardMember returns the ring member name of shard i.
+func ShardMember(i int) string { return fmt.Sprintf("shard/%d", i) }
+
+// Topology is the deterministic key→shard routing function derived from a
+// manifest: a hypervector hashring with one member per shard, built from
+// the manifest's pinned geometry. Construction is the only mutation;
+// afterwards every method is a pure read, safe from any number of
+// goroutines (the hashring documents this contract and internal/serve
+// already relies on it).
+type Topology struct {
+	man     *Manifest
+	ring    *hashring.Ring
+	members []string // ring member name per shard, indexed by shard
+	index   map[string]int
+}
+
+// NewTopology normalizes and validates the manifest, then builds the
+// routing ring: members shard/0..shard/N-1 added in order. Because the
+// hashring's placement is deterministic in (geometry, seed, insertion
+// order), every participant handed the same manifest derives the same
+// assignment — the property the golden-assignment tests pin.
+func NewTopology(m *Manifest) (*Topology, error) {
+	if m == nil {
+		return nil, fmt.Errorf("cluster: nil manifest")
+	}
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ring, err := hashring.New(m.RingPositions, m.RingDim, m.RingSeed)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building routing ring: %w", err)
+	}
+	t := &Topology{man: m, ring: ring, index: make(map[string]int, len(m.Shards))}
+	for i := range m.Shards {
+		name := ShardMember(i)
+		if _, err := ring.Add(name); err != nil {
+			return nil, fmt.Errorf("cluster: placing %s: %w", name, err)
+		}
+		t.members = append(t.members, name)
+		t.index[name] = i
+	}
+	return t, nil
+}
+
+// Manifest returns the manifest the topology was built from. Callers must
+// treat it as immutable.
+func (t *Topology) Manifest() *Manifest { return t.man }
+
+// NumShards returns the shard count.
+func (t *Topology) NumShards() int { return len(t.members) }
+
+// Endpoints returns shard i's endpoint set.
+func (t *Topology) Endpoints(i int) ShardEndpoints { return t.man.Shards[i] }
+
+// ShardForKey returns the shard that owns an arbitrary routing key.
+func (t *Topology) ShardForKey(key string) int {
+	name, ok := t.ring.Lookup(key)
+	if !ok {
+		return 0 // unreachable: Validate guarantees at least one member
+	}
+	return t.index[name]
+}
+
+// ShardForClass returns the shard that owns a global class id.
+func (t *Topology) ShardForClass(class int) int {
+	return t.ShardForKey(ClassKey(class))
+}
+
+// ShardForItem returns the shard that owns an item-memory symbol.
+func (t *Topology) ShardForItem(symbol string) int {
+	return t.ShardForKey(ItemKey(symbol))
+}
+
+// ClassesOwnedBy returns the ascending global class ids (of a model with
+// `classes` total) owned by shard i — the selection a scatter-gather
+// client applies to each shard's score vector so foreign-class rows
+// (untrained tie-vector prototypes on that shard) can never leak into a
+// merge.
+func (t *Topology) ClassesOwnedBy(shard, classes int) []int {
+	var out []int
+	for c := 0; c < classes; c++ {
+		if t.ShardForClass(c) == shard {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Node is one server's view of the tier: the shared topology plus its own
+// shard index, the pair ownership enforcement needs.
+type Node struct {
+	*Topology
+	Shard int
+}
+
+// NewNode builds a Node after checking the shard index is in range.
+func NewNode(m *Manifest, shard int) (*Node, error) {
+	t, err := NewTopology(m)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= t.NumShards() {
+		return nil, fmt.Errorf("cluster: shard index %d out of range for %d shards", shard, t.NumShards())
+	}
+	return &Node{Topology: t, Shard: shard}, nil
+}
+
+// OwnsClass reports whether this node's shard owns the class.
+func (n *Node) OwnsClass(class int) bool { return n.ShardForClass(class) == n.Shard }
+
+// OwnsItem reports whether this node's shard owns the symbol.
+func (n *Node) OwnsItem(symbol string) bool { return n.ShardForItem(symbol) == n.Shard }

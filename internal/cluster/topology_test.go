@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testManifest builds an n-shard manifest with the default geometry and
+// ring seed 42 — the configuration the golden assignments below pin.
+func testManifest(n int) *Manifest {
+	m := &Manifest{RingSeed: 42}
+	for i := 0; i < n; i++ {
+		m.Shards = append(m.Shards, ShardEndpoints{
+			Primary:  fmt.Sprintf("http://127.0.0.1:%d", 8000+i),
+			Replicas: []string{fmt.Sprintf("http://127.0.0.1:%d", 9000+i)},
+		})
+	}
+	return m
+}
+
+// TestGoldenAssignments pins key→shard routing for the default geometry.
+// These values are a compatibility contract: a sharded tier stores keys
+// where the ring of its manifest places them, so any change to the ring's
+// hash, the circular-set construction, the default geometry, or the
+// member-placement strategy silently strands every stored key. If this
+// test fails, the change is a resharding event — it must not ship as an
+// accident.
+func TestGoldenAssignments(t *testing.T) {
+	goldenClasses := map[int][]int{
+		// class id 0..15 → owning shard
+		2: {1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1},
+		3: {1, 2, 0, 1, 0, 1, 2, 0, 1, 2, 1, 0, 2, 1, 0, 2},
+	}
+	goldenItems := map[int]map[string]int{
+		2: {"alpha": 0, "bravo": 0, "charlie": 0, "delta": 0, "echo": 1,
+			"foxtrot": 1, "golf": 0, "hotel": 0, "india": 1, "juliet": 1},
+		3: {"alpha": 0, "bravo": 0, "charlie": 2, "delta": 2, "echo": 2,
+			"foxtrot": 1, "golf": 2, "hotel": 2, "india": 2, "juliet": 1},
+	}
+	for n, want := range goldenClasses {
+		m := testManifest(n)
+		top, err := NewTopology(m)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if m.RingPositions != 8 || m.RingDim != DefaultRingDim {
+			t.Fatalf("shards=%d normalized to positions=%d dim=%d, goldens pinned at 8/%d",
+				n, m.RingPositions, m.RingDim, DefaultRingDim)
+		}
+		for c, shard := range want {
+			if got := top.ShardForClass(c); got != shard {
+				t.Errorf("shards=%d: class %d routed to shard %d, golden %d", n, c, got, shard)
+			}
+		}
+		for sym, shard := range goldenItems[n] {
+			if got := top.ShardForItem(sym); got != shard {
+				t.Errorf("shards=%d: item %q routed to shard %d, golden %d", n, sym, got, shard)
+			}
+		}
+	}
+}
+
+// TestOwnershipPartition checks ClassesOwnedBy forms an exact partition:
+// every class owned by exactly one shard, consistent with ShardForClass.
+func TestOwnershipPartition(t *testing.T) {
+	const classes = 64
+	top, err := NewTopology(testManifest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for s := 0; s < top.NumShards(); s++ {
+		owned := top.ClassesOwnedBy(s, classes)
+		if len(owned) == 0 {
+			t.Errorf("shard %d owns no classes out of %d", s, classes)
+		}
+		for _, c := range owned {
+			if prev, dup := seen[c]; dup {
+				t.Fatalf("class %d owned by both shard %d and %d", c, prev, s)
+			}
+			seen[c] = s
+			if top.ShardForClass(c) != s {
+				t.Fatalf("ClassesOwnedBy(%d) lists class %d but ShardForClass says %d",
+					s, c, top.ShardForClass(c))
+			}
+		}
+	}
+	if len(seen) != classes {
+		t.Fatalf("partition covers %d of %d classes", len(seen), classes)
+	}
+}
+
+// TestTopologyDeterminism: two topologies from equal manifests agree on
+// every key — the property that lets servers and clients route
+// independently.
+func TestTopologyDeterminism(t *testing.T) {
+	a, err := NewTopology(testManifest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTopology(testManifest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("class/%d", i)
+		if a.ShardForKey(k) != b.ShardForKey(k) {
+			t.Fatalf("topologies disagree on %s: %d vs %d", k, a.ShardForKey(k), b.ShardForKey(k))
+		}
+	}
+}
+
+func TestNodeOwnership(t *testing.T) {
+	if _, err := NewNode(testManifest(2), 2); err == nil {
+		t.Fatal("shard index 2 of 2 accepted")
+	}
+	if _, err := NewNode(testManifest(2), -1); err == nil {
+		t.Fatal("negative shard index accepted")
+	}
+	n, err := NewNode(testManifest(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 32; c++ {
+		if n.OwnsClass(c) != (n.ShardForClass(c) == 1) {
+			t.Fatalf("OwnsClass(%d) inconsistent with ShardForClass", c)
+		}
+	}
+	if n.OwnsItem("echo") != (n.ShardForItem("echo") == 1) {
+		t.Fatal("OwnsItem inconsistent with ShardForItem")
+	}
+}

@@ -1,0 +1,263 @@
+package httpapi
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"hdcirc/internal/cluster"
+	"hdcirc/internal/serve"
+)
+
+// testNode builds the 2-shard routing fixture (ring seed 42, default
+// geometry) scoped to one shard. Under these goldens shard 0 owns classes
+// {1, 2} and items alpha..delta; shard 1 owns class {0} and item echo.
+func testNode(t *testing.T, shard int) *cluster.Node {
+	t.Helper()
+	m := &cluster.Manifest{
+		RingSeed: 42,
+		Shards: []cluster.ShardEndpoints{
+			{Primary: "http://s0-primary", Replicas: []string{"http://s0-replica"}},
+			{Primary: "http://s1-primary", Replicas: []string{"http://s1-replica"}},
+		},
+	}
+	n, err := cluster.NewNode(m, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestTrainWrongShard(t *testing.T) {
+	a := testAPI(t, func(c *Config) { c.Cluster = testNode(t, 0) })
+
+	// Label 0 belongs to shard 1: the whole batch is refused before any of
+	// it applies, with the owner's endpoints in the envelope.
+	rec, out := doJSON(t, a, http.MethodPost, "/v1/train", TrainRequest{
+		Samples: []Sample{
+			{Label: 1, Features: []float64{0.2, 0.2}},
+			{Label: 0, Features: []float64{0.1, 0.1}},
+		},
+	})
+	if rec.Code != http.StatusMisdirectedRequest {
+		t.Fatalf("misrouted train = %d: %s", rec.Code, rec.Body.String())
+	}
+	env := out["error"].(map[string]any)
+	if env["code"].(string) != string(CodeWrongShard) {
+		t.Fatalf("code = %v, want wrong_shard", env["code"])
+	}
+	if env["owner_shard"].(float64) != 1 || env["owner_primary_url"].(string) != "http://s1-primary" {
+		t.Fatalf("owner hint missing: %v", env)
+	}
+	if reps := env["owner_replica_urls"].([]any); len(reps) != 1 || reps[0].(string) != "http://s1-replica" {
+		t.Fatalf("owner replicas: %v", env)
+	}
+	if v := a.Server().Snapshot().Version(); v != 0 {
+		t.Fatalf("misrouted batch advanced the model to version %d", v)
+	}
+
+	// A misrouted symbol is refused the same way.
+	rec, out = doJSON(t, a, http.MethodPost, "/v1/train", TrainRequest{Symbols: []string{"echo"}})
+	if rec.Code != http.StatusMisdirectedRequest || errCode(t, out) != string(CodeWrongShard) {
+		t.Fatalf("misrouted symbol = %d %v", rec.Code, out)
+	}
+
+	// Owned keys apply normally on the same node.
+	rec, out = doJSON(t, a, http.MethodPost, "/v1/train", TrainRequest{
+		Samples: []Sample{{Label: 1, Features: []float64{0.9, 0.1}}},
+		Symbols: []string{"alpha"},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("owned train = %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["version"].(float64) != 1 {
+		t.Fatalf("owned train response: %v", out)
+	}
+}
+
+func TestIngestStreamWrongShard(t *testing.T) {
+	a := testAPI(t, func(c *Config) {
+		c.Cluster = testNode(t, 0)
+		c.StreamBatch = 2
+	})
+
+	// Two owned rows (one full batch, acked) then a foreign row: the
+	// stream must carry the ack for the applied batch, then terminate with
+	// a wrong_shard error line, applying nothing else.
+	body := `{"label":1,"features":[0.9,0.1]}
+{"label":2,"features":[0.5,0.9]}
+{"label":0,"features":[0.1,0.1]}
+`
+	_, lines := postStream(t, a, "/v1/ingest:stream", body)
+	if len(lines) != 2 {
+		t.Fatalf("stream lines = %d (%v), want ack + error", len(lines), lines)
+	}
+	if lines[0]["version"].(float64) != 1 || lines[0]["rows"].(float64) != 2 {
+		t.Fatalf("ack line: %v", lines[0])
+	}
+	env := lines[1]["error"].(map[string]any)
+	if env["code"].(string) != string(CodeWrongShard) || env["owner_shard"].(float64) != 1 {
+		t.Fatalf("terminal line: %v", lines[1])
+	}
+	if v := a.Server().Snapshot().Version(); v != 1 {
+		t.Fatalf("model at version %d, want exactly the acked batch", v)
+	}
+}
+
+func TestClusterRoute(t *testing.T) {
+	plain := testAPI(t)
+	rec, out := doJSON(t, plain, http.MethodGet, "/v1/cluster", nil)
+	if rec.Code != http.StatusNotFound || errCode(t, out) != string(CodeNotFound) {
+		t.Fatalf("unsharded /v1/cluster = %d %v", rec.Code, out)
+	}
+
+	a := testAPI(t, func(c *Config) { c.Cluster = testNode(t, 1) })
+	rec, out = doJSON(t, a, http.MethodGet, "/v1/cluster", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/cluster = %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["shard"].(float64) != 1 || out["ring_seed"].(float64) != 42 ||
+		out["ring_positions"].(float64) != 8 || out["ring_dim"].(float64) != float64(cluster.DefaultRingDim) {
+		t.Fatalf("cluster response: %v", out)
+	}
+	shards := out["shards"].([]any)
+	if len(shards) != 2 || shards[0].(map[string]any)["primary"].(string) != "http://s0-primary" {
+		t.Fatalf("cluster shards: %v", shards)
+	}
+}
+
+// TestScoresMatchesSnapshot pins the scatter endpoint to the snapshot's
+// raw distances: same queries, same integers, plus the version/dim/class
+// header the merge needs.
+func TestScoresMatchesSnapshot(t *testing.T) {
+	a := testAPI(t)
+	if rec, _ := doJSON(t, a, http.MethodPost, "/v1/train", trainBody(10)); rec.Code != http.StatusOK {
+		t.Fatalf("train = %d", rec.Code)
+	}
+
+	queries := [][]float64{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}}
+	rec, out := doJSON(t, a, http.MethodPost, "/v1/scores", ScoresRequest{Queries: queries})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/scores = %d: %s", rec.Code, rec.Body.String())
+	}
+	snap := a.Server().Snapshot()
+	if out["version"].(float64) != float64(snap.Version()) ||
+		out["dim"].(float64) != float64(snap.Dim()) ||
+		out["classes"].(float64) != float64(snap.Classes()) {
+		t.Fatalf("scores header: %v", out)
+	}
+	enc := a.cfg.Encoder
+	rows := out["distances"].([]any)
+	if len(rows) != len(queries) {
+		t.Fatalf("distance rows = %d, want %d", len(rows), len(queries))
+	}
+	for i, q := range queries {
+		want := snap.RawScores(enc.Encode(q))
+		got := rows[i].([]any)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d classes, want %d", i, len(got), len(want))
+		}
+		for c := range want {
+			if int(got[c].(float64)) != want[c] {
+				t.Fatalf("query %d class %d: distance %v, want %d", i, c, got[c], want[c])
+			}
+		}
+	}
+
+	rec, out = doJSON(t, a, http.MethodPost, "/v1/scores", ScoresRequest{})
+	if rec.Code != http.StatusBadRequest || errCode(t, out) != string(CodeInvalidRequest) {
+		t.Fatalf("empty scores = %d %v", rec.Code, out)
+	}
+}
+
+func TestAdminPromote(t *testing.T) {
+	// Disabled by default: the route does not exist.
+	a := testAPI(t)
+	rec, out := doJSON(t, a, http.MethodPost, "/v1/admin/promote", nil)
+	if rec.Code != http.StatusNotFound || errCode(t, out) != string(CodeNotFound) {
+		t.Fatalf("promote without -admin = %d %v", rec.Code, out)
+	}
+
+	// Enabled: a follower flips to primary; the hook, when set, is what
+	// runs (hdcserve points it at the replication follower's Promote).
+	hookCalls := 0
+	a = testAPI(t, func(c *Config) {
+		c.EnableAdmin = true
+		c.PromoteFunc = func() error {
+			hookCalls++
+			return c.Server.Promote()
+		}
+	})
+	if err := a.Server().BecomeFollower("http://old-primary"); err != nil {
+		t.Fatal(err)
+	}
+	rec, out = doJSON(t, a, http.MethodPost, "/v1/admin/promote", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promote = %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["role"].(string) != "primary" || hookCalls != 1 {
+		t.Fatalf("promote response %v, hook calls %d", out, hookCalls)
+	}
+	if a.Server().Role() != serve.RolePrimary {
+		t.Fatal("server still a follower after promote")
+	}
+
+	// Writes work immediately after promotion.
+	if rec, _ := doJSON(t, a, http.MethodPost, "/v1/train", trainBody(2)); rec.Code != http.StatusOK {
+		t.Fatalf("train after promote = %d", rec.Code)
+	}
+}
+
+// TestReplicaAdmissionProfile: a follower sheds through its own gate while
+// the primary profile stays untouched, and promotion retires the replica
+// profile immediately.
+func TestReplicaAdmissionProfile(t *testing.T) {
+	a := testAPI(t, func(c *Config) {
+		c.ReplicaMaxInFlight = 1
+		c.ReplicaMaxQueue = 1
+		c.RetryAfter = 50 * time.Millisecond
+	})
+	if a.rgate == nil {
+		t.Fatal("replica gate not built")
+	}
+	if err := a.Server().BecomeFollower("http://primary"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the replica profile: take its only slot and its only queue
+	// position out from under the handler.
+	if e := a.rgate.acquire(context.Background()); e != nil {
+		t.Fatalf("draining replica slot: %v", e)
+	}
+	a.rgate.queued.Add(1)
+
+	rec, out := doJSON(t, a, http.MethodPost, "/v1/predict", PredictRequest{Queries: [][]float64{{0.5, 0.5}}})
+	if rec.Code != http.StatusTooManyRequests || errCode(t, out) != string(CodeOverloaded) {
+		t.Fatalf("saturated replica read = %d %v, want structured 429", rec.Code, out)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After hint")
+	}
+	if got := a.gate.rejected.Load(); got != 0 {
+		t.Fatalf("primary gate counted %d rejections, want 0", got)
+	}
+	if got := a.rgate.rejected.Load(); got != 1 {
+		t.Fatalf("replica gate counted %d rejections, want 1", got)
+	}
+
+	// Stats reports the union.
+	rec, out = doJSON(t, a, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK || out["http_rejected"].(float64) != 1 {
+		t.Fatalf("stats = %d %v", rec.Code, out["http_rejected"])
+	}
+
+	// Promote: the same request now rides the (idle) primary gate.
+	if err := a.Server().Promote(); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = doJSON(t, a, http.MethodPost, "/v1/predict", PredictRequest{Queries: [][]float64{{0.5, 0.5}}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-promote read = %d, want the primary profile to serve it", rec.Code)
+	}
+}

@@ -28,7 +28,7 @@ func (a *API) handleReplicateStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	src := a.cfg.Replication
+	src := a.replication()
 	if src == nil {
 		// Followers cannot ship (no cascading); redirect the lost
 		// follower to the primary when this node knows it.

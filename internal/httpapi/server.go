@@ -12,8 +12,10 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
+	"hdcirc/internal/cluster"
 	"hdcirc/internal/serve"
 )
 
@@ -62,6 +64,32 @@ type Config struct {
 	// answers the route with unavailable — or, on a follower that knows
 	// its primary, with a not_primary redirect hint.
 	Replication ReplicationSource
+	// Cluster, when set, scopes this node to one shard of a sharded tier:
+	// writes carrying class/item keys the shard does not own are refused
+	// with wrong_shard (and the owner's endpoints as a hint) before any
+	// row is applied, and GET /v1/cluster serves the manifest. Nil runs
+	// the node unsharded, with /v1/cluster answering 404.
+	Cluster *cluster.Node
+	// EnableAdmin exposes the operator surface (POST /v1/admin/promote).
+	// Off by default: a node not meant to be failed over by hand should
+	// not be promotable by a stray POST.
+	EnableAdmin bool
+	// PromoteFunc overrides what the admin promote route calls — a
+	// replica's promotion must stop its replication loop before flipping
+	// the role (repl.Follower.Promote), which the wire layer cannot know.
+	// Nil selects Server.Promote.
+	PromoteFunc func() error
+	// ReplicaMaxInFlight and ReplicaMaxQueue size a second admission gate
+	// used while the node's role is follower. A replica's capacity profile
+	// is nothing like its primary's — it serves only the read plane — so
+	// inheriting the primary's write-plane gate either starves replica
+	// reads or shields the primary too little. Both zero (the default)
+	// keeps the single shared gate; setting either builds the replica gate
+	// (the unset one defaulting like its primary counterpart). The gate is
+	// chosen per request by current role, so a promote retires the replica
+	// profile immediately.
+	ReplicaMaxInFlight int
+	ReplicaMaxQueue    int
 }
 
 func (c *Config) norm() {
@@ -102,9 +130,33 @@ type StatsResponse struct {
 // any number of concurrent requests (the serving core is lock-free on
 // reads, and the handler adds only the admission gate).
 type API struct {
-	cfg  Config
-	mux  *http.ServeMux
-	gate *gate
+	cfg   Config
+	mux   *http.ServeMux
+	gate  *gate
+	rgate *gate // follower-role admission profile; nil → gate serves both roles
+
+	// The replication source is read per request and swappable at runtime:
+	// a follower promoted through the admin route must start hosting
+	// /v1/replicate:stream (so the tier's other nodes can re-follow it)
+	// without a handler rebuild. Initialized from Config.Replication.
+	replMu  sync.RWMutex
+	replSrc ReplicationSource
+}
+
+// SetReplication installs (or replaces) the primary-side replication
+// source serving /v1/replicate:stream. The admin-promote path uses this
+// after flipping a follower to primary; passing nil disables the route.
+func (a *API) SetReplication(src ReplicationSource) {
+	a.replMu.Lock()
+	a.replSrc = src
+	a.replMu.Unlock()
+}
+
+// replication returns the current source (nil when replication is off).
+func (a *API) replication() ReplicationSource {
+	a.replMu.RLock()
+	defer a.replMu.RUnlock()
+	return a.replSrc
 }
 
 // New validates the config and builds the v1 handler.
@@ -125,19 +177,34 @@ func New(cfg Config) (*API, error) {
 	}
 	cfg.norm()
 	a := &API{
-		cfg:  cfg,
-		mux:  http.NewServeMux(),
-		gate: newGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.RetryAfter),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		gate:    newGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.RetryAfter),
+		replSrc: cfg.Replication,
+	}
+	if cfg.ReplicaMaxInFlight > 0 || cfg.ReplicaMaxQueue > 0 {
+		inflight := cfg.ReplicaMaxInFlight
+		if inflight <= 0 {
+			inflight = cfg.MaxInFlight
+		}
+		queue := cfg.ReplicaMaxQueue
+		if queue <= 0 {
+			queue = 2 * inflight
+		}
+		a.rgate = newGate(inflight, queue, cfg.RetryAfter)
 	}
 	a.mux.HandleFunc("/v1/train", a.handleTrain)
 	a.mux.HandleFunc("/v1/predict", a.handlePredict)
+	a.mux.HandleFunc("/v1/scores", a.handleScores)
 	a.mux.HandleFunc("/v1/lookup", a.handleLookup)
 	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	a.mux.HandleFunc("/v1/cluster", a.handleCluster)
 	a.mux.HandleFunc("/v1/snapshot", a.handleSnapshot)
 	a.mux.HandleFunc("/v1/healthz", a.handleHealthz)
 	a.mux.HandleFunc("/v1/predict:stream", a.handlePredictStream)
 	a.mux.HandleFunc("/v1/ingest:stream", a.handleIngestStream)
 	a.mux.HandleFunc("/v1/replicate:stream", a.handleReplicateStream)
+	a.mux.HandleFunc("/v1/admin/promote", a.handlePromote)
 	a.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, Errorf(CodeNotFound, "no route %s %s in protocol v1", r.Method, r.URL.Path))
 	})
@@ -150,6 +217,17 @@ func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTT
 // Server returns the serving core the handler fronts (for embedding
 // binaries that need lifecycle calls like Close and Checkpoint).
 func (a *API) Server() *serve.Server { return a.cfg.Server }
+
+// admission picks the gate for the node's current role: the replica
+// profile while a follower (when one was configured), the primary gate
+// otherwise. Role is read per request, so promotion switches profiles
+// without a rebuild.
+func (a *API) admission() *gate {
+	if a.rgate != nil && a.cfg.Server.Role() == serve.RoleFollower {
+		return a.rgate
+	}
+	return a.gate
+}
 
 // ---------------------------------------------------------------------------
 // Envelope plumbing
@@ -312,13 +390,20 @@ func (a *API) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, Errorf(CodeInvalidRequest, "empty batch: no samples, no symbols"))
 		return
 	}
-	ctx, cancel := a.writeCtx(r)
-	defer cancel()
-	if e := a.gate.acquire(ctx); e != nil {
+	// Ownership is enforced before admission and before any encoding work:
+	// a misrouted batch must cost nothing and apply nothing.
+	if e := a.checkBatchOwnership(req.Samples, req.Symbols); e != nil {
 		writeError(w, e)
 		return
 	}
-	defer a.gate.release()
+	ctx, cancel := a.writeCtx(r)
+	defer cancel()
+	g := a.admission()
+	if e := g.acquire(ctx); e != nil {
+		writeError(w, e)
+		return
+	}
+	defer g.release()
 	batch, e := a.buildBatch(req.Samples, req.Symbols)
 	if e != nil {
 		writeError(w, e)
@@ -370,11 +455,12 @@ func (a *API) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := a.readCtx(r)
 	defer cancel()
-	if e := a.gate.acquire(ctx); e != nil {
+	g := a.admission()
+	if e := g.acquire(ctx); e != nil {
 		writeError(w, e)
 		return
 	}
-	defer a.gate.release()
+	defer g.release()
 	if err := ctx.Err(); err != nil {
 		writeError(w, Errorf(CodeDeadlineExceeded, "%v", err))
 		return
@@ -423,11 +509,12 @@ func (a *API) handleLookup(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := a.readCtx(r)
 		defer cancel()
-		if e := a.gate.acquire(ctx); e != nil {
+		g := a.admission()
+		if e := g.acquire(ctx); e != nil {
 			writeError(w, e)
 			return
 		}
-		defer a.gate.release()
+		defer g.release()
 		sym, sim, ok := snap.Lookup(a.cfg.Encoder.Encode(req.Features))
 		srv.CountReads(1)
 		if !ok {
@@ -442,9 +529,13 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	rejected := a.gate.rejected.Load()
+	if a.rgate != nil {
+		rejected += a.rgate.rejected.Load()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Stats:        a.cfg.Server.Stats(),
-		HTTPRejected: a.gate.rejected.Load(),
+		HTTPRejected: rejected,
 	})
 }
 
@@ -601,13 +692,14 @@ func (a *API) handlePredictStream(w http.ResponseWriter, r *http.Request) {
 	// bounds admission only — the stream itself lives as long as the
 	// client keeps rows coming.
 	ctx, cancel := a.readCtx(r)
-	e := a.gate.acquire(ctx)
+	g := a.admission()
+	e := g.acquire(ctx)
 	cancel()
 	if e != nil {
 		writeError(w, e)
 		return
 	}
-	defer a.gate.release()
+	defer g.release()
 
 	sw := newStreamWriter(w)
 	rd := newRowDecoder(r.Body, a.cfg.MaxRowBytes)
@@ -669,11 +761,12 @@ func (a *API) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, e)
 		return
 	}
-	if e := a.gate.acquire(r.Context()); e != nil {
+	g := a.admission()
+	if e := g.acquire(r.Context()); e != nil {
 		writeError(w, e)
 		return
 	}
-	defer a.gate.release()
+	defer g.release()
 
 	sw := newStreamWriter(w)
 	rd := newRowDecoder(r.Body, a.cfg.MaxRowBytes)
@@ -725,6 +818,14 @@ func (a *API) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if e := validateIngestRow(&row, rd.rows-1); e != nil {
+			sw.line(IngestAck{Error: e})
+			sw.flush()
+			return
+		}
+		// Ownership is checked before the row joins the pending batch, so a
+		// misrouted row can never ride an ack: batches acked earlier stand,
+		// nothing after the last ack was applied.
+		if e := a.checkRowOwnership(&row); e != nil {
 			sw.line(IngestAck{Error: e})
 			sw.flush()
 			return

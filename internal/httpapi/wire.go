@@ -16,14 +16,17 @@
 //
 //	POST /v1/train           one write batch (samples + item churn)
 //	POST /v1/predict         classify a batch of feature records
+//	POST /v1/scores          raw per-class Hamming distances (scatter-gather)
 //	GET  /v1/lookup          ?key= ring routing, ?symbol= membership
 //	POST /v1/lookup          nearest-symbol cleanup of a feature record
 //	GET  /v1/stats           operational summary incl. durability state
+//	GET  /v1/cluster         the tier's cluster manifest + this node's shard
 //	GET  /v1/snapshot        binary snapshot download (HSRV stream)
 //	GET  /v1/healthz         liveness + current version
 //	POST /v1/predict:stream  NDJSON bulk classification
 //	POST /v1/ingest:stream   NDJSON bulk training / item interning
 //	POST /v1/replicate:stream NDJSON WAL shipping to followers (duplex)
+//	POST /v1/admin/promote   promote this node to primary (Config.EnableAdmin)
 //
 // # Error envelope
 //
@@ -109,6 +112,14 @@ const (
 	// produced. The follower must re-seed from a checkpoint (reconnect
 	// with from_seq 0 to request one). 409.
 	CodeStaleSeq Code = "stale_seq"
+	// CodeWrongShard: a write carried a class or item key this shard does
+	// not own under the cluster manifest. The envelope names the offending
+	// key and carries the owning shard's endpoints (owner_shard,
+	// owner_primary_url, owner_replica_urls) so clients reroute instead of
+	// retrying here — the shard-tier analogue of CodeNotPrimary, and like
+	// it the request was NOT applied (ownership is validated before any
+	// row is buffered). 421.
+	CodeWrongShard Code = "wrong_shard"
 )
 
 // Error is the structured fault both halves of the protocol share: the
@@ -123,6 +134,12 @@ type Error struct {
 	// PrimaryURL accompanies CodeNotPrimary: the base URL of the primary
 	// this follower replicates from, for client-side failover.
 	PrimaryURL string `json:"primary_url,omitempty"`
+	// OwnerShard, OwnerPrimaryURL and OwnerReplicaURLs accompany
+	// CodeWrongShard: the shard that owns the misrouted key and its
+	// endpoints under this server's manifest, for client-side rerouting.
+	OwnerShard       *int     `json:"owner_shard,omitempty"`
+	OwnerPrimaryURL  string   `json:"owner_primary_url,omitempty"`
+	OwnerReplicaURLs []string `json:"owner_replica_urls,omitempty"`
 }
 
 // Error renders the fault as "code: message".
@@ -147,7 +164,7 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusServiceUnavailable
 	case CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
-	case CodeNotPrimary:
+	case CodeNotPrimary, CodeWrongShard:
 		return http.StatusMisdirectedRequest
 	case CodeStaleSeq:
 		return http.StatusConflict
@@ -203,6 +220,57 @@ type PredictResponse struct {
 	Version   uint64    `json:"version"`
 	Classes   []int     `json:"classes"`
 	Distances []float64 `json:"distances"`
+}
+
+// ScoresRequest asks for each query's raw Hamming distance to every class
+// prototype, all against one consistent snapshot. This is the scatter half
+// of cross-process scatter-gather predict: a cluster client fans the same
+// queries to every shard, keeps each shard's owned-class distances, and
+// merges with the exact integer tie-break — bit-identical to an unsharded
+// Predict. (Predict's float64 distance cannot be merged exactly; integers
+// can.)
+type ScoresRequest struct {
+	Queries [][]float64 `json:"queries"`
+}
+
+// ScoresResponse carries one distance row per query, in request order.
+// Distances[i][c] is query i's raw Hamming distance to the prototype of
+// global class c. Classes a shard does not own still appear (their
+// prototypes are untrained tie vectors); callers must select by ownership.
+type ScoresResponse struct {
+	Version   uint64  `json:"version"`
+	Dim       int     `json:"dim"`
+	Classes   int     `json:"classes"`
+	Distances [][]int `json:"distances"`
+}
+
+// ClusterShard is one shard group's endpoint set in a ClusterResponse.
+type ClusterShard struct {
+	Primary  string   `json:"primary"`
+	Replicas []string `json:"replicas,omitempty"`
+}
+
+// ClusterResponse is the GET /v1/cluster body: the manifest this node was
+// booted with, so clients self-configure from any single endpoint and
+// refresh on topology change (adopting a manifest only when its version is
+// newer). Shard is the index this node serves. The route answers 404 on a
+// node running outside any cluster.
+type ClusterResponse struct {
+	ManifestVersion uint64         `json:"manifest_version"`
+	RingPositions   int            `json:"ring_positions"`
+	RingDim         int            `json:"ring_dim"`
+	RingSeed        uint64         `json:"ring_seed"`
+	Shards          []ClusterShard `json:"shards"`
+	Shard           int            `json:"shard"`
+}
+
+// PromoteResponse acknowledges POST /v1/admin/promote: the node's role
+// after the call ("primary"; promotion is idempotent) and the version its
+// model stands at. The route exists only when the operator opted in
+// (Config.EnableAdmin / hdcserve -admin) and answers 404 otherwise.
+type PromoteResponse struct {
+	Role    string `json:"role"`
+	Version uint64 `json:"version"`
 }
 
 // LookupRequest is the POST /v1/lookup body: nearest-symbol cleanup of one

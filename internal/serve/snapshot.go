@@ -118,6 +118,27 @@ func (s *Snapshot) Scores(q *bitvec.Vector) []float64 {
 	return out
 }
 
+// RawScores returns the query's raw Hamming distance to every class
+// prototype, indexed by global class id. This is the scatter half of
+// cross-process scatter-gather predict: integer distances merge exactly
+// (the float similarities Scores returns would round), so a cluster
+// client can fan this out to every shard, keep each shard's owned-class
+// rows, and reproduce the unsharded Predict tie-break bit for bit.
+func (s *Snapshot) RawScores(q *bitvec.Vector) []int {
+	out := make([]int, s.classes)
+	for i := range s.shards {
+		v := &s.shards[i]
+		if len(v.proto) == 0 {
+			continue
+		}
+		hds := bitvec.DistanceMany(q, v.proto, make([]int, len(v.proto)))
+		for l, hd := range hds {
+			out[v.classes[l]] = hd
+		}
+	}
+	return out
+}
+
 // ClassVector returns the finalized prototype of a global class id. The
 // vector is shared and immutable.
 func (s *Snapshot) ClassVector(class int) *bitvec.Vector {
